@@ -1,0 +1,56 @@
+// Fig 2: completion time of the Table-1 models on a single device, spanning
+// minutes (CNN-rand) to weeks (ResNet-50).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/models/loss_curve.h"
+#include "src/models/model_zoo.h"
+#include "src/pserver/comm_model.h"
+
+int main() {
+  using namespace optimus;
+  PrintExperimentHeader(
+      "Fig 2", "Training time of the Table-1 models (full dataset, 1 worker + 1 PS)",
+      "completion times spread over ~3 orders of magnitude, from minutes "
+      "(CNN-rand) to about a week (ResNet-50)");
+
+  struct Row {
+    std::string name;
+    double hours;
+    int64_t epochs;
+  };
+  std::vector<Row> rows;
+  const CommConfig comm;
+  for (const ModelSpec& spec : GetModelZoo()) {
+    LossCurve curve(spec.loss, spec.StepsPerEpoch(spec.default_sync_batch));
+    const int64_t epochs = curve.EpochsToConverge(/*delta=*/0.01, /*patience=*/3);
+    StepTimeInputs in;
+    in.model = &spec;
+    in.mode = TrainingMode::kSync;
+    in.num_ps = 1;
+    in.num_workers = 1;
+    const double step_s = ComputeStepTime(in, comm).total_s;
+    const double total_s = static_cast<double>(epochs) *
+                           static_cast<double>(spec.StepsPerEpoch(spec.default_sync_batch)) *
+                           step_s;
+    rows.push_back({spec.name, total_s / 3600.0, epochs});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.hours < b.hours; });
+
+  TablePrinter table({"model", "epochs to converge", "completion time (h)",
+                      "completion time (d)"});
+  for (const Row& r : rows) {
+    table.AddRow({r.name, std::to_string(r.epochs),
+                  TablePrinter::FormatDouble(r.hours, 2),
+                  TablePrinter::FormatDouble(r.hours / 24.0, 2)});
+  }
+  table.Print(std::cout);
+
+  const double spread = rows.back().hours / rows.front().hours;
+  std::cout << "\nSpread between fastest and slowest job: "
+            << TablePrinter::FormatDouble(spread, 0) << "x (paper: minutes vs weeks)\n";
+  return 0;
+}

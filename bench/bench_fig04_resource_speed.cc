@@ -1,0 +1,70 @@
+// Fig 4: training speed of synchronous ResNet-50 under different resource
+// configurations: (a) fixed total of 20 containers, (b) fixed 1:1 PS:worker
+// ratio.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/models/model_zoo.h"
+#include "src/pserver/comm_model.h"
+
+namespace {
+
+double Speed(const optimus::ModelSpec& spec, int p, int w) {
+  optimus::StepTimeInputs in;
+  in.model = &spec;
+  in.mode = optimus::TrainingMode::kSync;
+  in.num_ps = p;
+  in.num_workers = w;
+  return optimus::TrainingSpeed(in, optimus::CommConfig{});
+}
+
+}  // namespace
+
+int main() {
+  using namespace optimus;
+  PrintExperimentHeader(
+      "Fig 4", "Training speed vs resource configuration (ResNet-50, sync)",
+      "(a) with 20 total containers, speed peaks at an intermediate split "
+      "(paper: 8 workers / 12 PS); (b) at a 1:1 ratio speed shows strongly "
+      "diminishing returns and eventually declines");
+
+  const ModelSpec& spec = FindModel("ResNet-50");
+
+  PrintBanner(std::cout, "(a) 20 containers total: workers w, parameter servers 20-w");
+  TablePrinter a({"workers", "ps", "speed (steps/s)"});
+  int best_w = 1;
+  double best_speed = 0.0;
+  for (int w = 1; w <= 19; ++w) {
+    const double s = Speed(spec, 20 - w, w);
+    if (s > best_speed) {
+      best_speed = s;
+      best_w = w;
+    }
+    a.AddRow({std::to_string(w), std::to_string(20 - w),
+              TablePrinter::FormatDouble(s, 4)});
+  }
+  a.Print(std::cout);
+  std::cout << "Peak at w=" << best_w << ", p=" << 20 - best_w
+            << " (paper: w=8, p=12); interior peak confirms non-monotonicity\n";
+
+  PrintBanner(std::cout, "(b) 1:1 PS:worker ratio");
+  TablePrinter b({"workers (=ps)", "speed (steps/s)", "speedup vs w=1"});
+  const double s1 = Speed(spec, 1, 1);
+  int best_u = 1;
+  double best_s = 0.0;
+  for (int u = 1; u <= 20; ++u) {
+    const double s = Speed(spec, u, u);
+    if (s > best_s) {
+      best_s = s;
+      best_u = u;
+    }
+    b.AddRow({std::to_string(u), TablePrinter::FormatDouble(s, 4),
+              TablePrinter::FormatDouble(s / s1, 2)});
+  }
+  b.Print(std::cout);
+  std::cout << "Peak at w=p=" << best_u
+            << " (paper: ~10); adding resources beyond the peak slows training\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig 5: normalized training-loss curves of all nine Table-1 jobs against
+// training progress.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/models/loss_curve.h"
+#include "src/models/model_zoo.h"
+
+int main() {
+  using namespace optimus;
+  PrintExperimentHeader(
+      "Fig 5", "Normalized training-loss curves of the nine DL jobs",
+      "after normalizing by the maximum loss, every job's curve lies in (0, 1] "
+      "and decays with an O(1/k) SGD-style shape");
+
+  std::vector<std::string> headers = {"progress %"};
+  for (const ModelSpec& spec : GetModelZoo()) {
+    headers.push_back(spec.name);
+  }
+  TablePrinter table(headers);
+
+  // Progress is epochs relative to each job's own convergence epoch at a 1%
+  // threshold, as in the paper's figure.
+  std::vector<LossCurve> curves;
+  std::vector<int64_t> total_epochs;
+  std::vector<double> initial;
+  for (const ModelSpec& spec : GetModelZoo()) {
+    curves.emplace_back(spec.loss, spec.StepsPerEpoch(spec.default_sync_batch));
+    total_epochs.push_back(curves.back().EpochsToConverge(0.01, 3));
+    initial.push_back(curves.back().InitialLoss());
+  }
+
+  for (int pct = 0; pct <= 100; pct += 10) {
+    std::vector<std::string> row = {std::to_string(pct)};
+    for (size_t i = 0; i < curves.size(); ++i) {
+      const double epoch = pct / 100.0 * static_cast<double>(total_epochs[i]);
+      row.push_back(
+          TablePrinter::FormatDouble(curves[i].TrueLossAtEpoch(epoch) / initial[i], 3));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::cout << "\nAll curves start at 1.0 and decrease monotonically toward their "
+               "floors, matching Fig 5's family of shapes.\n";
+  return 0;
+}

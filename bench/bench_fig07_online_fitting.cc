@@ -1,0 +1,58 @@
+// Fig 7: online fitting of the Seq2Seq training-loss curve; the paper reports
+// fitted coefficients beta0 = 0.21, beta1 = 1.07, beta2 = 0.07.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/models/loss_curve.h"
+#include "src/models/model_zoo.h"
+#include "src/perfmodel/convergence_model.h"
+
+int main() {
+  using namespace optimus;
+  PrintExperimentHeader(
+      "Fig 7", "Online model fitting for Seq2Seq training loss",
+      "the fitted l = 1/(b0*k + b1) + b2 curve passes through the noisy data; "
+      "paper's fit (in epoch units): beta0=0.21 beta1=1.07 beta2=0.07");
+
+  const ModelSpec& spec = FindModel("Seq2Seq");
+  const int64_t spe = spec.StepsPerEpoch(spec.default_sync_batch);
+  LossCurve curve(spec.loss, spe);
+  const int64_t total = curve.EpochsToConverge(0.01, 3);
+
+  ConvergenceModel model;
+  Rng rng(7);
+  for (int64_t e = 0; e < total; ++e) {
+    for (int i = 1; i <= 20; ++i) {
+      const int64_t step = e * spe + i * spe / 20;
+      model.AddSample(static_cast<double>(step), curve.SampleLossAtStep(step, &rng));
+    }
+  }
+  model.Fit();
+
+  // Our betas are fitted per *step* on normalized loss; convert beta0 to
+  // epoch units for comparison with the paper's progress-scale values.
+  std::cout << "\nFitted coefficients (normalized loss, epoch units):\n";
+  TablePrinter fit({"coef", "fitted", "ground truth", "paper"});
+  fit.AddRow({"beta0", TablePrinter::FormatDouble(model.beta0() * spe, 3),
+              TablePrinter::FormatDouble(spec.loss.c0 / curve.InitialLoss(), 3), "0.21"});
+  fit.AddRow({"beta1", TablePrinter::FormatDouble(model.beta1(), 3),
+              TablePrinter::FormatDouble(spec.loss.c1 * curve.InitialLoss(), 3), "1.07"});
+  fit.AddRow({"beta2", TablePrinter::FormatDouble(model.beta2(), 3),
+              TablePrinter::FormatDouble(spec.loss.c2 / curve.InitialLoss(), 3), "0.07"});
+  fit.Print(std::cout);
+
+  PrintBanner(std::cout, "data points vs fitted curve");
+  TablePrinter table({"progress %", "true loss", "fitted loss", "rel err %"});
+  for (int pct = 0; pct <= 100; pct += 10) {
+    const double epoch = pct / 100.0 * static_cast<double>(total);
+    const double truth = curve.TrueLossAtEpoch(epoch);
+    const double fitted = model.PredictLoss(epoch * static_cast<double>(spe));
+    table.AddRow({std::to_string(pct), TablePrinter::FormatDouble(truth, 4),
+                  TablePrinter::FormatDouble(fitted, 4),
+                  TablePrinter::FormatDouble(100.0 * (fitted - truth) / truth, 2)});
+  }
+  table.Print(std::cout);
+  return 0;
+}

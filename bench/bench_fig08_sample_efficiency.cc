@@ -1,0 +1,79 @@
+// Fig 8: speed-estimation error as a function of the number of (p, w) sample
+// runs used to initialize the speed model (ResNet-50).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/models/model_zoo.h"
+#include "src/perfmodel/sampler.h"
+#include "src/perfmodel/speed_model.h"
+#include "src/pserver/comm_model.h"
+
+namespace {
+
+using namespace optimus;
+
+double TrueSpeed(const ModelSpec& spec, int p, int w) {
+  StepTimeInputs in;
+  in.model = &spec;
+  in.mode = TrainingMode::kSync;
+  in.num_ps = p;
+  in.num_workers = w;
+  return TrainingSpeed(in, CommConfig{});
+}
+
+double MeanAbsRelError(const SpeedModel& model, const ModelSpec& spec, int max_p,
+                       int max_w) {
+  RunningStat stat;
+  for (int p = 1; p <= max_p; p += 2) {
+    for (int w = 1; w <= max_w; w += 2) {
+      const double truth = TrueSpeed(spec, p, w);
+      stat.Add(std::abs(model.Estimate(p, w) - truth) / truth);
+    }
+  }
+  return stat.mean();
+}
+
+}  // namespace
+
+int main() {
+  PrintExperimentHeader(
+      "Fig 8", "Speed-estimation error vs number of (p, w) samples (ResNet-50)",
+      "~10 samples already give <10% error; more samples reduce error further "
+      "but with a diminishing return");
+
+  const ModelSpec& spec = FindModel("ResNet-50");
+  const int max_p = 20;
+  const int max_w = 20;
+  const int repeats = 15;
+
+  TablePrinter table({"# samples", "mean |rel err| %", "stddev %"});
+  double err_at_10 = 0.0;
+  for (int n : {4, 6, 8, 10, 16, 24, 32}) {
+    RunningStat errs;
+    for (int rep = 0; rep < repeats; ++rep) {
+      Rng rng(100 * n + rep);
+      Rng noise(999 * n + rep);
+      SpeedOracle oracle = [&](int p, int w) {
+        return TrueSpeed(spec, p, w) * noise.LogNormalFactor(0.03);
+      };
+      SpeedModel model(TrainingMode::kSync, spec.default_sync_batch);
+      InitializeSpeedModel(&model, oracle, n, max_p, max_w, &rng);
+      if (model.fitted()) {
+        errs.Add(100.0 * MeanAbsRelError(model, spec, max_p, max_w));
+      }
+    }
+    if (n == 10) {
+      err_at_10 = errs.mean();
+    }
+    table.AddRow({std::to_string(n), TablePrinter::FormatDouble(errs.mean(), 2),
+                  TablePrinter::FormatDouble(errs.stddev(), 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nError with 10 samples: " << TablePrinter::FormatDouble(err_at_10, 2)
+            << "% (paper: <10% with 10 of the 780 possible pairs)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig 9: measured speed data points vs the fitted speed-function curves, for
+// asynchronous ((a) vs workers, (b) vs PS) and synchronous ((c) vs workers,
+// (d) vs PS) ResNet-50 training.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/models/model_zoo.h"
+#include "src/perfmodel/speed_model.h"
+#include "src/pserver/comm_model.h"
+
+namespace {
+
+using namespace optimus;
+
+double TrueSpeed(const ModelSpec& spec, TrainingMode mode, int p, int w) {
+  StepTimeInputs in;
+  in.model = &spec;
+  in.mode = mode;
+  in.num_ps = p;
+  in.num_workers = w;
+  return TrainingSpeed(in, CommConfig{});
+}
+
+void Panel(const ModelSpec& spec, TrainingMode mode, bool sweep_workers,
+           const std::string& caption) {
+  // Fit the model from a coarse grid of noisy measurements.
+  SpeedModel model(mode, spec.default_sync_batch);
+  Rng noise(42);
+  for (int p = 2; p <= 20; p += 2) {
+    for (int w = 2; w <= 20; w += 2) {
+      model.AddSample(p, w, TrueSpeed(spec, mode, p, w) * noise.LogNormalFactor(0.02));
+    }
+  }
+  model.Fit();
+
+  PrintBanner(std::cout, caption);
+  std::vector<std::string> headers = {sweep_workers ? "workers" : "ps"};
+  for (int fixed : {6, 12, 18}) {
+    headers.push_back((sweep_workers ? "meas ps=" : "meas w=") + std::to_string(fixed));
+    headers.push_back((sweep_workers ? "fit ps=" : "fit w=") + std::to_string(fixed));
+  }
+  TablePrinter table(headers);
+  for (int x = 2; x <= 20; x += 2) {
+    std::vector<std::string> row = {std::to_string(x)};
+    for (int fixed : {6, 12, 18}) {
+      const int p = sweep_workers ? fixed : x;
+      const int w = sweep_workers ? x : fixed;
+      row.push_back(TablePrinter::FormatDouble(TrueSpeed(spec, mode, p, w), 4));
+      row.push_back(TablePrinter::FormatDouble(model.Estimate(p, w), 4));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  PrintExperimentHeader(
+      "Fig 9", "Speed-function fits for ResNet-50 (async and sync)",
+      "fitted curves closely track measurements; diminishing returns in p; "
+      "sync speed peaks then declines in w at fixed p");
+
+  const ModelSpec& spec = FindModel("ResNet-50");
+  Panel(spec, TrainingMode::kAsync, /*sweep_workers=*/true,
+        "(a) async: speed vs workers, ps in {6, 12, 18}");
+  Panel(spec, TrainingMode::kAsync, /*sweep_workers=*/false,
+        "(b) async: speed vs ps, workers in {6, 12, 18}");
+  Panel(spec, TrainingMode::kSync, /*sweep_workers=*/true,
+        "(c) sync: speed vs workers, ps in {6, 12, 18}");
+  Panel(spec, TrainingMode::kSync, /*sweep_workers=*/false,
+        "(d) sync: speed vs ps, workers in {6, 12, 18}");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fig 16: sensitivity to workloads — all jobs asynchronous vs all jobs
+// synchronous.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace optimus;
+  PrintExperimentHeader(
+      "Fig 16", "Sensitivity to training modes (all-async vs all-sync)",
+      "Optimus outperforms DRF and Tetris in both modes; the gain is larger "
+      "when all jobs train synchronously (estimates are more reliable)");
+
+  for (TrainingMode mode : {TrainingMode::kAsync, TrainingMode::kSync}) {
+    ExperimentConfig base;
+    ApplyTestbedConditions(&base.sim);
+    base.workload.num_jobs = 9;
+    base.workload.target_steps_per_epoch = 80;
+    base.workload.forced_mode = mode;
+    base.repeats = 5;
+    RunSchedulerComparison(base, std::string("all jobs ") + TrainingModeName(mode));
+  }
+  return 0;
+}

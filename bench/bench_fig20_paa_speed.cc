@@ -1,0 +1,68 @@
+// Fig 20: training speed of synchronous ResNet-50 (10 workers) as the number
+// of parameter servers grows, with PAA vs MXNet block assignment.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/models/model_zoo.h"
+#include "src/models/param_blocks.h"
+#include "src/pserver/block_assignment.h"
+#include "src/pserver/comm_model.h"
+
+namespace {
+
+using namespace optimus;
+
+double SpeedWithLoad(const ModelSpec& spec, int p, int w, const PsLoadMetrics& load) {
+  StepTimeInputs in;
+  in.model = &spec;
+  in.mode = TrainingMode::kSync;
+  in.num_ps = p;
+  in.num_workers = w;
+  in.load = load;
+  in.load_valid = true;
+  return TrainingSpeed(in, CommConfig{});
+}
+
+}  // namespace
+
+int main() {
+  PrintExperimentHeader(
+      "Fig 20", "Training speed vs #PS: PAA vs MXNet (ResNet-50, 10 workers, sync)",
+      "PAA is at least as fast everywhere and the gap grows with more PSes "
+      "(MXNet's random placement gets relatively more imbalanced)");
+
+  const ModelSpec& spec = FindModel("ResNet-50");
+  const ParamBlockSizes blocks = GenerateParamBlocks(spec);
+  const int w = 10;
+
+  TablePrinter table({"# ps", "MXNet speed", "PAA speed", "PAA speedup %"});
+  double last_speedup = 0.0;
+  double first_speedup = 0.0;
+  for (int p = 2; p <= 20; p += 2) {
+    RunningStat mx_speed;
+    for (int seed = 0; seed < 10; ++seed) {
+      Rng rng(seed + 1);
+      const PsLoadMetrics m =
+          ComputeLoadMetrics(MxnetAssigner().Assign(blocks, p, &rng));
+      mx_speed.Add(SpeedWithLoad(spec, p, w, m));
+    }
+    const PsLoadMetrics paa = ComputeLoadMetrics(PaaAssigner().Assign(blocks, p));
+    const double paa_speed = SpeedWithLoad(spec, p, w, paa);
+    const double speedup = 100.0 * (paa_speed / mx_speed.mean() - 1.0);
+    if (p == 2) {
+      first_speedup = speedup;
+    }
+    last_speedup = speedup;
+    table.AddRow({std::to_string(p), TablePrinter::FormatDouble(mx_speed.mean(), 4),
+                  TablePrinter::FormatDouble(paa_speed, 4),
+                  TablePrinter::FormatDouble(speedup, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nPAA speedup grows from " << TablePrinter::FormatDouble(first_speedup, 1)
+            << "% at p=2 to " << TablePrinter::FormatDouble(last_speedup, 1)
+            << "% at p=20 (paper: improvement grows with #PS)\n";
+  return 0;
+}

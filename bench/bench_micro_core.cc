@@ -1,0 +1,145 @@
+// Micro-benchmarks (google-benchmark) for the scheduler's hot paths: NNLS
+// solving, convergence-curve fitting, speed-model fitting, a marginal-gain
+// allocation round, and a placement round.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cluster/server.h"
+#include "src/common/rng.h"
+#include "src/models/loss_curve.h"
+#include "src/models/model_zoo.h"
+#include "src/perfmodel/convergence_model.h"
+#include "src/perfmodel/speed_model.h"
+#include "src/pserver/block_assignment.h"
+#include "src/pserver/comm_model.h"
+#include "src/sched/optimus_allocator.h"
+#include "src/sched/placement.h"
+#include "src/solver/nnls.h"
+
+namespace optimus {
+namespace {
+
+void BM_NnlsSolve(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(rows, 5);
+  Vector truth = {1.0, 2.8, 4.9, 0.0, 0.02};
+  Vector b(rows, 0.0);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < 5; ++c) {
+      a(r, c) = rng.Uniform(0.1, 2.0);
+      b[r] += a(r, c) * truth[c];
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveNnls(a, b));
+  }
+}
+BENCHMARK(BM_NnlsSolve)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_ConvergenceFit(benchmark::State& state) {
+  const ModelSpec& spec = FindModel("Seq2Seq");
+  const int64_t spe = spec.StepsPerEpoch(spec.default_sync_batch);
+  LossCurve curve(spec.loss, spe);
+  Rng rng(2);
+  ConvergenceModel model;
+  const int64_t points = state.range(0);
+  for (int64_t i = 1; i <= points; ++i) {
+    const int64_t step = i * spe / 10;
+    model.AddSample(static_cast<double>(step), curve.SampleLossAtStep(step, &rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Fit());
+  }
+}
+BENCHMARK(BM_ConvergenceFit)->Arg(100)->Arg(1000);
+
+void BM_SpeedModelFit(benchmark::State& state) {
+  const ModelSpec& spec = FindModel("ResNet-50");
+  SpeedModel model(TrainingMode::kSync, spec.default_sync_batch);
+  for (int p = 1; p <= 16; ++p) {
+    for (int w = 1; w <= 16; ++w) {
+      StepTimeInputs in;
+      in.model = &spec;
+      in.mode = TrainingMode::kSync;
+      in.num_ps = p;
+      in.num_workers = w;
+      model.AddSample(p, w, TrainingSpeed(in, CommConfig{}));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Fit());
+  }
+}
+BENCHMARK(BM_SpeedModelFit);
+
+std::vector<SchedJob> MakeJobs(int n) {
+  std::vector<SchedJob> jobs;
+  for (int i = 0; i < n; ++i) {
+    SchedJob job;
+    job.job_id = i;
+    job.worker_demand = Resources(5, 10, 0, 0.2);
+    job.ps_demand = Resources(5, 10, 0, 0.2);
+    job.remaining_epochs = 10.0 + (i % 40);
+    const double a = 4.0 + (i % 7);
+    job.speed = [a](int p, int w) {
+      return 1.0 / (a / w + 1.0 + 0.8 * w / p + 0.05 * w + 0.05 * p);
+    };
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void BM_OptimusAllocation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<SchedJob> jobs = MakeJobs(n);
+  const Resources capacity(16.0 * n, 80.0 * n, 0, n);
+  OptimusAllocator allocator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(allocator.Allocate(jobs, capacity));
+  }
+}
+BENCHMARK(BM_OptimusAllocation)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_OptimusPlacement(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<SchedJob> jobs = MakeJobs(n);
+  std::vector<PlacementJobInput> inputs;
+  for (const SchedJob& j : jobs) {
+    inputs.push_back({j.job_id, {2, 3}, j.worker_demand, j.ps_demand});
+  }
+  for (auto _ : state) {
+    std::vector<Server> servers =
+        BuildUniformCluster(2 * n, Resources(16, 80, 0, 1));
+    benchmark::DoNotOptimize(
+        PlaceJobs(PlacementPolicy::kOptimusPack, inputs, std::move(servers)));
+  }
+}
+BENCHMARK(BM_OptimusPlacement)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PaaAssignment(benchmark::State& state) {
+  const ParamBlockSizes blocks = GenerateParamBlocks(FindModel("ResNet-50"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PaaAssigner().Assign(blocks, 10));
+  }
+}
+BENCHMARK(BM_PaaAssignment);
+
+void BM_StepTimeModel(benchmark::State& state) {
+  const ModelSpec& spec = FindModel("ResNet-50");
+  StepTimeInputs in;
+  in.model = &spec;
+  in.mode = TrainingMode::kSync;
+  in.num_ps = 8;
+  in.num_workers = 12;
+  const CommConfig comm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeStepTime(in, comm));
+  }
+}
+BENCHMARK(BM_StepTimeModel);
+
+}  // namespace
+}  // namespace optimus
+
+BENCHMARK_MAIN();

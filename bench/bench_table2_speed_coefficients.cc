@@ -1,0 +1,74 @@
+// Table 2: coefficients of the fitted speed functions for asynchronous and
+// synchronous ResNet-50 training, with the fitting residual.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/models/model_zoo.h"
+#include "src/perfmodel/speed_model.h"
+#include "src/pserver/comm_model.h"
+
+namespace {
+
+using namespace optimus;
+
+SpeedModel FitModel(const ModelSpec& spec, TrainingMode mode) {
+  SpeedModel model(mode, spec.default_sync_batch);
+  Rng noise(2);
+  for (int p = 1; p <= 20; p += 1) {
+    for (int w = 1; w <= 20; w += 1) {
+      StepTimeInputs in;
+      in.model = &spec;
+      in.mode = mode;
+      in.num_ps = p;
+      in.num_workers = w;
+      model.AddSample(p, w,
+                      TrainingSpeed(in, CommConfig{}) * noise.LogNormalFactor(0.01));
+    }
+  }
+  model.Fit();
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  PrintExperimentHeader(
+      "Table 2", "Fitted speed-function coefficients (ResNet-50)",
+      "compute (theta0/theta1) and transfer (w/p) terms dominate; per-worker "
+      "and per-PS overheads are comparatively small. Paper sync row: "
+      "theta0=1.02 theta1=2.78 theta2=4.92 theta3=0.00 theta4=0.02; async row: "
+      "2.83 3.92 0.00 0.11");
+
+  const ModelSpec& spec = FindModel("ResNet-50");
+
+  SpeedModel async_model = FitModel(spec, TrainingMode::kAsync);
+  SpeedModel sync_model = FitModel(spec, TrainingMode::kSync);
+
+  PrintBanner(std::cout, "async: T = th0 + th1*(w/p) + th2*w + th3*p");
+  TablePrinter a({"theta0", "theta1 (w/p)", "theta2 (w)", "theta3 (p)", "residual"});
+  const auto& at = async_model.theta();
+  a.AddRow({TablePrinter::FormatDouble(at[0], 3), TablePrinter::FormatDouble(at[1], 3),
+            TablePrinter::FormatDouble(at[2], 3), TablePrinter::FormatDouble(at[3], 3),
+            TablePrinter::FormatDouble(async_model.residual(), 3)});
+  a.AddRow({"2.83", "3.92", "0.00", "0.11", "0.10 (paper)"});
+  a.Print(std::cout);
+
+  PrintBanner(std::cout, "sync: T = th0*(M/w) + th1 + th2*(w/p) + th3*w + th4*p");
+  TablePrinter s({"theta0 (M/w)", "theta1", "theta2 (w/p)", "theta3 (w)", "theta4 (p)",
+                  "residual"});
+  const auto& st = sync_model.theta();
+  s.AddRow({TablePrinter::FormatDouble(st[0], 3), TablePrinter::FormatDouble(st[1], 3),
+            TablePrinter::FormatDouble(st[2], 3), TablePrinter::FormatDouble(st[3], 3),
+            TablePrinter::FormatDouble(st[4], 3),
+            TablePrinter::FormatDouble(sync_model.residual(), 3)});
+  s.AddRow({"1.02", "2.78", "4.92", "0.00", "0.02", "0.00 (paper)"});
+  s.Print(std::cout);
+
+  std::cout << "\nNote: our ground truth adds a batch-efficiency floor and larger "
+               "coordination overheads (needed to reproduce the measured speed "
+               "decline of Fig 4(b), which the paper's own fitted theta3=0 cannot "
+               "produce), so theta3/theta4 come out larger than Table 2's.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "bench/bench_util.h"
+
+#include "src/cluster/server.h"
+
+namespace optimus {
+
+void PrintExperimentHeader(const std::string& id, const std::string& title,
+                           const std::string& paper_expectation) {
+  std::cout << "\n================================================================\n"
+            << "EXPERIMENT " << id << ": " << title << "\n"
+            << "Paper expectation: " << paper_expectation << "\n"
+            << "================================================================\n";
+}
+
+std::vector<ExperimentResult> RunSchedulerComparison(const ExperimentConfig& base,
+                                                     const std::string& caption) {
+  std::vector<ExperimentResult> results;
+  for (SchedulerPreset preset :
+       {SchedulerPreset::kOptimus, SchedulerPreset::kDrf, SchedulerPreset::kTetris}) {
+    ExperimentConfig config = base;
+    ApplySchedulerPreset(preset, &config.sim);
+    config.label = SchedulerPresetName(preset);
+    results.push_back(RunExperiment(config, [] { return BuildTestbed(); }));
+  }
+
+  const ExperimentResult& optimus = results[0];
+  PrintBanner(std::cout, caption);
+  TablePrinter table({"scheduler", "avg JCT (s)", "JCT stddev", "JCT (norm)",
+                      "makespan (s)", "makespan stddev", "makespan (norm)",
+                      "scaling overhead %"});
+  for (const ExperimentResult& r : results) {
+    table.AddRow({r.label, TablePrinter::FormatDouble(r.avg_jct_mean, 0),
+                  TablePrinter::FormatDouble(r.avg_jct_stddev, 0),
+                  TablePrinter::FormatDouble(
+                      NormalizedTo(r.avg_jct_mean, optimus.avg_jct_mean), 2),
+                  TablePrinter::FormatDouble(r.makespan_mean, 0),
+                  TablePrinter::FormatDouble(r.makespan_stddev, 0),
+                  TablePrinter::FormatDouble(
+                      NormalizedTo(r.makespan_mean, optimus.makespan_mean), 2),
+                  TablePrinter::FormatDouble(r.scaling_overhead_mean * 100.0, 2)});
+  }
+  table.Print(std::cout);
+  return results;
+}
+
+}  // namespace optimus

@@ -1,0 +1,32 @@
+// Shared helpers for the per-figure/per-table bench harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation: it prints an experiment header, the rows/series the paper
+// reports, and (where the paper gives numbers) the paper's values alongside
+// the measured ones for EXPERIMENTS.md.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/sim/experiment.h"
+
+namespace optimus {
+
+// Prints the standard bench banner.
+void PrintExperimentHeader(const std::string& id, const std::string& title,
+                           const std::string& paper_expectation);
+
+// Runs the canonical three-scheduler comparison (Optimus, DRF, Tetris) under
+// the given base config and prints absolute + normalized JCT / makespan.
+// Returns the three results in preset order.
+std::vector<ExperimentResult> RunSchedulerComparison(const ExperimentConfig& base,
+                                                     const std::string& caption);
+
+}  // namespace optimus
+
+#endif  // BENCH_BENCH_UTIL_H_

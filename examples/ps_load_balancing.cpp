@@ -1,0 +1,78 @@
+// Parameter-server load balancing demo: inspect how MXNet's default rule and
+// the PAA algorithm (§5.3) shard a model's parameter blocks, and what that
+// does to training speed.
+//
+//   ./examples/ps_load_balancing [model] [num_ps]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/models/model_zoo.h"
+#include "src/models/param_blocks.h"
+#include "src/pserver/block_assignment.h"
+#include "src/pserver/comm_model.h"
+
+namespace {
+
+using namespace optimus;
+
+void PrintPerPsLoads(const BlockAssignment& assignment, const std::string& name) {
+  std::vector<int64_t> params(assignment.num_ps, 0);
+  std::vector<int64_t> requests(assignment.num_ps, 0);
+  for (const BlockSlice& s : assignment.slices) {
+    params[s.ps] += s.size;
+    requests[s.ps] += 1;
+  }
+  std::cout << "\n" << name << " per-PS load:\n";
+  TablePrinter table({"ps", "params (M)", "update requests"});
+  for (int ps = 0; ps < assignment.num_ps; ++ps) {
+    table.AddRow({std::to_string(ps),
+                  TablePrinter::FormatDouble(params[ps] / 1e6, 3),
+                  std::to_string(requests[ps])});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model_name = argc > 1 ? argv[1] : "ResNet-50";
+  const int num_ps = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  const ModelSpec& spec = FindModel(model_name);
+  const ParamBlockSizes blocks = GenerateParamBlocks(spec);
+  std::cout << spec.name << ": " << blocks.size() << " parameter blocks, "
+            << TablePrinter::FormatDouble(spec.params_millions, 1) << "M parameters, "
+            << num_ps << " parameter servers\n";
+
+  Rng rng(1);
+  const BlockAssignment mxnet = MxnetAssigner().Assign(blocks, num_ps, &rng);
+  const BlockAssignment paa = PaaAssigner().Assign(blocks, num_ps);
+  PrintPerPsLoads(mxnet, "MXNet default (threshold rule, random small blocks)");
+  PrintPerPsLoads(paa, "PAA (sorted best-fit with request balancing)");
+
+  std::cout << "\nSummary:\n";
+  TablePrinter summary({"algorithm", "size diff (M)", "request diff", "total requests",
+                        "sync speed @ (p=" + std::to_string(num_ps) + ", w=10)"});
+  for (const auto& [name, assignment] : {std::pair<std::string, const BlockAssignment&>(
+                                             "MXNet", mxnet),
+                                         {"PAA", paa}}) {
+    const PsLoadMetrics m = ComputeLoadMetrics(assignment);
+    StepTimeInputs in;
+    in.model = &spec;
+    in.mode = TrainingMode::kSync;
+    in.num_ps = num_ps;
+    in.num_workers = 10;
+    in.load = m;
+    in.load_valid = true;
+    summary.AddRow({name,
+                    TablePrinter::FormatDouble(m.param_size_diff / 1e6, 3),
+                    std::to_string(m.request_count_diff),
+                    std::to_string(m.total_requests),
+                    TablePrinter::FormatDouble(TrainingSpeed(in, CommConfig{}), 4)});
+  }
+  summary.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,21 @@
+#include "src/cluster/checkpoint.h"
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+double CheckpointStallSeconds(const ModelSpec& model, const CheckpointConfig& config) {
+  OPTIMUS_CHECK_GT(config.hdfs_throughput_bps, 0.0);
+  const double bytes = static_cast<double>(model.ParamBytes());
+  // Write the checkpoint, then read it back on restart.
+  return 2.0 * bytes / config.hdfs_throughput_bps + config.relaunch_overhead_s;
+}
+
+bool ScalingAllowed(int num_scalings_so_far, const CheckpointConfig& config) {
+  if (config.max_scalings_per_job <= 0) {
+    return true;
+  }
+  return num_scalings_so_far < config.max_scalings_per_job;
+}
+
+}  // namespace optimus

@@ -1,0 +1,105 @@
+#include "src/cluster/resources.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace optimus {
+
+namespace {
+constexpr double kEps = 1e-9;
+}  // namespace
+
+const char* ResourceTypeName(ResourceType type) {
+  switch (type) {
+    case ResourceType::kCpu:
+      return "cpu";
+    case ResourceType::kMemoryGb:
+      return "memory_gb";
+    case ResourceType::kGpu:
+      return "gpu";
+    case ResourceType::kBandwidthGbps:
+      return "bandwidth_gbps";
+  }
+  return "unknown";
+}
+
+Resources::Resources(double cpu, double memory_gb, double gpu, double bandwidth_gbps) {
+  values_[static_cast<size_t>(ResourceType::kCpu)] = cpu;
+  values_[static_cast<size_t>(ResourceType::kMemoryGb)] = memory_gb;
+  values_[static_cast<size_t>(ResourceType::kGpu)] = gpu;
+  values_[static_cast<size_t>(ResourceType::kBandwidthGbps)] = bandwidth_gbps;
+}
+
+Resources& Resources::operator+=(const Resources& other) {
+  for (size_t i = 0; i < kNumResourceTypes; ++i) {
+    values_[i] += other.values_[i];
+  }
+  return *this;
+}
+
+Resources& Resources::operator-=(const Resources& other) {
+  for (size_t i = 0; i < kNumResourceTypes; ++i) {
+    values_[i] -= other.values_[i];
+  }
+  return *this;
+}
+
+Resources Resources::operator*(double scalar) const {
+  Resources out = *this;
+  for (size_t i = 0; i < kNumResourceTypes; ++i) {
+    out.values_[i] *= scalar;
+  }
+  return out;
+}
+
+bool Resources::Fits(const Resources& demand) const {
+  for (size_t i = 0; i < kNumResourceTypes; ++i) {
+    if (demand.values_[i] > values_[i] + kEps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Resources::IsNonNegative() const {
+  for (double v : values_) {
+    if (v < -kEps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Resources::DominantShare(const Resources& capacity) const {
+  double share = 0.0;
+  for (size_t i = 0; i < kNumResourceTypes; ++i) {
+    if (capacity.values_[i] > kEps) {
+      share = std::max(share, values_[i] / capacity.values_[i]);
+    }
+  }
+  return share;
+}
+
+ResourceType Resources::DominantResource(const Resources& capacity) const {
+  double share = -1.0;
+  size_t best = 0;
+  for (size_t i = 0; i < kNumResourceTypes; ++i) {
+    if (capacity.values_[i] > kEps) {
+      const double s = values_[i] / capacity.values_[i];
+      if (s > share) {
+        share = s;
+        best = i;
+      }
+    }
+  }
+  return static_cast<ResourceType>(best);
+}
+
+std::string Resources::ToString() const {
+  std::ostringstream os;
+  os << "{cpu=" << cpu() << ", mem=" << memory_gb() << "GB, gpu=" << gpu()
+     << ", bw=" << bandwidth_gbps() << "Gbps}";
+  return os.str();
+}
+
+}  // namespace optimus

@@ -1,0 +1,92 @@
+#include "src/cluster/server.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+void Server::Allocate(const Resources& demand) {
+  OPTIMUS_CHECK(CanFit(demand)) << "server " << id_ << " cannot fit "
+                                << demand.ToString() << "; free " << Free().ToString();
+  used_ += demand;
+}
+
+void Server::Release(const Resources& demand) {
+  used_ -= demand;
+  OPTIMUS_CHECK(used_.IsNonNegative())
+      << "server " << id_ << " released more than allocated";
+  for (size_t i = 0; i < kNumResourceTypes; ++i) {
+    const ResourceType type = static_cast<ResourceType>(i);
+    if (used_.Get(type) < 0.0) {
+      used_.Set(type, 0.0);
+    }
+  }
+}
+
+std::vector<Server> BuildTestbed() {
+  std::vector<Server> servers;
+  int id = 0;
+  // 7 CPU servers: two 8-core Intel E5-2650, 80 GB memory, 1 GbE.
+  for (int i = 0; i < 7; ++i) {
+    servers.emplace_back(id++, Resources(/*cpu=*/16, /*memory_gb=*/80, /*gpu=*/0,
+                                         /*bandwidth_gbps=*/1));
+  }
+  // 6 GPU servers: 8-core Intel E5-1660, two GeForce 1080Ti, 48 GB, 1 GbE.
+  for (int i = 0; i < 6; ++i) {
+    servers.emplace_back(id++, Resources(/*cpu=*/8, /*memory_gb=*/48, /*gpu=*/2,
+                                         /*bandwidth_gbps=*/1));
+  }
+  return servers;
+}
+
+std::vector<Server> BuildUniformCluster(int n, const Resources& capacity) {
+  std::vector<Server> servers;
+  servers.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    servers.emplace_back(i, capacity);
+  }
+  return servers;
+}
+
+Resources TotalCapacity(const std::vector<Server>& servers) {
+  Resources total;
+  for (const Server& s : servers) {
+    total += s.capacity();
+  }
+  return total;
+}
+
+Resources TotalFree(const std::vector<Server>& servers) {
+  Resources total;
+  for (const Server& s : servers) {
+    total += s.Free();
+  }
+  return total;
+}
+
+Resources PlaceableCapacity(const std::vector<Server>& servers,
+                            const Resources& reference_demand) {
+  Resources total;
+  for (const Server& s : servers) {
+    int slots = std::numeric_limits<int>::max();
+    bool constrained = false;
+    for (size_t i = 0; i < kNumResourceTypes; ++i) {
+      const ResourceType type = static_cast<ResourceType>(i);
+      const double d = reference_demand.Get(type);
+      if (d > 0.0) {
+        constrained = true;
+        slots = std::min(slots, static_cast<int>(s.capacity().Get(type) / d));
+      }
+    }
+    if (!constrained) {
+      total += s.capacity();
+      continue;
+    }
+    total += reference_demand * slots;
+  }
+  return total;
+}
+
+}  // namespace optimus

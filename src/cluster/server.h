@@ -1,0 +1,65 @@
+// Physical servers and the cluster they form.
+//
+// Mirrors the paper's testbed: a mix of CPU servers and GPU servers behind a
+// single switch. Task placement (workers / parameter servers) consumes server
+// resources at container granularity.
+
+#ifndef SRC_CLUSTER_SERVER_H_
+#define SRC_CLUSTER_SERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cluster/resources.h"
+
+namespace optimus {
+
+class Server {
+ public:
+  Server(int id, Resources capacity) : id_(id), capacity_(capacity) {}
+
+  int id() const { return id_; }
+  const Resources& capacity() const { return capacity_; }
+  const Resources& used() const { return used_; }
+  Resources Free() const { return capacity_ - used_; }
+
+  bool CanFit(const Resources& demand) const { return Free().Fits(demand); }
+
+  // Reserves resources; fatal if they do not fit (placement bugs must not be
+  // silently absorbed).
+  void Allocate(const Resources& demand);
+  void Release(const Resources& demand);
+
+  // Drops all allocations (used at the start of a full rescheduling round).
+  void Reset() { used_ = Resources(); }
+
+ private:
+  int id_;
+  Resources capacity_;
+  Resources used_;
+};
+
+// Builds the paper's 13-server testbed: 7 CPU servers (two 8-core E5-2650,
+// 80 GB) and 6 GPU servers (8-core E5-1660, 2 GPUs, 48 GB), all on 1 GbE.
+std::vector<Server> BuildTestbed();
+
+// Builds a homogeneous cluster of `n` servers with the given capacity.
+std::vector<Server> BuildUniformCluster(int n, const Resources& capacity);
+
+// Sum of capacities across servers.
+Resources TotalCapacity(const std::vector<Server>& servers);
+
+// Sum of free resources across servers.
+Resources TotalFree(const std::vector<Server>& servers);
+
+// Cluster capacity as actually consumable at container granularity: each
+// server contributes `reference_demand` times the number of such containers
+// it can host. The raw capacity sum (Eqn 7) over-counts per-server fragments
+// (e.g. a 16-core server holds only three 5-core containers), which makes
+// allocators hand out allocations that placement must then shrink.
+Resources PlaceableCapacity(const std::vector<Server>& servers,
+                            const Resources& reference_demand);
+
+}  // namespace optimus
+
+#endif  // SRC_CLUSTER_SERVER_H_

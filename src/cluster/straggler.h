@@ -1,0 +1,60 @@
+// Straggler injection and handling (§5.2).
+//
+// Stragglers arise from resource contention and unbalanced workloads. The
+// injector randomly slows a job's slowest worker; the handler implements the
+// paper's policy: a worker running below a threshold fraction of the median
+// speed is replaced by relaunching it, which costs a short stall but restores
+// full speed.
+
+#ifndef SRC_CLUSTER_STRAGGLER_H_
+#define SRC_CLUSTER_STRAGGLER_H_
+
+#include "src/cluster/job.h"
+#include "src/common/rng.h"
+
+namespace optimus {
+
+struct StragglerConfig {
+  // Probability, per scheduling interval and per job, that one of its workers
+  // becomes a straggler. 0 disables injection.
+  double injection_prob_per_interval = 0.0;
+  // Injected slow factor range (fraction of normal speed).
+  double slow_factor_lo = 0.3;
+  double slow_factor_hi = 0.7;
+  // Detection threshold: a worker below this fraction of the median speed is
+  // declared a straggler (the paper uses half the median).
+  double detect_threshold = 0.5;
+  // Stall charged to the job when a straggler is replaced (launch a new
+  // worker container and hand over the data shard).
+  double replace_delay_s = 30.0;
+  // Whether the scheduler replaces detected stragglers (Optimus does; a
+  // baseline without §5.2 would leave them in place).
+  bool handling_enabled = true;
+  // Probability per interval that an unhandled straggler recovers on its own
+  // (the underlying contention is transient).
+  double natural_recovery_prob = 0.35;
+};
+
+class StragglerModel {
+ public:
+  explicit StragglerModel(StragglerConfig config) : config_(config) {}
+
+  const StragglerConfig& config() const { return config_; }
+
+  // Called once per scheduling interval per running job: possibly injects a
+  // straggler (slowing the job's slowest worker), then applies detection /
+  // replacement. Returns true when a replacement happened this interval.
+  bool Step(Job* job, Rng* rng);
+
+  int64_t injections() const { return injections_; }
+  int64_t replacements() const { return replacements_; }
+
+ private:
+  StragglerConfig config_;
+  int64_t injections_ = 0;
+  int64_t replacements_ = 0;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_CLUSTER_STRAGGLER_H_

@@ -1,0 +1,46 @@
+#include "src/common/logging.h"
+
+#include <cstring>
+
+namespace optimus {
+
+namespace {
+LogSeverity g_min_severity = LogSeverity::kWarning;
+}  // namespace
+
+LogSeverity GetMinLogSeverity() { return g_min_severity; }
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+const char* LogSeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARNING";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    const char* basename = std::strrchr(file_, '/');
+    basename = basename != nullptr ? basename + 1 : file_;
+    std::cerr << "[" << LogSeverityName(severity_) << " " << basename << ":" << line_
+              << "] " << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace optimus

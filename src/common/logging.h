@@ -1,0 +1,87 @@
+// Lightweight logging and assertion macros for the Optimus library.
+//
+// The library is deterministic and single-threaded by design (the simulator is
+// a discrete-time model), so a simple unsynchronized stderr logger suffices.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace optimus {
+
+enum class LogSeverity {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-wide minimum severity. Messages below this level are dropped.
+LogSeverity GetMinLogSeverity();
+void SetMinLogSeverity(LogSeverity severity);
+
+const char* LogSeverityName(LogSeverity severity);
+
+// Accumulates one log line and emits it (with file:line prefix) on
+// destruction. A kFatal message aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Turns an ostream expression into void so CHECK can live in a ternary while
+// still supporting `OPTIMUS_CHECK(x) << "context"`.
+class LogVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace optimus
+
+#define OPTIMUS_LOG(severity)                                                        \
+  ::optimus::LogMessage(::optimus::LogSeverity::k##severity, __FILE__, __LINE__) \
+      .stream()
+
+#define OPTIMUS_CHECK(condition)                                              \
+  (condition) ? (void)0                                                       \
+              : ::optimus::LogVoidify() &                                     \
+                    ::optimus::LogMessage(::optimus::LogSeverity::kFatal,     \
+                                          __FILE__, __LINE__)                 \
+                            .stream()                                         \
+                        << "Check failed: " #condition " "
+
+#define OPTIMUS_CHECK_OP(op, a, b) OPTIMUS_CHECK((a)op(b))
+#define OPTIMUS_CHECK_EQ(a, b) OPTIMUS_CHECK_OP(==, a, b)
+#define OPTIMUS_CHECK_NE(a, b) OPTIMUS_CHECK_OP(!=, a, b)
+#define OPTIMUS_CHECK_LT(a, b) OPTIMUS_CHECK_OP(<, a, b)
+#define OPTIMUS_CHECK_LE(a, b) OPTIMUS_CHECK_OP(<=, a, b)
+#define OPTIMUS_CHECK_GT(a, b) OPTIMUS_CHECK_OP(>, a, b)
+#define OPTIMUS_CHECK_GE(a, b) OPTIMUS_CHECK_OP(>=, a, b)
+
+#endif  // SRC_COMMON_LOGGING_H_

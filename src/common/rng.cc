@@ -1,0 +1,74 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+namespace {
+
+// SplitMix64 step; used to mix (seed, stream) into a child seed.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::Split(uint64_t stream) const { return Rng(Mix(seed_ ^ Mix(stream))); }
+
+double Rng::Uniform(double lo, double hi) {
+  OPTIMUS_CHECK_LE(lo, hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  OPTIMUS_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::LogNormalFactor(double sigma) {
+  if (sigma <= 0.0) {
+    return 1.0;
+  }
+  std::normal_distribution<double> dist(0.0, sigma);
+  return std::exp(dist(engine_));
+}
+
+double Rng::Exponential(double rate) {
+  OPTIMUS_CHECK_GT(rate, 0.0);
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+int64_t Rng::Poisson(double mean) {
+  OPTIMUS_CHECK_GE(mean, 0.0);
+  if (mean == 0.0) {
+    return 0;
+  }
+  std::poisson_distribution<int64_t> dist(mean);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace optimus

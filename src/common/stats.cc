@@ -1,0 +1,92 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double m2 = 0.0;
+  for (double v : values) {
+    m2 += (v - mean) * (v - mean);
+  }
+  return std::sqrt(m2 / static_cast<double>(values.size() - 1));
+}
+
+double Median(std::vector<double> values) { return Percentile(std::move(values), 50.0); }
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  OPTIMUS_CHECK_GE(p, 0.0);
+  OPTIMUS_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Sum(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum;
+}
+
+double Max(const std::vector<double>& values) {
+  double best = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double Min(const std::vector<double>& values) {
+  double best = std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    best = std::min(best, v);
+  }
+  return best;
+}
+
+}  // namespace optimus

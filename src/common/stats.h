@@ -1,0 +1,59 @@
+// Small statistics helpers shared by the performance models, the simulator
+// metrics pipeline, and the benchmark harnesses.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace optimus {
+
+// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+// Sample standard deviation (n-1); 0 when fewer than two samples.
+double StdDev(const std::vector<double>& values);
+
+// Median using linear interpolation between the two middle samples.
+double Median(std::vector<double> values);
+
+// p-th percentile (p in [0, 100]) with linear interpolation; values copied.
+double Percentile(std::vector<double> values, double p);
+
+// Sum of a vector; 0 for an empty vector.
+double Sum(const std::vector<double>& values);
+
+// Maximum element; -inf for an empty vector.
+double Max(const std::vector<double>& values);
+
+// Minimum element; +inf for an empty vector.
+double Min(const std::vector<double>& values);
+
+}  // namespace optimus
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,44 @@
+// ASCII table and CSV rendering for benchmark output.
+//
+// Every bench binary regenerates one paper table or figure as rows printed to
+// stdout; TablePrinter keeps that output aligned and uniform across benches.
+
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace optimus {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends one row; the number of cells must equal the number of headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Number formatting helper: fixed decimals, trailing zeros kept.
+  static std::string FormatDouble(double value, int decimals = 3);
+
+  // Renders the table with a header rule and column alignment.
+  void Print(std::ostream& os) const;
+
+  // Renders as CSV (no quoting; intended for plain numeric/label cells).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a section banner ("== title ==") used to delimit figures within a
+// bench binary's stdout.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+}  // namespace optimus
+
+#endif  // SRC_COMMON_TABLE_H_

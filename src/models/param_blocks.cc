@@ -1,0 +1,130 @@
+#include "src/models/param_blocks.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace optimus {
+
+namespace {
+
+uint64_t NameSeed(const std::string& name) {
+  // FNV-1a; stable across platforms so block structures are reproducible.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Splits `total` parameters into `count` blocks around total/count each, with
+// +/-30% deterministic jitter. Sizes are kept >= 1.
+std::vector<int64_t> SplitTier(int64_t total, int count, Rng* rng) {
+  std::vector<int64_t> sizes;
+  if (count <= 0 || total <= 0) {
+    return sizes;
+  }
+  sizes.reserve(count);
+  const double base = static_cast<double>(total) / count;
+  int64_t assigned = 0;
+  for (int i = 0; i < count; ++i) {
+    const double jitter = rng->Uniform(0.7, 1.3);
+    int64_t size = std::max<int64_t>(1, static_cast<int64_t>(base * jitter));
+    sizes.push_back(size);
+    assigned += size;
+  }
+  // Repair the rounding/jitter drift by spreading it across the tier while
+  // respecting the >= 1 floor, so the tier sums exactly to `total`.
+  int64_t drift = total - assigned;
+  while (drift != 0) {
+    bool progress = false;
+    int64_t share = drift / static_cast<int64_t>(sizes.size());
+    if (share == 0) {
+      share = drift > 0 ? 1 : -1;
+    }
+    for (int64_t& s : sizes) {
+      if (drift == 0) {
+        break;
+      }
+      const int64_t adj = drift > 0 ? std::min(share, drift) : std::max(share, drift);
+      const int64_t ns = std::max<int64_t>(1, s + adj);
+      if (ns != s) {
+        drift -= ns - s;
+        s = ns;
+        progress = true;
+      }
+    }
+    if (!progress) {
+      break;  // total < count would be required; callers guarantee otherwise.
+    }
+  }
+  OPTIMUS_CHECK_EQ(drift, 0);
+  return sizes;
+}
+
+}  // namespace
+
+ParamBlockSizes GenerateParamBlocks(const ModelSpec& spec) {
+  OPTIMUS_CHECK_GT(spec.num_param_blocks, 0);
+  int64_t total = spec.TotalParams();
+  OPTIMUS_CHECK_GE(total, spec.num_param_blocks);
+
+  Rng rng(NameSeed(spec.name));
+
+  int n = spec.num_param_blocks;
+
+  // Embedding-dominated models: one dominant block first, tiers on the rest.
+  ParamBlockSizes dominant;
+  if (spec.dominant_block_params > 0) {
+    OPTIMUS_CHECK_LT(spec.dominant_block_params, total);
+    OPTIMUS_CHECK_GT(n, 1);
+    dominant.push_back(spec.dominant_block_params);
+    total -= spec.dominant_block_params;
+    n -= 1;
+  }
+  // Tier sizing: ~1/16 of blocks are "large" (wide conv / FC / embedding)
+  // holding 55% of parameters; a third are "medium" (regular conv / RNN gate
+  // matrices) holding 42%; the rest are tiny bias / batch-norm vectors.
+  const int n_large = std::max(1, (n + 8) / 16);
+  const int n_medium = std::max(0, std::min(n - n_large, n / 3));
+  const int n_small = n - n_large - n_medium;
+
+  int64_t large_total = static_cast<int64_t>(0.55 * static_cast<double>(total));
+  int64_t medium_total = static_cast<int64_t>(0.42 * static_cast<double>(total));
+  if (n_medium == 0) {
+    large_total += medium_total;
+    medium_total = 0;
+  }
+  int64_t small_total = total - large_total - medium_total;
+  if (n_small == 0) {
+    // Fold the small share back into the medium (or large) tier.
+    if (n_medium > 0) {
+      medium_total += small_total;
+    } else {
+      large_total += small_total;
+    }
+    small_total = 0;
+  }
+
+  ParamBlockSizes blocks = dominant;
+  blocks.reserve(n + blocks.size());
+  for (int64_t s : SplitTier(large_total, n_large, &rng)) {
+    blocks.push_back(s);
+  }
+  for (int64_t s : SplitTier(medium_total, n_medium, &rng)) {
+    blocks.push_back(s);
+  }
+  for (int64_t s : SplitTier(small_total, n_small, &rng)) {
+    blocks.push_back(s);
+  }
+
+  OPTIMUS_CHECK_EQ(static_cast<int>(blocks.size()), spec.num_param_blocks);
+  const int64_t sum = std::accumulate(blocks.begin(), blocks.end(), int64_t{0});
+  OPTIMUS_CHECK_EQ(sum, spec.TotalParams());
+  return blocks;
+}
+
+}  // namespace optimus

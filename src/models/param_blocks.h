@@ -1,0 +1,32 @@
+// Parameter-block structure generation.
+//
+// MXNet (and comparable frameworks) shard a model across parameter servers at
+// the granularity of "blocks" — the weight/bias/batch-norm tensors of each
+// layer. Block-size distributions are highly skewed: a few huge embedding /
+// fully-connected / wide-conv tensors dominate, alongside many tiny bias and
+// batch-norm vectors. The PS load-balancing experiments (§5.3, Table 3,
+// Figs 20-21) depend on exactly this skew, so the generator reproduces it:
+// a small "large" tier holding most parameters, a "medium" tier, and a long
+// tail of tiny blocks.
+
+#ifndef SRC_MODELS_PARAM_BLOCKS_H_
+#define SRC_MODELS_PARAM_BLOCKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/models/model_zoo.h"
+
+namespace optimus {
+
+// Sizes are in parameters (multiply by ModelSpec::bytes_per_param for bytes).
+using ParamBlockSizes = std::vector<int64_t>;
+
+// Deterministically generates the block-size list for a model: exactly
+// spec.num_param_blocks blocks summing exactly to spec.TotalParams().
+// The same spec always yields the same blocks.
+ParamBlockSizes GenerateParamBlocks(const ModelSpec& spec);
+
+}  // namespace optimus
+
+#endif  // SRC_MODELS_PARAM_BLOCKS_H_

@@ -1,0 +1,168 @@
+#include "src/perfmodel/convergence_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/solver/matrix.h"
+#include "src/solver/nnls.h"
+
+namespace optimus {
+
+ConvergenceModel::ConvergenceModel(ConvergenceModelOptions options)
+    : options_(options) {
+  OPTIMUS_CHECK_GE(options_.min_samples, 3);
+  OPTIMUS_CHECK_GE(options_.beta2_grid, 2);
+  OPTIMUS_CHECK_GE(options_.refine_passes, 1);
+}
+
+void ConvergenceModel::AddSample(double step, double loss) {
+  OPTIMUS_CHECK_GE(step, 0.0);
+  if (!std::isfinite(loss) || loss <= 0.0) {
+    return;  // a real framework can emit NaN losses; never feed them the fit
+  }
+  samples_.push_back({step, loss});
+}
+
+void ConvergenceModel::Reset() {
+  samples_.clear();
+  fitted_ = false;
+  beta0_ = beta1_ = beta2_ = 0.0;
+  norm_factor_ = 1.0;
+  residual_ = 0.0;
+}
+
+namespace {
+
+// NNLS fit of (beta0, beta1) for a fixed beta2 on normalized samples; returns
+// the residual in loss space (infinity when the transform is infeasible).
+double FitForBeta2(const std::vector<LossSample>& samples, double beta2, double* beta0,
+                   double* beta1) {
+  Matrix a(samples.size(), 2);
+  Vector b(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double gap = samples[i].loss - beta2;
+    if (gap <= 1e-9) {
+      return std::numeric_limits<double>::infinity();
+    }
+    a(i, 0) = samples[i].step;
+    a(i, 1) = 1.0;
+    b[i] = 1.0 / gap;
+  }
+  const NnlsResult fit = SolveNnls(a, b);
+  *beta0 = fit.x[0];
+  *beta1 = fit.x[1];
+  // Evaluate in loss space: predictions with beta1 == 0 at step 0 diverge, so
+  // guard the denominator.
+  double rss = 0.0;
+  for (const LossSample& s : samples) {
+    const double denom = *beta0 * s.step + *beta1;
+    const double pred = denom > 1e-12 ? 1.0 / denom + beta2 : 1e12;
+    const double e = pred - s.loss;
+    rss += e * e;
+  }
+  return rss;
+}
+
+}  // namespace
+
+bool ConvergenceModel::Fit() {
+  if (static_cast<int>(samples_.size()) < options_.min_samples) {
+    return fitted_;
+  }
+
+  // Preprocess: outliers -> normalize -> downsample.
+  std::vector<LossSample> pts = RemoveOutliers(samples_, options_.outlier_window);
+  norm_factor_ = NormalizeLosses(&pts);
+  pts = Downsample(pts, options_.max_fit_points);
+
+  double min_loss = std::numeric_limits<double>::infinity();
+  for (const LossSample& s : pts) {
+    min_loss = std::min(min_loss, s.loss);
+  }
+
+  // Refining grid over beta2 in [0, min_loss).
+  double lo = 0.0;
+  double hi = std::max(min_loss * 0.999, 0.0);
+  double best_rss = std::numeric_limits<double>::infinity();
+  double best_b0 = 0.0;
+  double best_b1 = 0.0;
+  double best_b2 = 0.0;
+  for (int pass = 0; pass < options_.refine_passes; ++pass) {
+    const int grid = options_.beta2_grid;
+    double pass_best = best_b2;
+    for (int g = 0; g <= grid; ++g) {
+      const double beta2 = lo + (hi - lo) * g / grid;
+      double b0 = 0.0;
+      double b1 = 0.0;
+      const double rss = FitForBeta2(pts, beta2, &b0, &b1);
+      if (rss < best_rss) {
+        best_rss = rss;
+        best_b0 = b0;
+        best_b1 = b1;
+        best_b2 = beta2;
+        pass_best = beta2;
+      }
+    }
+    // Narrow the window around the best candidate for the next pass.
+    const double width = (hi - lo) / grid;
+    lo = std::max(0.0, pass_best - width);
+    hi = std::min(std::max(min_loss * 0.999, 0.0), pass_best + width);
+  }
+
+  if (!std::isfinite(best_rss) || (best_b0 <= 0.0 && best_b1 <= 0.0)) {
+    return fitted_;  // keep the previous fit if this one is degenerate
+  }
+  beta0_ = best_b0;
+  beta1_ = best_b1;
+  beta2_ = best_b2;
+  residual_ = best_rss;
+  fitted_ = true;
+  return true;
+}
+
+double ConvergenceModel::PredictLoss(double step) const {
+  OPTIMUS_CHECK(fitted_);
+  const double denom = beta0_ * step + beta1_;
+  const double normalized = denom > 1e-12 ? 1.0 / denom + beta2_ : 1e12;
+  return normalized * norm_factor_;
+}
+
+int64_t ConvergenceModel::PredictTotalEpochs(double delta, int patience,
+                                             int64_t steps_per_epoch,
+                                             int64_t max_epochs) const {
+  OPTIMUS_CHECK(fitted_);
+  OPTIMUS_CHECK_GT(delta, 0.0);
+  OPTIMUS_CHECK_GE(patience, 1);
+  OPTIMUS_CHECK_GT(steps_per_epoch, 0);
+  // Walk the fitted curve epoch by epoch with the same detector the job
+  // itself uses; relative drops are scale-invariant so the normalized curve
+  // suffices.
+  int streak = 0;
+  double prev = PredictLoss(0.0);
+  for (int64_t e = 1; e <= max_epochs; ++e) {
+    const double cur = PredictLoss(static_cast<double>(e * steps_per_epoch));
+    const double rel_drop = prev > 0.0 ? (prev - cur) / prev : 0.0;
+    if (rel_drop < delta) {
+      ++streak;
+      if (streak >= patience) {
+        return e;
+      }
+    } else {
+      streak = 0;
+    }
+    prev = cur;
+  }
+  return max_epochs;
+}
+
+double ConvergenceModel::PredictRemainingEpochs(double current_step, double delta,
+                                                int patience, int64_t steps_per_epoch,
+                                                int64_t max_epochs) const {
+  const int64_t total = PredictTotalEpochs(delta, patience, steps_per_epoch, max_epochs);
+  const double done = current_step / static_cast<double>(steps_per_epoch);
+  return std::max(0.0, static_cast<double>(total) - done);
+}
+
+}  // namespace optimus

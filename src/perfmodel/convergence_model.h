@@ -1,0 +1,90 @@
+// Online convergence-curve fitting (§3.1, Eqn 1).
+//
+// Fits l(k) = 1/(beta0 * k + beta1) + beta2 (beta >= 0) to the training-loss
+// samples collected so far. The model is linear in (beta0, beta1) once beta2
+// is fixed — 1/(l - beta2) = beta0*k + beta1 — so the fit runs NNLS over a
+// refining grid of beta2 candidates and keeps the candidate with the smallest
+// residual in loss space. Losses are preprocessed (outlier removal,
+// normalization, downsampling) exactly as the paper describes.
+//
+// The fitted curve answers the scheduler's question: how many more epochs
+// until the per-epoch loss decrease stays below the job's threshold?
+
+#ifndef SRC_PERFMODEL_CONVERGENCE_MODEL_H_
+#define SRC_PERFMODEL_CONVERGENCE_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/perfmodel/preprocess.h"
+
+namespace optimus {
+
+struct ConvergenceModelOptions {
+  // Outlier-removal window (neighbours per side).
+  int outlier_window = 5;
+  // Maximum points handed to the solver; more are averaged down.
+  int max_fit_points = 512;
+  // beta2 grid resolution per refinement pass and number of passes.
+  int beta2_grid = 24;
+  int refine_passes = 3;
+  // Minimum samples before a fit is attempted.
+  int min_samples = 8;
+};
+
+class ConvergenceModel {
+ public:
+  explicit ConvergenceModel(ConvergenceModelOptions options = {});
+
+  // Adds one raw (step, loss) observation.
+  void AddSample(double step, double loss);
+
+  // Drops all state (e.g., after a learning-rate change, §7).
+  void Reset();
+
+  size_t num_samples() const { return samples_.size(); }
+  // Raw samples collected so far (used for state snapshots; refitting from
+  // them reproduces the model exactly).
+  const std::vector<LossSample>& samples() const { return samples_; }
+
+  // Refits the curve on all samples collected so far. Returns true when a
+  // usable fit exists (also re-queryable via fitted()).
+  bool Fit();
+  bool fitted() const { return fitted_; }
+
+  // Fitted coefficients, in normalized-loss space.
+  double beta0() const { return beta0_; }
+  double beta1() const { return beta1_; }
+  double beta2() const { return beta2_; }
+  // Residual sum of squares of the last fit (normalized space).
+  double residual() const { return residual_; }
+
+  // Predicted raw (denormalized) loss at a step.
+  double PredictLoss(double step) const;
+
+  // Predicted total number of epochs from training start until convergence
+  // under (delta, patience); `steps_per_epoch` converts steps to epochs.
+  // Returns max_epochs when the fitted curve never converges within it.
+  int64_t PredictTotalEpochs(double delta, int patience, int64_t steps_per_epoch,
+                             int64_t max_epochs = 10000) const;
+
+  // Remaining epochs from `current_step` until predicted convergence (>= 0).
+  double PredictRemainingEpochs(double current_step, double delta, int patience,
+                                int64_t steps_per_epoch,
+                                int64_t max_epochs = 10000) const;
+
+ private:
+  ConvergenceModelOptions options_;
+  std::vector<LossSample> samples_;
+  bool fitted_ = false;
+  double beta0_ = 0.0;
+  double beta1_ = 0.0;
+  double beta2_ = 0.0;
+  double norm_factor_ = 1.0;
+  double residual_ = 0.0;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_PERFMODEL_CONVERGENCE_MODEL_H_

@@ -1,0 +1,41 @@
+// Pre-run (p, w) sampling to initialize the speed model (§3.2 "Model
+// fitting").
+//
+// Before the real job starts, Optimus runs it on a small data sample for a
+// few steps under several (p, w) configurations (5 by default in §6.1) and
+// fits the initial speed function from the measured speeds. The sample pairs
+// are spread across the configuration space so the fit is not biased toward
+// one regime.
+
+#ifndef SRC_PERFMODEL_SAMPLER_H_
+#define SRC_PERFMODEL_SAMPLER_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/perfmodel/speed_model.h"
+
+namespace optimus {
+
+// A measured-speed oracle: returns the (noisy) observed steps/s of a short
+// run at (p, w). In the simulator this wraps the ground-truth comm model plus
+// measurement noise; on a real cluster it would launch containers.
+using SpeedOracle = std::function<double(int num_ps, int num_workers)>;
+
+// Picks `count` distinct (p, w) pairs within [1, max_ps] x [1, max_workers]:
+// the two extremes, the balanced mid-point, then deterministic pseudo-random
+// fill. count is clamped to the grid size.
+std::vector<std::pair<int, int>> SelectSamplePairs(int count, int max_ps,
+                                                   int max_workers, Rng* rng);
+
+// Runs the oracle on the selected pairs and loads the samples into `model`
+// (which is then fitted). Returns the collected samples.
+std::vector<SpeedSample> InitializeSpeedModel(SpeedModel* model, const SpeedOracle& oracle,
+                                              int count, int max_ps, int max_workers,
+                                              Rng* rng);
+
+}  // namespace optimus
+
+#endif  // SRC_PERFMODEL_SAMPLER_H_

@@ -1,0 +1,93 @@
+#include "src/perfmodel/speed_model.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/solver/matrix.h"
+#include "src/solver/nnls.h"
+
+namespace optimus {
+
+SpeedModel::SpeedModel(TrainingMode mode, int global_batch)
+    : mode_(mode), global_batch_(static_cast<double>(global_batch)) {
+  if (mode_ == TrainingMode::kSync) {
+    OPTIMUS_CHECK_GT(global_batch, 0);
+  }
+}
+
+void SpeedModel::AddSample(int num_ps, int num_workers, double speed) {
+  OPTIMUS_CHECK_GE(num_ps, 1);
+  OPTIMUS_CHECK_GE(num_workers, 1);
+  if (!std::isfinite(speed) || speed <= 0.0) {
+    return;
+  }
+  samples_.push_back({num_ps, num_workers, speed});
+}
+
+void SpeedModel::Reset() {
+  samples_.clear();
+  theta_.clear();
+  fitted_ = false;
+  residual_ = 0.0;
+}
+
+std::vector<double> SpeedModel::Features(int num_ps, int num_workers) const {
+  const double p = static_cast<double>(num_ps);
+  const double w = static_cast<double>(num_workers);
+  if (mode_ == TrainingMode::kAsync) {
+    // T = theta0 + theta1*(w/p) + theta2*w + theta3*p.
+    return {1.0, w / p, w, p};
+  }
+  // T = theta0*(M/w) + theta1 + theta2*(w/p) + theta3*w + theta4*p.
+  return {global_batch_ / w, 1.0, w / p, w, p};
+}
+
+bool SpeedModel::Fit() {
+  const size_t dims = mode_ == TrainingMode::kAsync ? 4 : 5;
+  if (samples_.size() < 3) {
+    return fitted_;
+  }
+
+  Matrix a(samples_.size(), dims);
+  Vector b(samples_.size());
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const SpeedSample& s = samples_[i];
+    const std::vector<double> feat = Features(s.num_ps, s.num_workers);
+    for (size_t c = 0; c < dims; ++c) {
+      a(i, c) = feat[c];
+    }
+    // Invert the speed into per-step time: async aggregates w workers.
+    b[i] = mode_ == TrainingMode::kAsync ? static_cast<double>(s.num_workers) / s.speed
+                                         : 1.0 / s.speed;
+  }
+
+  const NnlsResult fit = SolveNnls(a, b);
+  double sum = 0.0;
+  for (double t : fit.x) {
+    sum += t;
+  }
+  if (sum <= 0.0) {
+    return fitted_;  // degenerate; keep any previous fit
+  }
+  theta_ = fit.x;
+  residual_ = fit.residual_sum_of_squares;
+  fitted_ = true;
+  return true;
+}
+
+double SpeedModel::Estimate(int num_ps, int num_workers) const {
+  OPTIMUS_CHECK(fitted_);
+  OPTIMUS_CHECK_GE(num_ps, 1);
+  OPTIMUS_CHECK_GE(num_workers, 1);
+  const std::vector<double> feat = Features(num_ps, num_workers);
+  double t = 0.0;
+  for (size_t c = 0; c < feat.size(); ++c) {
+    t += theta_[c] * feat[c];
+  }
+  if (t <= 1e-12) {
+    return 0.0;
+  }
+  return mode_ == TrainingMode::kAsync ? static_cast<double>(num_workers) / t : 1.0 / t;
+}
+
+}  // namespace optimus

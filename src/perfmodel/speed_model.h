@@ -1,0 +1,71 @@
+// Resource-to-training-speed models (§3.2, Eqns 3 and 4).
+//
+// Asynchronous training (Eqn 3):
+//   f(p, w) = w * (theta0 + theta1*(w/p) + theta2*w + theta3*p)^-1
+// Synchronous training (Eqn 4):
+//   f(p, w) = (theta0*(M/w) + theta1 + theta2*(w/p) + theta3*w + theta4*p)^-1
+//
+// Both are linear in theta after inverting the speed (y = w/f resp. 1/f), so
+// the coefficients are fitted with NNLS — exactly the paper's procedure. The
+// model is initialized from a handful of short pre-runs at different (p, w)
+// configurations and then recalibrated online as real measurements accrue.
+
+#ifndef SRC_PERFMODEL_SPEED_MODEL_H_
+#define SRC_PERFMODEL_SPEED_MODEL_H_
+
+#include <vector>
+
+#include "src/models/model_zoo.h"
+
+namespace optimus {
+
+struct SpeedSample {
+  int num_ps = 0;
+  int num_workers = 0;
+  double speed = 0.0;  // job-level steps per second
+};
+
+class SpeedModel {
+ public:
+  // `global_batch` feeds the M/w term of the synchronous model; ignored for
+  // asynchronous training.
+  SpeedModel(TrainingMode mode, int global_batch);
+
+  TrainingMode mode() const { return mode_; }
+
+  void AddSample(int num_ps, int num_workers, double speed);
+  void AddSample(const SpeedSample& sample) {
+    AddSample(sample.num_ps, sample.num_workers, sample.speed);
+  }
+  size_t num_samples() const { return samples_.size(); }
+  // Raw samples collected so far (used for state snapshots; refitting from
+  // them reproduces the model exactly).
+  const std::vector<SpeedSample>& samples() const { return samples_; }
+  void Reset();
+
+  // Refits theta on all samples. Returns true when a usable fit exists.
+  bool Fit();
+  bool fitted() const { return fitted_; }
+
+  // Fitted coefficients (4 for async, 5 for sync).
+  const std::vector<double>& theta() const { return theta_; }
+  // Residual sum of squares in inverse-speed space at the last fit.
+  double residual() const { return residual_; }
+
+  // Estimated job-level training speed (steps/s); requires fitted().
+  double Estimate(int num_ps, int num_workers) const;
+
+ private:
+  std::vector<double> Features(int num_ps, int num_workers) const;
+
+  TrainingMode mode_;
+  double global_batch_;
+  std::vector<SpeedSample> samples_;
+  std::vector<double> theta_;
+  bool fitted_ = false;
+  double residual_ = 0.0;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_PERFMODEL_SPEED_MODEL_H_

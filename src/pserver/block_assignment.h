@@ -1,0 +1,89 @@
+// Parameter-block to parameter-server assignment algorithms (§5.3).
+//
+// Two algorithms are implemented:
+//  - MxnetAssigner: MXNet's default rule. Blocks smaller than a threshold
+//    (10^6 parameters by default) go to a uniformly random PS; larger blocks
+//    are sliced evenly across all PSes. This is the load-imbalance baseline
+//    the paper identifies.
+//  - PaaAssigner: the paper's Parameter Assignment Algorithm. Blocks are
+//    processed in decreasing size order; tiny blocks (< 1% of the average
+//    per-PS size) go to the PS with the fewest update requests, mid-size
+//    blocks are best-fit into remaining capacity, and blocks larger than the
+//    average are sliced into average-sized partitions placed on the least
+//    loaded PS.
+
+#ifndef SRC_PSERVER_BLOCK_ASSIGNMENT_H_
+#define SRC_PSERVER_BLOCK_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/models/param_blocks.h"
+
+namespace optimus {
+
+// One contiguous slice of a parameter block placed on one parameter server.
+// An unsliced block is a single slice covering the whole block. Each slice is
+// one "parameter update request" per worker per training step.
+struct BlockSlice {
+  int block_id = 0;
+  int64_t size = 0;  // parameters
+  int ps = 0;        // parameter-server index in [0, num_ps)
+};
+
+struct BlockAssignment {
+  int num_ps = 0;
+  std::vector<BlockSlice> slices;
+};
+
+// Aggregate load statistics of an assignment; the three quantities §5.3
+// minimizes, plus the bytes fraction the communication model consumes.
+struct PsLoadMetrics {
+  // max - min of per-PS parameter counts.
+  int64_t param_size_diff = 0;
+  // max - min of per-PS request counts.
+  int64_t request_count_diff = 0;
+  // Total per-worker update requests per step (= number of slices).
+  int64_t total_requests = 0;
+  // Parameter count on the most loaded PS.
+  int64_t max_ps_params = 0;
+  // max_ps_params / total params; equals 1/p under perfect balance.
+  double max_param_fraction = 0.0;
+};
+
+PsLoadMetrics ComputeLoadMetrics(const BlockAssignment& assignment);
+
+// MXNet's default threshold rule.
+class MxnetAssigner {
+ public:
+  explicit MxnetAssigner(int64_t slice_threshold = 1000000)
+      : slice_threshold_(slice_threshold) {}
+
+  // `rng` drives the random placement of sub-threshold blocks.
+  BlockAssignment Assign(const ParamBlockSizes& blocks, int num_ps, Rng* rng) const;
+
+ private:
+  int64_t slice_threshold_;
+};
+
+// The paper's PAA (§5.3).
+class PaaAssigner {
+ public:
+  // `tiny_fraction` is the "very small" cutoff relative to avg_size (the
+  // paper's default is 1%).
+  explicit PaaAssigner(double tiny_fraction = 0.01) : tiny_fraction_(tiny_fraction) {}
+
+  BlockAssignment Assign(const ParamBlockSizes& blocks, int num_ps) const;
+
+ private:
+  double tiny_fraction_;
+};
+
+// Convenience: load metrics of a hypothetical perfectly balanced assignment
+// with one request per block (used when a simulation abstracts away blocks).
+PsLoadMetrics BalancedLoadMetrics(int64_t total_params, int num_ps, int num_blocks);
+
+}  // namespace optimus
+
+#endif  // SRC_PSERVER_BLOCK_ASSIGNMENT_H_

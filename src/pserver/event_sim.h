@@ -1,0 +1,60 @@
+// Message-level event simulation of one parameter-server training step.
+//
+// The closed-form step-time model (comm_model.h, instantiating Eqn 2) makes
+// simplifying assumptions: transfer time from aggregate bytes over the
+// bottleneck NIC, update cost folded into a single term, a free synchronous
+// barrier. This module cross-validates those assumptions by simulating a
+// training step at message granularity:
+//
+//  - every worker and parameter server owns a NIC of bandwidth B,
+//  - gradient pushes and parameter pulls are individual flows; concurrent
+//    flows share NICs max-min fairly (progressive filling),
+//  - colocated worker/PS pairs exchange data over local memory (no NIC),
+//  - a PS applies its shard's update after collecting all gradients (sync),
+//  - the step completes when the slowest worker finishes its pull (sync
+//    barrier).
+//
+// Asynchronous mode runs each worker's compute->push->update->pull loop
+// independently for a number of steps, with FIFO update service at each PS,
+// and reports the aggregate steps/s.
+//
+// The validation bench (bench_ext_eventsim_validation) sweeps (p, w) and
+// placements and reports the deviation between this simulation and the
+// closed-form model.
+
+#ifndef SRC_PSERVER_EVENT_SIM_H_
+#define SRC_PSERVER_EVENT_SIM_H_
+
+#include <vector>
+
+#include "src/pserver/comm_model.h"
+
+namespace optimus {
+
+struct EventSimOptions {
+  // Async mode: number of steps each worker executes (speed is averaged).
+  int async_steps_per_worker = 4;
+  // Numerical guard for the fluid-flow progression.
+  double min_rate_bps = 1.0;
+};
+
+struct EventSimResult {
+  // Sync: duration of one step (slowest worker). Async: average time per
+  // worker-step across the simulated window.
+  double step_time_s = 0.0;
+  // Job-level training speed implied by the simulation (steps/s; async
+  // aggregates workers).
+  double speed = 0.0;
+  // Time the slowest worker spent blocked on network transfers.
+  double transfer_time_s = 0.0;
+};
+
+// Simulates the job described by `inputs` (same inputs as ComputeStepTime:
+// model, mode, counts, batch, PS-load shape, placement, straggler factor)
+// under `config` bandwidths.
+EventSimResult SimulateStep(const StepTimeInputs& inputs, const CommConfig& config,
+                            const EventSimOptions& options = {});
+
+}  // namespace optimus
+
+#endif  // SRC_PSERVER_EVENT_SIM_H_

@@ -1,0 +1,186 @@
+#include "src/sched/baseline_allocators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+namespace {
+
+// One DRF/Tetris allocation unit for a job: 1 PS + 1 worker.
+Resources UnitDemand(const SchedJob& job) { return job.worker_demand + job.ps_demand; }
+
+int MaxUnits(const SchedJob& job) { return std::min(job.max_ps, job.max_workers); }
+
+}  // namespace
+
+AllocationMap DrfAllocator::Allocate(const std::vector<SchedJob>& jobs,
+                                     const Resources& capacity) const {
+  AllocationMap result;
+  std::vector<int> units(jobs.size(), 0);
+  std::vector<bool> saturated(jobs.size(), false);
+  Resources used;
+
+  // Progressive filling on dominant share. Each entry is (share, job index);
+  // the smallest share is served next.
+  using Entry = std::pair<double, size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    heap.push({0.0, i});
+  }
+
+  while (!heap.empty()) {
+    const auto [share, i] = heap.top();
+    heap.pop();
+    if (saturated[i]) {
+      continue;
+    }
+    if (units[i] >= MaxUnits(jobs[i])) {
+      saturated[i] = true;
+      continue;
+    }
+    const Resources unit = UnitDemand(jobs[i]);
+    if (!capacity.Fits(used + unit)) {
+      saturated[i] = true;  // this job's unit no longer fits; others may
+      continue;
+    }
+    used += unit;
+    ++units[i];
+    const Resources total = unit * units[i];
+    heap.push({total.DominantShare(capacity), i});
+  }
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (units[i] > 0) {
+      result[jobs[i].job_id] = {units[i], units[i]};
+    }
+  }
+  return result;
+}
+
+AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
+                                        const Resources& capacity) const {
+  AllocationMap result;
+  if (jobs.empty()) {
+    return result;
+  }
+
+  // Score jobs once: shorter remaining time and smaller unit footprint first.
+  std::vector<double> duration(jobs.size());
+  std::vector<double> footprint(jobs.size());
+  double max_duration = 0.0;
+  double max_footprint = 0.0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const double f = jobs[i].speed(1, 1);
+    duration[i] = f > 0.0 ? jobs[i].remaining_epochs / f
+                          : std::numeric_limits<double>::infinity();
+    footprint[i] = UnitDemand(jobs[i]).DominantShare(capacity);
+    if (std::isfinite(duration[i])) {
+      max_duration = std::max(max_duration, duration[i]);
+    }
+    max_footprint = std::max(max_footprint, footprint[i]);
+  }
+
+  std::vector<size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  auto score = [&](size_t i) {
+    // Higher is better: short jobs (SRTF) and packing-friendly (small) jobs.
+    const double srtf =
+        std::isfinite(duration[i]) && max_duration > 0.0
+            ? 1.0 - duration[i] / max_duration
+            : 0.0;
+    const double packing =
+        max_footprint > 0.0 ? 1.0 - footprint[i] / max_footprint : 0.0;
+    return options_.srtf_weight * srtf + (1.0 - options_.srtf_weight) * packing;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return score(a) > score(b); });
+
+  // Serve jobs strictly in score order (short / packable jobs first, as in
+  // Tetris's SRTF-weighted heuristic): each job takes units until its
+  // estimated speed stops improving meaningfully (Tetris is given Optimus's
+  // estimator). Jobs at the back of the queue can receive nothing this
+  // interval — Tetris offers no fairness floor.
+  Resources used;
+  std::vector<int> units(jobs.size(), 0);
+  for (size_t i : order) {
+    const SchedJob& job = jobs[i];
+    const Resources unit = UnitDemand(job);
+    while (units[i] < MaxUnits(job) && capacity.Fits(used + unit)) {
+      const int u = units[i];
+      if (u >= 1) {
+        const double f_now = job.speed(u, u);
+        const double f_next = job.speed(u + 1, u + 1);
+        if (f_next <= f_now * (1.0 + options_.min_speedup)) {
+          break;  // past the speed-efficiency knee
+        }
+      }
+      used += unit;
+      ++units[i];
+    }
+  }
+
+  // Any remaining capacity goes round-robin to jobs that can still benefit
+  // (including jobs the SRTF pass left empty-handed), keeping the allocator
+  // work-conserving like the deployed system.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i : order) {
+      const SchedJob& job = jobs[i];
+      const Resources unit = UnitDemand(job);
+      if (units[i] < MaxUnits(job) && capacity.Fits(used + unit)) {
+        if (units[i] >= 1) {
+          const double f_now = job.speed(units[i], units[i]);
+          const double f_next = job.speed(units[i] + 1, units[i] + 1);
+          if (f_next <= f_now * (1.0 + options_.min_speedup)) {
+            continue;
+          }
+        }
+        used += unit;
+        ++units[i];
+        progress = true;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (units[i] > 0) {
+      result[jobs[i].job_id] = {units[i], units[i]};
+    }
+  }
+  return result;
+}
+
+AllocationMap FifoAllocator::Allocate(const std::vector<SchedJob>& jobs,
+                                      const Resources& capacity) const {
+  AllocationMap result;
+  Resources used;
+  // Input order is arrival order; fill each job to its knee in turn.
+  for (const SchedJob& job : jobs) {
+    const Resources unit = UnitDemand(job);
+    int units = 0;
+    while (units < MaxUnits(job) && capacity.Fits(used + unit)) {
+      if (units >= 1) {
+        const double f_now = job.speed(units, units);
+        const double f_next = job.speed(units + 1, units + 1);
+        if (f_next <= f_now * (1.0 + min_speedup_)) {
+          break;
+        }
+      }
+      used += unit;
+      ++units;
+    }
+    if (units > 0) {
+      result[job.job_id] = {units, units};
+    }
+  }
+  return result;
+}
+
+}  // namespace optimus

@@ -1,0 +1,71 @@
+// Baseline resource-allocation policies (§6.1).
+//
+// DrfAllocator — Dominant Resource Fairness (as in Mesos / YARN): progressive
+// filling; the job with the smallest dominant share receives the next unit.
+// It is work-conserving: it keeps handing out resources while any job can
+// take more, regardless of whether the extra resources speed the job up.
+//
+// TetrisAllocator — Tetris-style: jobs with shorter estimated remaining time
+// and smaller resource footprints are served first (a weighted combination of
+// SRTF and packing-friendliness); allocation then fills each chosen job with
+// units until its marginal benefit vanishes or a per-job cap is hit.
+//
+// Both baselines allocate in units of (1 parameter server + 1 worker): the
+// paper fixes the PS:worker ratio at 1:1 for them.
+
+#ifndef SRC_SCHED_BASELINE_ALLOCATORS_H_
+#define SRC_SCHED_BASELINE_ALLOCATORS_H_
+
+#include "src/sched/scheduler.h"
+
+namespace optimus {
+
+class DrfAllocator : public Allocator {
+ public:
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
+                         const Resources& capacity) const override;
+  const char* name() const override { return "drf"; }
+};
+
+struct TetrisAllocatorOptions {
+  // Weight of the SRTF term vs the packing term in the job score (both are
+  // normalized to [0, 1] before mixing).
+  double srtf_weight = 0.5;
+  // Units given to the selected job per round.
+  int units_per_round = 1;
+  // A job stops receiving units once an extra unit improves its estimated
+  // speed by less than this fraction (the speed-efficiency knee); keeps the
+  // SRTF winner from hogging the whole cluster for negligible gain.
+  double min_speedup = 0.04;
+};
+
+class TetrisAllocator : public Allocator {
+ public:
+  explicit TetrisAllocator(TetrisAllocatorOptions options = {}) : options_(options) {}
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
+                         const Resources& capacity) const override;
+  const char* name() const override { return "tetris"; }
+
+ private:
+  TetrisAllocatorOptions options_;
+};
+
+// FifoAllocator — the size-oblivious strategy §2.3 calls out (as in Spark):
+// jobs are served strictly in arrival order; each job is filled to its
+// speed-efficiency knee before the next job sees any resources, so a long
+// job at the head of the queue blocks every short job behind it.
+class FifoAllocator : public Allocator {
+ public:
+  // `min_speedup` is the same knee criterion Tetris uses.
+  explicit FifoAllocator(double min_speedup = 0.04) : min_speedup_(min_speedup) {}
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
+                         const Resources& capacity) const override;
+  const char* name() const override { return "fifo"; }
+
+ private:
+  double min_speedup_;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SCHED_BASELINE_ALLOCATORS_H_

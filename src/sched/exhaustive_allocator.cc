@@ -1,0 +1,112 @@
+#include "src/sched/exhaustive_allocator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+namespace {
+
+// A job left without resources is not free: its work remains queued. Charge
+// it as if it will later run at its minimal configuration, scaled by this
+// deferral penalty, so "give nothing" only wins when capacity truly cannot
+// seat the job.
+constexpr double kDeferralPenalty = 3.0;
+
+struct SearchState {
+  const std::vector<SchedJob>* jobs = nullptr;
+  Resources capacity;
+  int64_t states_visited = 0;
+  int64_t max_states = 0;
+  double best_objective = std::numeric_limits<double>::infinity();
+  std::vector<Allocation> current;
+  std::vector<Allocation> best;
+};
+
+double OptionCost(const SchedJob& job, const Allocation& alloc) {
+  if (!alloc.IsActive()) {
+    const double f_min = job.speed(1, 1);
+    if (f_min <= 0.0 || job.remaining_epochs <= 0.0) {
+      return 0.0;
+    }
+    return kDeferralPenalty * job.remaining_epochs / f_min;
+  }
+  const double f = job.speed(alloc.num_ps, alloc.num_workers);
+  if (f <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return job.remaining_epochs / f;
+}
+
+void Search(SearchState* state, size_t index, const Resources& used, double cost) {
+  if (cost >= state->best_objective) {
+    return;  // objective only grows along a branch
+  }
+  if (index == state->jobs->size()) {
+    state->best_objective = cost;
+    state->best = state->current;
+    return;
+  }
+  ++state->states_visited;
+  OPTIMUS_CHECK_LE(state->states_visited, state->max_states)
+      << "instance too large for exhaustive search";
+
+  const SchedJob& job = (*state->jobs)[index];
+  // Enumerate all feasible allocations for this job, plus "nothing".
+  for (int p = 0; p <= job.max_ps; ++p) {
+    const int w_limit = p == 0 ? 0 : job.max_workers;
+    for (int w = (p == 0 ? 0 : 1); w <= w_limit; ++w) {
+      const Allocation alloc{p, w};
+      const Resources next_used = used + AllocationDemand(job, alloc);
+      if (!state->capacity.Fits(next_used)) {
+        continue;
+      }
+      state->current[index] = alloc;
+      Search(state, index + 1, next_used, cost + OptionCost(job, alloc));
+    }
+    if (p == 0) {
+      // The "nothing" option (w loop did not run).
+      state->current[index] = Allocation{};
+      Search(state, index + 1, used, cost + OptionCost(job, Allocation{}));
+    }
+  }
+}
+
+}  // namespace
+
+double ExhaustiveAllocator::Objective(const std::vector<SchedJob>& jobs,
+                                      const AllocationMap& alloc) {
+  double total = 0.0;
+  for (const SchedJob& job : jobs) {
+    Allocation a;
+    if (auto it = alloc.find(job.job_id); it != alloc.end()) {
+      a = it->second;
+    }
+    total += OptionCost(job, a);
+  }
+  return total;
+}
+
+AllocationMap ExhaustiveAllocator::Allocate(const std::vector<SchedJob>& jobs,
+                                            const Resources& capacity) const {
+  SearchState state;
+  state.jobs = &jobs;
+  state.capacity = capacity;
+  state.max_states = options_.max_states;
+  state.current.assign(jobs.size(), Allocation{});
+  state.best.assign(jobs.size(), Allocation{});
+
+  Search(&state, 0, Resources(), 0.0);
+
+  AllocationMap result;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (state.best[i].IsActive()) {
+      result[jobs[i].job_id] = state.best[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace optimus

@@ -1,0 +1,177 @@
+#include "src/sched/optimus_allocator.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+Resources AllocationDemand(const SchedJob& job, const Allocation& alloc) {
+  return job.worker_demand * alloc.num_workers + job.ps_demand * alloc.num_ps;
+}
+
+namespace {
+
+// Estimated completion time at an allocation; infinity when speed is zero.
+double CompletionTime(const SchedJob& job, int p, int w) {
+  if (p < 1 || w < 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double f = job.speed(p, w);
+  if (f <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return job.remaining_epochs / f;
+}
+
+enum class AddKind { kWorker, kPs };
+
+struct Candidate {
+  double gain = 0.0;
+  int job_index = 0;
+  AddKind kind = AddKind::kWorker;
+  // Allocation snapshot the gain was computed at; stale entries are skipped.
+  int at_ps = 0;
+  int at_workers = 0;
+
+  bool operator<(const Candidate& other) const { return gain < other.gain; }
+};
+
+// Computes the better of (add one worker, add one PS) for a job per Eqn 9,
+// normalized by the dominant-resource footprint of the added task. Returns
+// false when neither addition is possible (caps) or both gains are
+// non-positive.
+bool BestCandidate(const SchedJob& job, const Allocation& alloc,
+                   const Resources& capacity, double min_gain, Candidate* out) {
+  const double t_now = CompletionTime(job, alloc.num_ps, alloc.num_workers);
+  if (!std::isfinite(t_now) || job.remaining_epochs <= 0.0) {
+    return false;
+  }
+
+  double best_gain = min_gain;
+  bool found = false;
+
+  if (alloc.num_workers < job.max_workers) {
+    const double t_next = CompletionTime(job, alloc.num_ps, alloc.num_workers + 1);
+    const double dom = job.worker_demand.Get(job.worker_demand.DominantResource(capacity));
+    if (dom > 0.0 && std::isfinite(t_next)) {
+      const double gain = (t_now - t_next) / dom * job.priority_factor;
+      if (gain > best_gain) {
+        best_gain = gain;
+        out->kind = AddKind::kWorker;
+        found = true;
+      }
+    }
+  }
+  if (alloc.num_ps < job.max_ps) {
+    const double t_next = CompletionTime(job, alloc.num_ps + 1, alloc.num_workers);
+    const double dom = job.ps_demand.Get(job.ps_demand.DominantResource(capacity));
+    if (dom > 0.0 && std::isfinite(t_next)) {
+      const double gain = (t_now - t_next) / dom * job.priority_factor;
+      if (gain > best_gain) {
+        best_gain = gain;
+        out->kind = AddKind::kPs;
+        found = true;
+      }
+    }
+  }
+  if (found) {
+    out->gain = best_gain;
+    out->at_ps = alloc.num_ps;
+    out->at_workers = alloc.num_workers;
+  }
+  return found;
+}
+
+}  // namespace
+
+AllocationMap OptimusAllocator::Allocate(const std::vector<SchedJob>& jobs,
+                                         const Resources& capacity) const {
+  AllocationMap result;
+  std::vector<Allocation> alloc(jobs.size());
+  Resources used;
+
+  // Seed every job with (1 PS, 1 worker) while capacity lasts, in input
+  // (arrival) order; jobs that do not fit stay pending this interval.
+  std::vector<bool> active(jobs.size(), false);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const Resources seed = jobs[i].worker_demand + jobs[i].ps_demand;
+    if (capacity.Fits(used + seed)) {
+      used += seed;
+      alloc[i] = {1, 1};
+      active[i] = true;
+    }
+  }
+
+  // Greedy marginal-gain filling with a lazily-validated max-heap.
+  std::priority_queue<Candidate> heap;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!active[i]) {
+      continue;
+    }
+    Candidate c;
+    c.job_index = static_cast<int>(i);
+    if (BestCandidate(jobs[i], alloc[i], capacity, options_.min_gain, &c)) {
+      heap.push(c);
+    }
+  }
+
+  while (!heap.empty()) {
+    Candidate c = heap.top();
+    heap.pop();
+    const size_t i = static_cast<size_t>(c.job_index);
+    // Skip stale entries (the job's allocation moved since this was pushed).
+    if (c.at_ps != alloc[i].num_ps || c.at_workers != alloc[i].num_workers) {
+      Candidate fresh;
+      fresh.job_index = c.job_index;
+      if (BestCandidate(jobs[i], alloc[i], capacity, options_.min_gain, &fresh)) {
+        heap.push(fresh);
+      }
+      continue;
+    }
+
+    const Resources demand =
+        c.kind == AddKind::kWorker ? jobs[i].worker_demand : jobs[i].ps_demand;
+    if (!capacity.Fits(used + demand)) {
+      // This particular addition does not fit; the other kind (or other
+      // jobs') might. Recompute restricted to what still fits by simply not
+      // re-pushing this job for this kind — re-evaluate with the current
+      // state; if its best candidate is the same unfittable kind, drop it.
+      Candidate fresh;
+      fresh.job_index = c.job_index;
+      if (BestCandidate(jobs[i], alloc[i], capacity, options_.min_gain, &fresh)) {
+        const Resources fresh_demand = fresh.kind == AddKind::kWorker
+                                           ? jobs[i].worker_demand
+                                           : jobs[i].ps_demand;
+        if (fresh.kind != c.kind && capacity.Fits(used + fresh_demand)) {
+          heap.push(fresh);
+        }
+      }
+      continue;
+    }
+
+    used += demand;
+    if (c.kind == AddKind::kWorker) {
+      ++alloc[i].num_workers;
+    } else {
+      ++alloc[i].num_ps;
+    }
+
+    Candidate next;
+    next.job_index = c.job_index;
+    if (BestCandidate(jobs[i], alloc[i], capacity, options_.min_gain, &next)) {
+      heap.push(next);
+    }
+  }
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (active[i]) {
+      result[jobs[i].job_id] = alloc[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace optimus

@@ -1,0 +1,40 @@
+// Optimus's marginal-gain resource allocation (§4.1).
+//
+// Each active job first receives one worker and one parameter server (to
+// avoid starvation). Then, repeatedly, the job offering the largest reduction
+// in estimated completion time per unit of dominant resource — Eqn 9 —
+// receives one more worker or parameter server (whichever gain is larger),
+// until the cluster is full or every job's marginal gain is non-positive.
+//
+// The estimated completion time of job j is t_j = Q_j / f(p_j, w_j), where
+// Q_j comes from the convergence model and f from the speed model.
+
+#ifndef SRC_SCHED_OPTIMUS_ALLOCATOR_H_
+#define SRC_SCHED_OPTIMUS_ALLOCATOR_H_
+
+#include "src/sched/scheduler.h"
+
+namespace optimus {
+
+struct OptimusAllocatorOptions {
+  // Stop adding tasks once marginal gains fall below this (0 reproduces the
+  // paper; a small positive value trades speed for allocation quality).
+  double min_gain = 0.0;
+};
+
+class OptimusAllocator : public Allocator {
+ public:
+  explicit OptimusAllocator(OptimusAllocatorOptions options = {}) : options_(options) {}
+
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
+                         const Resources& capacity) const override;
+
+  const char* name() const override { return "optimus"; }
+
+ private:
+  OptimusAllocatorOptions options_;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SCHED_OPTIMUS_ALLOCATOR_H_

@@ -1,0 +1,68 @@
+// Task placement onto physical servers (§4.2).
+//
+// Three policies:
+//  - kOptimusPack: the paper's scheme. Servers are sorted by available
+//    capacity (descending), jobs by resource demand (ascending, smallest job
+//    first to avoid starvation). Each job is packed onto the smallest number
+//    of servers that can host it, with parameter servers and workers spread
+//    evenly over those servers (Theorem 1).
+//  - kLoadBalance: the Kubernetes-default behaviour used by the DRF baseline:
+//    every task goes to the currently least-loaded server that fits it.
+//  - kTetrisPack: fragmentation-minimizing packing used by the Tetris
+//    baseline: every task goes to the *tightest* fitting server (best fit).
+//
+// Jobs that cannot be placed under a policy are reported back; the simulator
+// pauses them until the next interval (§4.2).
+
+#ifndef SRC_SCHED_PLACEMENT_H_
+#define SRC_SCHED_PLACEMENT_H_
+
+#include <map>
+#include <vector>
+
+#include "src/cluster/server.h"
+#include "src/pserver/comm_model.h"
+#include "src/sched/scheduler.h"
+
+namespace optimus {
+
+enum class PlacementPolicy {
+  kOptimusPack,
+  kLoadBalance,
+  kTetrisPack,
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+
+struct PlacementJobInput {
+  int job_id = 0;
+  Allocation alloc;
+  Resources worker_demand;
+  Resources ps_demand;
+};
+
+struct PlacementResult {
+  // job_id -> per-server task counts (vectors sized to the server list).
+  std::map<int, JobPlacement> placements;
+  // job_id -> the allocation actually placed. Differs from the requested
+  // allocation only when shrink-to-fit reduced an unplaceable job.
+  std::map<int, Allocation> effective_alloc;
+  // Jobs that could not be placed at all (to be paused this interval).
+  std::vector<int> unplaced;
+};
+
+// Places all jobs onto `servers` (consumed by value: placement starts from
+// the servers' current free state and mutates the copies).
+//
+// The cluster-level capacity check of the allocators (Eqn 7) ignores
+// per-server fragmentation, so an allocation can be infeasible to place. With
+// `shrink_to_fit` (the default), such a job is retried at repeatedly halved
+// (p, w) down to (1, 1) before being declared unplaced — without it, a
+// deterministic allocator can pause the same job forever.
+PlacementResult PlaceJobs(PlacementPolicy policy,
+                          const std::vector<PlacementJobInput>& jobs,
+                          std::vector<Server> servers, bool shrink_to_fit = true);
+
+}  // namespace optimus
+
+#endif  // SRC_SCHED_PLACEMENT_H_

@@ -1,0 +1,70 @@
+// Scheduler-facing job summaries and the allocator interface.
+//
+// Schedulers are deliberately decoupled from the simulator: they see, per
+// active job, only what the real Optimus controller sees — per-task resource
+// demands, an estimate of the remaining work (epochs), and an estimated
+// speed function f(p, w) — and they produce worker / parameter-server counts
+// per job subject to the cluster capacity (Eqn 5-8).
+
+#ifndef SRC_SCHED_SCHEDULER_H_
+#define SRC_SCHED_SCHEDULER_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/cluster/resources.h"
+#include "src/models/model_zoo.h"
+
+namespace optimus {
+
+// Estimated job-level training speed in epochs per second at (p, w).
+using SpeedEstimate = std::function<double(int num_ps, int num_workers)>;
+
+struct SchedJob {
+  int job_id = 0;
+  TrainingMode mode = TrainingMode::kSync;
+  Resources worker_demand;
+  Resources ps_demand;
+  int max_ps = 32;
+  int max_workers = 32;
+  // Q_j: estimated epochs still needed to converge.
+  double remaining_epochs = 0.0;
+  // f(p, w) in epochs/s; must be callable for p, w >= 1.
+  SpeedEstimate speed;
+  // Multiplier on the job's marginal gain (§4.1 suggests 0.95 for jobs whose
+  // predictions are still unreliable).
+  double priority_factor = 1.0;
+};
+
+struct Allocation {
+  int num_ps = 0;
+  int num_workers = 0;
+
+  bool IsActive() const { return num_ps > 0 && num_workers > 0; }
+  bool operator==(const Allocation& other) const {
+    return num_ps == other.num_ps && num_workers == other.num_workers;
+  }
+};
+
+// job_id -> allocation. Jobs absent from the map received nothing.
+using AllocationMap = std::map<int, Allocation>;
+
+// Sum of the resources an allocation consumes for one job.
+Resources AllocationDemand(const SchedJob& job, const Allocation& alloc);
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Decides (p_j, w_j) for every job within `capacity`. Implementations must
+  // be deterministic given identical inputs.
+  virtual AllocationMap Allocate(const std::vector<SchedJob>& jobs,
+                                 const Resources& capacity) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SCHED_SCHEDULER_H_

@@ -1,0 +1,71 @@
+#include "src/sched/what_if.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+namespace {
+
+// Estimated completion times for every job under an allocation.
+std::map<int, double> CompletionTimes(const std::vector<SchedJob>& jobs,
+                                      const AllocationMap& alloc) {
+  std::map<int, double> out;
+  for (const SchedJob& job : jobs) {
+    double t = std::numeric_limits<double>::infinity();
+    if (auto it = alloc.find(job.job_id); it != alloc.end() && it->second.IsActive()) {
+      const double f = job.speed(it->second.num_ps, it->second.num_workers);
+      if (f > 0.0) {
+        t = job.remaining_epochs / f;
+      }
+    }
+    out[job.job_id] = t;
+  }
+  return out;
+}
+
+}  // namespace
+
+WhatIfResult EvaluateAdmission(const Allocator& allocator,
+                               const std::vector<SchedJob>& existing,
+                               const SchedJob& candidate, const Resources& capacity) {
+  for (const SchedJob& job : existing) {
+    OPTIMUS_CHECK_NE(job.job_id, candidate.job_id)
+        << "candidate job id collides with an existing job";
+  }
+
+  WhatIfResult result;
+
+  // Baseline: the cluster without the candidate.
+  const AllocationMap baseline = allocator.Allocate(existing, capacity);
+  result.baseline_completion_s = CompletionTimes(existing, baseline);
+
+  // Scenario: the candidate competes with everyone else.
+  std::vector<SchedJob> with_job = existing;
+  with_job.push_back(candidate);
+  const AllocationMap admitted = allocator.Allocate(with_job, capacity);
+  result.with_job_completion_s = CompletionTimes(existing, admitted);
+
+  if (auto it = admitted.find(candidate.job_id);
+      it != admitted.end() && it->second.IsActive()) {
+    result.admitted = true;
+    result.new_job_alloc = it->second;
+    const double f = candidate.speed(it->second.num_ps, it->second.num_workers);
+    result.new_job_completion_s =
+        f > 0.0 ? candidate.remaining_epochs / f
+                : std::numeric_limits<double>::infinity();
+  }
+
+  for (const SchedJob& job : existing) {
+    const double before = result.baseline_completion_s.at(job.job_id);
+    const double after = result.with_job_completion_s.at(job.job_id);
+    if (std::isfinite(before) && std::isfinite(after)) {
+      result.total_slowdown_s += std::max(0.0, after - before);
+    }
+  }
+  return result;
+}
+
+}  // namespace optimus

@@ -1,0 +1,44 @@
+// What-if analysis for admission control and capacity planning.
+//
+// Cluster operators routinely ask "if this job arrived now, when would it
+// finish, and how much would it slow everyone else down?". This module
+// answers that question using the same machinery the scheduler itself uses:
+// it re-runs the marginal-gain allocation with and without the hypothetical
+// job against the current capacity and compares the estimated completion
+// times.
+
+#ifndef SRC_SCHED_WHAT_IF_H_
+#define SRC_SCHED_WHAT_IF_H_
+
+#include <map>
+#include <vector>
+
+#include "src/sched/scheduler.h"
+
+namespace optimus {
+
+struct WhatIfResult {
+  // Whether the new job would receive any resources at all this interval.
+  bool admitted = false;
+  // Allocation and estimated completion time of the hypothetical job.
+  Allocation new_job_alloc;
+  double new_job_completion_s = 0.0;
+  // Estimated completion time of each existing job before and after
+  // admission (keyed by job_id; infinity when a job holds no resources).
+  std::map<int, double> baseline_completion_s;
+  std::map<int, double> with_job_completion_s;
+  // Aggregate slowdown of the existing jobs: sum of completion-time deltas
+  // over jobs with finite estimates in both scenarios.
+  double total_slowdown_s = 0.0;
+};
+
+// Evaluates admitting `candidate` alongside `existing` jobs under `capacity`,
+// using `allocator` for both scenarios. The candidate's job_id must not
+// collide with an existing id.
+WhatIfResult EvaluateAdmission(const Allocator& allocator,
+                               const std::vector<SchedJob>& existing,
+                               const SchedJob& candidate, const Resources& capacity);
+
+}  // namespace optimus
+
+#endif  // SRC_SCHED_WHAT_IF_H_

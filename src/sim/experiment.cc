@@ -1,0 +1,91 @@
+#include "src/sim/experiment.h"
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+
+namespace optimus {
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const std::function<std::vector<Server>()>& cluster) {
+  OPTIMUS_CHECK_GE(config.repeats, 1);
+  ExperimentResult result;
+  result.label = config.label;
+
+  std::vector<double> jcts;
+  std::vector<double> makespans;
+  std::vector<double> overheads;
+  double completed = 0.0;
+  double total = 0.0;
+  for (int r = 0; r < config.repeats; ++r) {
+    SimulatorConfig sim = config.sim;
+    sim.seed = config.base_seed + static_cast<uint64_t>(r);
+    Rng workload_rng(sim.seed ^ 0x5eedULL);
+    std::vector<JobSpec> specs = GenerateWorkload(config.workload, &workload_rng);
+    Simulator simulator(sim, cluster(), std::move(specs));
+    RunMetrics metrics = simulator.Run();
+    jcts.push_back(metrics.avg_jct_s);
+    makespans.push_back(metrics.makespan_s);
+    overheads.push_back(metrics.scaling_overhead_fraction);
+    completed += metrics.completed_jobs;
+    total += metrics.total_jobs;
+    result.runs.push_back(std::move(metrics));
+  }
+  result.avg_jct_mean = Mean(jcts);
+  result.avg_jct_stddev = StdDev(jcts);
+  result.makespan_mean = Mean(makespans);
+  result.makespan_stddev = StdDev(makespans);
+  result.scaling_overhead_mean = Mean(overheads);
+  result.completed_fraction = total > 0.0 ? completed / total : 0.0;
+  return result;
+}
+
+double NormalizedTo(double value, double baseline) {
+  if (baseline <= 0.0) {
+    return 0.0;
+  }
+  return value / baseline;
+}
+
+const char* SchedulerPresetName(SchedulerPreset preset) {
+  switch (preset) {
+    case SchedulerPreset::kOptimus:
+      return "Optimus";
+    case SchedulerPreset::kDrf:
+      return "DRF";
+    case SchedulerPreset::kTetris:
+      return "Tetris";
+  }
+  return "unknown";
+}
+
+void ApplySchedulerPreset(SchedulerPreset preset, SimulatorConfig* config) {
+  OPTIMUS_CHECK(config != nullptr);
+  switch (preset) {
+    case SchedulerPreset::kOptimus:
+      config->allocator = AllocatorPolicy::kOptimus;
+      config->placement = PlacementPolicy::kOptimusPack;
+      config->use_paa = true;
+      config->straggler.handling_enabled = true;
+      config->young_job_priority_factor = 0.95;
+      break;
+    case SchedulerPreset::kDrf:
+      config->allocator = AllocatorPolicy::kDrf;
+      config->placement = PlacementPolicy::kLoadBalance;
+      config->use_paa = false;
+      config->straggler.handling_enabled = false;
+      break;
+    case SchedulerPreset::kTetris:
+      config->allocator = AllocatorPolicy::kTetris;
+      config->placement = PlacementPolicy::kTetrisPack;
+      config->use_paa = false;
+      config->straggler.handling_enabled = false;
+      break;
+  }
+}
+
+void ApplyTestbedConditions(SimulatorConfig* config) {
+  OPTIMUS_CHECK(config != nullptr);
+  config->straggler.injection_prob_per_interval = 0.12;
+}
+
+}  // namespace optimus

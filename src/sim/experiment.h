@@ -1,0 +1,67 @@
+// Experiment harness: repeated simulation runs with aggregation (§6.1 runs
+// every experiment 3 times and reports averages).
+
+#ifndef SRC_SIM_EXPERIMENT_H_
+#define SRC_SIM_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/server.h"
+#include "src/sim/simulator.h"
+#include "src/sim/workload.h"
+
+namespace optimus {
+
+struct ExperimentResult {
+  std::string label;
+  double avg_jct_mean = 0.0;
+  double avg_jct_stddev = 0.0;
+  double makespan_mean = 0.0;
+  double makespan_stddev = 0.0;
+  double scaling_overhead_mean = 0.0;
+  double completed_fraction = 1.0;
+  std::vector<RunMetrics> runs;
+};
+
+struct ExperimentConfig {
+  SimulatorConfig sim;
+  WorkloadConfig workload;
+  int repeats = 3;
+  uint64_t base_seed = 42;
+  std::string label;
+};
+
+// Runs `repeats` simulations on the given cluster builder (called per run so
+// servers start fresh) with seeds base_seed, base_seed+1, ...
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const std::function<std::vector<Server>()>& cluster);
+
+// Convenience: normalizes a metric against a baseline result (baseline = 1.0).
+double NormalizedTo(double value, double baseline);
+
+// Canonical scheduler configurations for the §6 comparisons: Optimus
+// (marginal-gain allocation, packed placement, PAA, straggler handling,
+// young-job damping) vs the DRF fairness scheduler (equal dominant shares,
+// Kubernetes load-balancing placement, stock MXNet block assignment, no
+// straggler handling) vs Tetris (SRTF + packing, fragmentation-minimizing
+// placement, stock MXNet, no straggler handling).
+enum class SchedulerPreset {
+  kOptimus,
+  kDrf,
+  kTetris,
+};
+
+const char* SchedulerPresetName(SchedulerPreset preset);
+
+// Applies the preset onto `config` (leaves unrelated fields untouched).
+void ApplySchedulerPreset(SchedulerPreset preset, SimulatorConfig* config);
+
+// The §6.1 testbed environment knobs shared by the comparison benches:
+// straggler injection that Optimus handles and the baselines ride out.
+void ApplyTestbedConditions(SimulatorConfig* config);
+
+}  // namespace optimus
+
+#endif  // SRC_SIM_EXPERIMENT_H_

@@ -1,0 +1,40 @@
+// Simulation outcome metrics (§6.1 "Metrics").
+//
+// Average job completion time (JCT) measures system performance; makespan
+// (first arrival to last completion) measures resource efficiency. The
+// timeline records the running-task count and normalized CPU utilization per
+// scheduling interval (Fig 14), and scaling overhead tracks the share of time
+// lost to checkpoint-based resource adjustments (§6.2).
+
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace optimus {
+
+struct TimelinePoint {
+  double time_s = 0.0;
+  int running_tasks = 0;
+  // Mean normalized CPU utilization across running tasks, in percent.
+  double worker_cpu_util_pct = 0.0;
+  double ps_cpu_util_pct = 0.0;
+};
+
+struct RunMetrics {
+  int total_jobs = 0;
+  int completed_jobs = 0;
+  std::vector<double> jcts;
+  double avg_jct_s = 0.0;
+  double makespan_s = 0.0;
+  // Mean over jobs of (scaling stall time / JCT).
+  double scaling_overhead_fraction = 0.0;
+  int64_t straggler_replacements = 0;
+  int64_t total_scalings = 0;
+  std::vector<TimelinePoint> timeline;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SIM_METRICS_H_

@@ -1,0 +1,613 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/perfmodel/sampler.h"
+#include "src/sched/baseline_allocators.h"
+#include "src/sched/optimus_allocator.h"
+
+namespace optimus {
+
+const char* AllocatorPolicyName(AllocatorPolicy policy) {
+  switch (policy) {
+    case AllocatorPolicy::kOptimus:
+      return "optimus";
+    case AllocatorPolicy::kDrf:
+      return "drf";
+    case AllocatorPolicy::kTetris:
+      return "tetris";
+    case AllocatorPolicy::kFifo:
+      return "fifo";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::unique_ptr<Allocator> MakeAllocator(AllocatorPolicy policy) {
+  switch (policy) {
+    case AllocatorPolicy::kOptimus:
+      return std::make_unique<OptimusAllocator>();
+    case AllocatorPolicy::kDrf:
+      return std::make_unique<DrfAllocator>();
+    case AllocatorPolicy::kTetris:
+      return std::make_unique<TetrisAllocator>();
+    case AllocatorPolicy::kFifo:
+      return std::make_unique<FifoAllocator>();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
+                     std::vector<JobSpec> specs)
+    : config_(config),
+      servers_(std::move(servers)),
+      allocator_(MakeAllocator(config.allocator)),
+      straggler_(config.straggler),
+      rng_(config.seed) {
+  OPTIMUS_CHECK(!servers_.empty());
+  metrics_.total_jobs = static_cast<int>(specs.size());
+  jobs_.reserve(specs.size());
+  for (const JobSpec& spec : specs) {
+    auto jr = std::make_unique<JobRuntime>(spec);
+    jr->rng = rng_.Split(static_cast<uint64_t>(spec.id) + 1000);
+    jr->error_sign = jr->rng.Bernoulli(0.5) ? 1 : -1;
+    jr->blocks = GenerateParamBlocks(*spec.model);
+    jr->data = std::make_unique<DataServing>(
+        EstimateDatasetBytes(*spec.model, spec.dataset_scale));
+    jr->true_total_epochs = static_cast<double>(
+        jr->curve.EpochsToConverge(spec.convergence_delta, spec.patience));
+    jobs_.push_back(std::move(jr));
+  }
+}
+
+const Job& Simulator::job(int id) const {
+  for (const auto& jr : jobs_) {
+    if (jr->job.id() == id) {
+      return jr->job;
+    }
+  }
+  OPTIMUS_LOG(Fatal) << "unknown job id " << id;
+  return jobs_.front()->job;
+}
+
+void Simulator::InitSpeedModel(JobRuntime* jr) {
+  const JobSpec& spec = jr->job.spec();
+  jr->conv = std::make_unique<ConvergenceModel>();
+  if (config_.multi_family_fitting) {
+    jr->multi_conv = std::make_unique<MultiFamilyConvergenceModel>();
+  }
+  jr->speed =
+      std::make_unique<SpeedModel>(spec.mode, spec.GlobalBatch());
+  if (config_.oracle_estimates) {
+    return;  // oracle mode never consults the fitted models
+  }
+  // Pre-run the job for a few steps on a data sample at several (p, w)
+  // configurations (§3.2 "Model fitting"). The measured speeds come from the
+  // ground-truth model under balanced PS load and unknown placement.
+  Rng* noise = &jr->rng;
+  SpeedOracle oracle = [this, spec, noise](int p, int w) {
+    StepTimeInputs in;
+    in.model = spec.model;
+    in.mode = spec.mode;
+    in.num_ps = p;
+    in.num_workers = w;
+    in.global_batch = spec.GlobalBatch();
+    in.async_minibatch = spec.AsyncMinibatch();
+    return TrainingSpeed(in, config_.comm) *
+           noise->LogNormalFactor(config_.speed_measure_noise_sd);
+  };
+  Rng sampler_rng = jr->rng.Split(77);
+  InitializeSpeedModel(jr->speed.get(), oracle, config_.pre_run_samples, spec.max_ps,
+                       spec.max_workers, &sampler_rng);
+}
+
+void Simulator::ActivateArrivals() {
+  for (auto& jr : jobs_) {
+    if (!jr->arrived && jr->job.spec().arrival_time_s <= now_s_) {
+      jr->arrived = true;
+      InitSpeedModel(jr.get());
+      trace_.Record(now_s_, SimEventType::kArrival, jr->job.id(), 0, 0,
+                    jr->job.spec().model->name);
+    }
+  }
+}
+
+double Simulator::ErrorFactor(const JobRuntime& jr, double error_magnitude) const {
+  if (error_magnitude <= 0.0) {
+    return 1.0;
+  }
+  const double progress =
+      jr.true_total_epochs > 0.0
+          ? std::clamp(jr.job.EpochsDone() / jr.true_total_epochs, 0.0, 1.0)
+          : 0.0;
+  return 1.0 + jr.error_sign * error_magnitude * (1.0 - progress);
+}
+
+double Simulator::EstimateRemainingEpochs(const JobRuntime& jr) const {
+  if (config_.oracle_estimates) {
+    const double remaining = std::max(0.0, jr.true_total_epochs - jr.job.EpochsDone());
+    return std::max(0.0, remaining * ErrorFactor(jr, config_.error.convergence_error));
+  }
+  if (config_.multi_family_fitting && jr.multi_conv != nullptr &&
+      jr.multi_conv->fitted()) {
+    return jr.multi_conv->PredictRemainingEpochs(
+        jr.job.steps_done(), jr.job.spec().convergence_delta, jr.job.spec().patience,
+        jr.job.spec().StepsPerEpoch());
+  }
+  if (jr.conv != nullptr && jr.conv->fitted()) {
+    return jr.conv->PredictRemainingEpochs(
+        jr.job.steps_done(), jr.job.spec().convergence_delta, jr.job.spec().patience,
+        jr.job.spec().StepsPerEpoch());
+  }
+  return config_.default_remaining_epochs;
+}
+
+SchedJob Simulator::MakeSchedJob(JobRuntime* jr) const {
+  const JobSpec& spec = jr->job.spec();
+  SchedJob sj;
+  sj.job_id = spec.id;
+  sj.mode = spec.mode;
+  sj.worker_demand = spec.worker_demand;
+  sj.ps_demand = spec.ps_demand;
+  sj.max_ps = spec.max_ps;
+  sj.max_workers = spec.max_workers;
+  sj.remaining_epochs = EstimateRemainingEpochs(*jr);
+
+  const double spe = static_cast<double>(spec.StepsPerEpoch());
+  if (config_.oracle_estimates) {
+    // Speed-estimation error distorts the *slope* of the estimated speed
+    // function: the estimate is exact in the middle of the configuration
+    // range and off by up to +/-e at the extremes. A uniform scale factor
+    // would cancel out of every allocation decision; a slope error misplaces
+    // the speed knee and causes genuine over-/under-allocation, which is what
+    // Fig 15 measures.
+    const double err = ErrorFactor(*jr, config_.error.speed_error) - 1.0;
+    const CommConfig comm = config_.comm;
+    const double span = static_cast<double>(spec.max_ps + spec.max_workers);
+    sj.speed = [spec, spe, err, comm, span](int p, int w) {
+      StepTimeInputs in;
+      in.model = spec.model;
+      in.mode = spec.mode;
+      in.num_ps = p;
+      in.num_workers = w;
+      in.global_batch = spec.GlobalBatch();
+      in.async_minibatch = spec.AsyncMinibatch();
+      const double tilt = 2.0 * (p + w) / span - 1.0;  // -1 at (1,1), +1 at caps
+      return TrainingSpeed(in, comm) / spe * (1.0 + err * tilt);
+    };
+  } else if (config_.naive_linear_speed) {
+    // Naive assumption: perfect linear scaling in workers from the single
+    // (1, 1) measurement, parameter servers free.
+    SpeedModel* model = jr->speed.get();
+    sj.speed = [model, spe](int /*p*/, int w) {
+      if (model == nullptr || !model->fitted()) {
+        return 0.0;
+      }
+      return model->Estimate(1, 1) * static_cast<double>(w) / spe;
+    };
+  } else {
+    SpeedModel* model = jr->speed.get();
+    sj.speed = [model, spe](int p, int w) {
+      if (model == nullptr || !model->fitted()) {
+        return 0.0;
+      }
+      return model->Estimate(p, w) / spe;
+    };
+  }
+
+  const double progress =
+      jr->true_total_epochs > 0.0 ? jr->job.EpochsDone() / jr->true_total_epochs : 0.0;
+  if (progress < config_.young_job_progress_cutoff) {
+    sj.priority_factor = config_.young_job_priority_factor;
+  }
+  return sj;
+}
+
+void Simulator::RecomputeLoad(JobRuntime* jr) {
+  const int p = jr->job.num_ps();
+  if (p <= 0) {
+    jr->load_valid = false;
+    return;
+  }
+  if (config_.use_paa) {
+    jr->load = ComputeLoadMetrics(PaaAssigner().Assign(jr->blocks, p));
+  } else {
+    Rng assign_rng = jr->rng.Split(static_cast<uint64_t>(p) + 7);
+    jr->load = ComputeLoadMetrics(MxnetAssigner().Assign(jr->blocks, p, &assign_rng));
+  }
+  jr->load_valid = true;
+}
+
+double Simulator::TrueSpeed(const JobRuntime& jr) const {
+  const JobSpec& spec = jr.job.spec();
+  if (jr.job.num_ps() <= 0 || jr.job.num_workers() <= 0) {
+    return 0.0;
+  }
+  StepTimeInputs in;
+  in.model = spec.model;
+  in.mode = spec.mode;
+  in.num_ps = jr.job.num_ps();
+  in.num_workers = jr.job.num_workers();
+  in.global_batch = spec.GlobalBatch();
+  in.async_minibatch = spec.AsyncMinibatch();
+  in.load = jr.load;
+  in.load_valid = jr.load_valid;
+  in.placement = jr.job.placement();
+  in.slowest_worker_factor = jr.job.slowest_worker_factor();
+  return TrainingSpeed(in, config_.comm);
+}
+
+double Simulator::BackgroundShare(double t) const {
+  if (config_.background_share <= 0.0) {
+    return 0.0;
+  }
+  if (config_.background_period_s <= 0.0) {
+    return config_.background_share;
+  }
+  constexpr double kTwoPi = 6.283185307179586;
+  return config_.background_share *
+         (0.5 + 0.5 * std::sin(kTwoPi * t / config_.background_period_s));
+}
+
+void Simulator::ScheduleActiveJobs() {
+  // Split active jobs into schedulable and frozen (checkpoint budget spent:
+  // they keep their allocation and are only re-placed).
+  std::vector<JobRuntime*> schedulable;
+  std::vector<JobRuntime*> frozen;
+  // Allocate against slot-quantized capacity so the allocators do not hand
+  // out allocations that per-server fragmentation makes unplaceable.
+  Resources reference_demand;
+  for (const auto& jr : jobs_) {
+    if (jr->arrived && jr->job.state() != JobState::kCompleted) {
+      reference_demand = jr->job.spec().worker_demand;
+      break;
+    }
+  }
+  Resources capacity = PlaceableCapacity(servers_, reference_demand);
+
+  // Carve out the background-workload reservation: shrink the allocatable
+  // capacity and pre-occupy the same fraction of every server.
+  const double bg_share = BackgroundShare(now_s_);
+  std::vector<Server> servers = servers_;
+  if (bg_share > 0.0) {
+    capacity = capacity * (1.0 - bg_share);
+    for (Server& s : servers) {
+      s.Allocate(s.capacity() * bg_share);
+    }
+  }
+
+  for (auto& jr : jobs_) {
+    if (!jr->arrived || jr->job.state() == JobState::kCompleted) {
+      continue;
+    }
+    const bool budget_spent = !ScalingAllowed(jr->job.num_scalings(), config_.checkpoint);
+    if (budget_spent && jr->job.num_workers() > 0) {
+      frozen.push_back(jr.get());
+      capacity -= jr->job.spec().worker_demand * jr->job.num_workers() +
+                  jr->job.spec().ps_demand * jr->job.num_ps();
+    } else {
+      schedulable.push_back(jr.get());
+    }
+  }
+
+  std::vector<SchedJob> sched_jobs;
+  sched_jobs.reserve(schedulable.size());
+  for (JobRuntime* jr : schedulable) {
+    sched_jobs.push_back(MakeSchedJob(jr));
+  }
+  AllocationMap alloc = allocator_->Allocate(sched_jobs, capacity);
+
+  // Scaling hysteresis: switching (p, w) costs a checkpoint-restart, so keep
+  // the old allocation when the estimated completion-time saving does not
+  // cover that stall (§7 "Scaling overhead"). DRF is left as the oblivious
+  // work-conserving baseline the paper compares against.
+  if (config_.allocator != AllocatorPolicy::kDrf) {
+    for (size_t i = 0; i < schedulable.size(); ++i) {
+      JobRuntime* jr = schedulable[i];
+      auto it = alloc.find(jr->job.id());
+      if (it == alloc.end()) {
+        continue;
+      }
+      const Allocation old_alloc{jr->job.num_ps(), jr->job.num_workers()};
+      Allocation& next = it->second;
+      if (!old_alloc.IsActive() || !next.IsActive() || next == old_alloc) {
+        continue;
+      }
+      const SchedJob& sj = sched_jobs[i];
+      const double f_old = sj.speed(old_alloc.num_ps, old_alloc.num_workers);
+      const double f_new = sj.speed(next.num_ps, next.num_workers);
+      if (f_old <= 0.0 || f_new <= 0.0) {
+        continue;
+      }
+      const double t_old = sj.remaining_epochs / f_old;
+      const double t_new = sj.remaining_epochs / f_new;
+      const double stall =
+          CheckpointStallSeconds(*jr->job.spec().model, config_.checkpoint);
+      if (t_old - t_new < stall) {
+        next = old_alloc;
+      }
+    }
+  }
+
+  // Placement covers frozen jobs (at their existing counts) plus newly
+  // allocated ones.
+  std::vector<PlacementJobInput> inputs;
+  for (JobRuntime* jr : frozen) {
+    inputs.push_back({jr->job.id(),
+                      {jr->job.num_ps(), jr->job.num_workers()},
+                      jr->job.spec().worker_demand,
+                      jr->job.spec().ps_demand});
+  }
+  for (JobRuntime* jr : schedulable) {
+    Allocation a;
+    if (auto it = alloc.find(jr->job.id()); it != alloc.end()) {
+      a = it->second;
+    }
+    inputs.push_back(
+        {jr->job.id(), a, jr->job.spec().worker_demand, jr->job.spec().ps_demand});
+  }
+  PlacementResult placed = PlaceJobs(config_.placement, inputs, std::move(servers));
+
+  // Apply decisions.
+  for (auto& jr : jobs_) {
+    if (!jr->arrived || jr->job.state() == JobState::kCompleted) {
+      continue;
+    }
+    const int id = jr->job.id();
+    auto pit = placed.placements.find(id);
+    Allocation a;
+    if (auto eit = placed.effective_alloc.find(id); eit != placed.effective_alloc.end()) {
+      a = eit->second;  // what placement actually reserved (may be shrunk)
+    }
+    const bool placeable = pit != placed.placements.end() && a.IsActive();
+
+    const int old_ps = jr->job.num_ps();
+    const JobState old_state = jr->job.state();
+    bool scaled = false;
+    if (placeable) {
+      const bool first_schedule = old_state == JobState::kPending;
+      scaled = jr->job.SetAllocation(a.num_ps, a.num_workers, pit->second);
+      jr->job.set_state(JobState::kRunning);
+      if (first_schedule) {
+        trace_.Record(now_s_, SimEventType::kScheduled, id, a.num_ps, a.num_workers);
+      } else if (old_state == JobState::kPaused) {
+        trace_.Record(now_s_, SimEventType::kResumed, id, a.num_ps, a.num_workers);
+      } else if (scaled) {
+        trace_.Record(now_s_, SimEventType::kScaled, id, a.num_ps, a.num_workers);
+      }
+    } else {
+      jr->job.SetAllocation(0, 0, {});
+      jr->job.set_state(jr->job.steps_done() > 0 ? JobState::kPaused
+                                                 : JobState::kPending);
+      if (old_state == JobState::kRunning) {
+        trace_.Record(now_s_, SimEventType::kPaused, id);
+      }
+    }
+    if (scaled) {
+      jr->job.AddStall(CheckpointStallSeconds(*jr->job.spec().model, config_.checkpoint));
+      ++metrics_.total_scalings;
+    }
+    // Data serving (§5.1): rebalance training chunks whenever the worker
+    // count changes; moved chunks stall the job briefly.
+    if (jr->job.num_workers() > 0 &&
+        jr->job.num_workers() != jr->data->num_workers()) {
+      const int64_t moved = jr->data->Rebalance(jr->job.num_workers());
+      if (moved > 0 && config_.chunk_move_s > 0.0) {
+        jr->job.AddStall(static_cast<double>(moved) * config_.chunk_move_s);
+      }
+    }
+    if (jr->job.num_ps() != old_ps || (placeable && !jr->load_valid)) {
+      RecomputeLoad(jr.get());
+    }
+    if (jr->job.state() == JobState::kRunning &&
+        straggler_.Step(&jr->job, &jr->rng)) {
+      trace_.Record(now_s_, SimEventType::kStragglerReplaced, id, jr->job.num_ps(),
+                    jr->job.num_workers());
+    }
+  }
+}
+
+void Simulator::AdvanceInterval() {
+  const double dt = config_.interval_s;
+  int running_tasks = 0;
+  RunningStat worker_util;
+  RunningStat ps_util;
+
+  for (auto& jr : jobs_) {
+    if (!jr->arrived || jr->job.state() != JobState::kRunning) {
+      continue;
+    }
+    Job& job = jr->job;
+    const JobSpec& spec = job.spec();
+
+    // Stalls (checkpoint restore, straggler relaunch) eat into the interval.
+    const double stalled = job.ConsumeStall(dt);
+    const double train_time = dt - stalled;
+    if (train_time <= 0.0) {
+      continue;
+    }
+
+    const double noise = jr->rng.LogNormalFactor(config_.runtime_noise_sd);
+    const double speed = TrueSpeed(*jr) * noise;  // steps/s
+    if (speed <= 0.0) {
+      continue;
+    }
+
+    const double steps_before = job.steps_done();
+    const double steps_after = steps_before + speed * train_time;
+    const double spe = static_cast<double>(spec.StepsPerEpoch());
+
+    // Walk epoch boundaries crossed this interval; each completed epoch
+    // yields one observed epoch-mean loss for convergence detection.
+    const int64_t first_epoch = static_cast<int64_t>(steps_before / spe) + 1;
+    const int64_t last_epoch = static_cast<int64_t>(steps_after / spe);
+    bool completed = false;
+    for (int64_t e = first_epoch; e <= last_epoch && !completed; ++e) {
+      const double epoch_loss =
+          jr->curve.TrueLossAtEpoch(static_cast<double>(e)) *
+          jr->rng.LogNormalFactor(spec.model->loss.noise_sd * 0.3);
+      if (job.RecordEpochLoss(epoch_loss)) {
+        // Converged at this epoch boundary: interpolate the wall time.
+        const double boundary_steps = static_cast<double>(e) * spe;
+        const double t_done = stalled + (boundary_steps - steps_before) / speed;
+        job.AdvanceSteps(boundary_steps - steps_before);
+        job.MarkCompleted(now_s_ + std::min(t_done, dt));
+        ++completed_;
+        ++metrics_.completed_jobs;
+        completed = true;
+        trace_.Record(now_s_ + dt, SimEventType::kCompleted, job.id(), job.num_ps(),
+                      job.num_workers(),
+                      "epochs=" + std::to_string(static_cast<int64_t>(e)));
+      }
+    }
+    if (!completed) {
+      job.AdvanceSteps(steps_after - steps_before);
+    }
+
+    // Learning-rate decay (§7): once the job crosses its drop epoch, restart
+    // the convergence fitting — the old curve segment no longer predicts the
+    // new one.
+    if (spec.lr_drop.has_value() && !jr->lr_drop_handled &&
+        job.EpochsDone() >= spec.lr_drop->epoch) {
+      jr->lr_drop_handled = true;
+      if (jr->conv != nullptr) {
+        jr->conv->Reset();
+      }
+      if (jr->multi_conv != nullptr) {
+        jr->multi_conv->Reset();
+      }
+      trace_.Record(now_s_ + dt, SimEventType::kLearningRateDrop, job.id(),
+                    job.num_ps(), job.num_workers());
+    }
+
+    if (!config_.oracle_estimates) {
+      // Feed the convergence model with per-step loss observations spread
+      // over the interval, and the speed model with the measured speed.
+      const double observed_until = job.steps_done();
+      const int n = config_.conv_samples_per_interval;
+      for (int i = 1; i <= n; ++i) {
+        const double step =
+            steps_before + (observed_until - steps_before) * i / n;
+        if (step <= steps_before) {
+          continue;
+        }
+        const double sample =
+            jr->curve.SampleLossAtStep(static_cast<int64_t>(step), &jr->rng);
+        jr->conv->AddSample(step, sample);
+        if (jr->multi_conv != nullptr) {
+          jr->multi_conv->AddSample(step, sample);
+        }
+      }
+      jr->conv->Fit();
+      if (jr->multi_conv != nullptr) {
+        jr->multi_conv->Fit();
+      }
+      jr->speed->AddSample(job.num_ps(), job.num_workers(), speed);
+      jr->speed->Fit();
+    }
+
+    // Utilization snapshot (Fig 14): compute-busy share of a step on workers;
+    // update-busy share on parameter servers.
+    StepTimeInputs in;
+    in.model = spec.model;
+    in.mode = spec.mode;
+    in.num_ps = job.num_ps();
+    in.num_workers = job.num_workers();
+    in.global_batch = spec.GlobalBatch();
+    in.async_minibatch = spec.AsyncMinibatch();
+    in.load = jr->load;
+    in.load_valid = jr->load_valid;
+    in.placement = job.placement();
+    in.slowest_worker_factor = job.slowest_worker_factor();
+    const StepTimeBreakdown b = ComputeStepTime(in, config_.comm);
+    if (b.total_s > 0.0) {
+      jr->last_worker_util = 100.0 * (b.forward_s + b.backward_s) / b.total_s;
+      jr->last_ps_util = 100.0 * (b.update_s + b.overhead_s) / b.total_s;
+    }
+    running_tasks += job.num_workers() + job.num_ps();
+    worker_util.Add(jr->last_worker_util);
+    ps_util.Add(jr->last_ps_util);
+  }
+
+  if (config_.record_timeline) {
+    metrics_.timeline.push_back({now_s_ + dt, running_tasks,
+                                 worker_util.count() > 0 ? worker_util.mean() : 0.0,
+                                 ps_util.count() > 0 ? ps_util.mean() : 0.0});
+  }
+}
+
+bool Simulator::StepInterval() {
+  if (completed_ >= static_cast<int>(jobs_.size())) {
+    return false;
+  }
+  ActivateArrivals();
+
+  // Fast-forward to the next arrival when the cluster is idle.
+  bool any_active = false;
+  for (const auto& jr : jobs_) {
+    if (jr->arrived && jr->job.state() != JobState::kCompleted) {
+      any_active = true;
+      break;
+    }
+  }
+  if (!any_active) {
+    double next_arrival = std::numeric_limits<double>::infinity();
+    for (const auto& jr : jobs_) {
+      if (!jr->arrived) {
+        next_arrival = std::min(next_arrival, jr->job.spec().arrival_time_s);
+      }
+    }
+    if (!std::isfinite(next_arrival)) {
+      return false;  // nothing left anywhere
+    }
+    // Snap to the next interval boundary at or after the arrival.
+    const double intervals =
+        std::ceil((next_arrival - now_s_) / config_.interval_s);
+    now_s_ += std::max(1.0, intervals) * config_.interval_s;
+    ActivateArrivals();
+  }
+
+  ScheduleActiveJobs();
+  AdvanceInterval();
+  now_s_ += config_.interval_s;
+  return completed_ < static_cast<int>(jobs_.size()) &&
+         now_s_ < config_.max_sim_time_s;
+}
+
+RunMetrics Simulator::Run() {
+  while (StepInterval()) {
+  }
+
+  // Aggregate.
+  double first_arrival = std::numeric_limits<double>::infinity();
+  double last_completion = 0.0;
+  double overhead_sum = 0.0;
+  int overhead_count = 0;
+  for (const auto& jr : jobs_) {
+    first_arrival = std::min(first_arrival, jr->job.spec().arrival_time_s);
+    if (jr->job.state() == JobState::kCompleted) {
+      metrics_.jcts.push_back(jr->job.Jct());
+      last_completion = std::max(last_completion, jr->job.completion_time_s());
+      if (jr->job.Jct() > 0.0) {
+        overhead_sum += jr->job.total_stall_s() / jr->job.Jct();
+        ++overhead_count;
+      }
+    }
+  }
+  metrics_.avg_jct_s = Mean(metrics_.jcts);
+  metrics_.makespan_s =
+      metrics_.jcts.empty() ? 0.0 : last_completion - first_arrival;
+  metrics_.scaling_overhead_fraction =
+      overhead_count > 0 ? overhead_sum / overhead_count : 0.0;
+  metrics_.straggler_replacements = straggler_.replacements();
+  return metrics_;
+}
+
+}  // namespace optimus

@@ -1,0 +1,173 @@
+// Discrete-time cluster simulator.
+//
+// Mirrors the paper's evaluation methodology: schedulers make decisions at
+// scheduling-interval boundaries (10 minutes by default); between boundaries
+// every running job advances at its ground-truth training speed (Eqn 2 with
+// placement, PS-load and straggler effects) and emits the observables a real
+// framework would: per-step training losses and measured speeds. Optimus's
+// online models are fitted from those observables only; an oracle mode
+// bypasses fitting and injects controlled prediction errors (Fig 15).
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/checkpoint.h"
+#include "src/cluster/data_serving.h"
+#include "src/cluster/job.h"
+#include "src/cluster/server.h"
+#include "src/cluster/straggler.h"
+#include "src/common/rng.h"
+#include "src/models/loss_curve.h"
+#include "src/models/param_blocks.h"
+#include "src/perfmodel/convergence_model.h"
+#include "src/perfmodel/curve_families.h"
+#include "src/perfmodel/speed_model.h"
+#include "src/pserver/block_assignment.h"
+#include "src/sched/placement.h"
+#include "src/sched/scheduler.h"
+#include "src/sim/metrics.h"
+#include "src/sim/trace.h"
+
+namespace optimus {
+
+enum class AllocatorPolicy {
+  kOptimus,
+  kDrf,
+  kTetris,
+  kFifo,
+};
+
+const char* AllocatorPolicyName(AllocatorPolicy policy);
+
+// Controlled prediction-error injection (Fig 15): estimates are multiplied by
+// (1 +/- e * (1 - progress)); the sign is drawn once per job.
+struct ErrorInjection {
+  double convergence_error = 0.0;
+  double speed_error = 0.0;
+};
+
+struct SimulatorConfig {
+  AllocatorPolicy allocator = AllocatorPolicy::kOptimus;
+  PlacementPolicy placement = PlacementPolicy::kOptimusPack;
+  double interval_s = 600.0;
+  CommConfig comm;
+  CheckpointConfig checkpoint;
+  StragglerConfig straggler;
+  // PAA (§5.3) vs MXNet-default parameter-block assignment.
+  bool use_paa = true;
+  // Speed-model initialization: number of (p, w) pre-run samples (§6.1 uses
+  // 5) and the measurement noise of a short run.
+  int pre_run_samples = 5;
+  double speed_measure_noise_sd = 0.02;
+  // Multiplicative runtime noise on each interval's true speed.
+  double runtime_noise_sd = 0.03;
+  // Convergence-model feeding: loss samples per interval.
+  int conv_samples_per_interval = 20;
+  // Marginal-gain damping for young jobs (§4.1; 1.0 = off, 0.95 = paper's
+  // suggested factor) applied while progress < young_job_progress_cutoff.
+  double young_job_priority_factor = 1.0;
+  double young_job_progress_cutoff = 0.15;
+  // Prior for remaining epochs before the convergence model has a fit.
+  double default_remaining_epochs = 30.0;
+  // Use SLAQ-style multi-family curve fitting (inverse-poly / exponential /
+  // power-law model selection, §7 extension) instead of the single Eqn-1
+  // family for convergence estimation.
+  bool multi_family_fitting = false;
+  // Ablation: replace the fitted Eqn-3/4 speed model with the naive
+  // assumption of linear speedup in workers (f(p, w) = w * f(1, 1)). Shows
+  // how much of Optimus's gain comes from the performance model itself.
+  bool naive_linear_speed = false;
+  // Oracle mode (used by sensitivity/scalability studies): ground-truth
+  // estimates with `error` injected instead of online fitting.
+  bool oracle_estimates = false;
+  ErrorInjection error;
+  // Data serving (§5.1): seconds to hand one 128 MB chunk to a new owner
+  // when elastic scaling rebalances the per-worker data assignment. The
+  // resulting stall is tiny next to the checkpoint cost, as in the paper.
+  double chunk_move_s = 0.2;
+  // Mixed-workload headroom (§7 "Various workloads"): a fraction of every
+  // server is reserved for a non-DL background workload. With a period, the
+  // reservation oscillates sinusoidally between 0 and background_share, and
+  // Optimus schedules DL jobs on the varying remainder.
+  double background_share = 0.0;
+  double background_period_s = 0.0;
+  double max_sim_time_s = 3e6;
+  uint64_t seed = 1;
+  bool record_timeline = true;
+};
+
+class Simulator {
+ public:
+  Simulator(SimulatorConfig config, std::vector<Server> servers,
+            std::vector<JobSpec> specs);
+
+  // Runs to completion (or the time cap) and returns the metrics.
+  RunMetrics Run();
+
+  // Single-interval stepping (exposed for tests). Returns false once all
+  // jobs have completed.
+  bool StepInterval();
+  double now_s() const { return now_s_; }
+  const Job& job(int id) const;
+  // Lifecycle event log of the run so far.
+  const EventTrace& trace() const { return trace_; }
+
+ private:
+  struct JobRuntime {
+    explicit JobRuntime(JobSpec spec)
+        : job(spec),
+          curve(spec.lr_drop.has_value()
+                    ? LossCurve(spec.model->loss, spec.StepsPerEpoch(), *spec.lr_drop)
+                    : LossCurve(spec.model->loss, spec.StepsPerEpoch())) {}
+
+    Job job;
+    LossCurve curve;
+    std::unique_ptr<ConvergenceModel> conv;
+    std::unique_ptr<MultiFamilyConvergenceModel> multi_conv;
+    std::unique_ptr<SpeedModel> speed;
+    std::unique_ptr<DataServing> data;
+    ParamBlockSizes blocks;
+    PsLoadMetrics load;
+    bool load_valid = false;
+    Rng rng{0};
+    int error_sign = 1;
+    bool arrived = false;
+    bool lr_drop_handled = false;   // convergence model restarted at the drop
+    int frozen_scalings = 0;  // set once the checkpoint budget is exhausted
+    double true_total_epochs = 0.0;  // ground-truth convergence epoch count
+    double last_worker_util = 0.0;
+    double last_ps_util = 0.0;
+  };
+
+  void ActivateArrivals();
+  // Scheduler view of a job (estimates only).
+  SchedJob MakeSchedJob(JobRuntime* jr) const;
+  double EstimateRemainingEpochs(const JobRuntime& jr) const;
+  double ErrorFactor(const JobRuntime& jr, double error_magnitude) const;
+  // Ground-truth job speed at the *current* allocation/placement (steps/s).
+  double TrueSpeed(const JobRuntime& jr) const;
+  void ScheduleActiveJobs();
+  void AdvanceInterval();
+  // Fraction of every server reserved for the background workload at time t.
+  double BackgroundShare(double t) const;
+  void RecomputeLoad(JobRuntime* jr);
+  void InitSpeedModel(JobRuntime* jr);
+
+  SimulatorConfig config_;
+  std::vector<Server> servers_;
+  std::vector<std::unique_ptr<JobRuntime>> jobs_;
+  std::unique_ptr<Allocator> allocator_;
+  StragglerModel straggler_;
+  Rng rng_;
+  double now_s_ = 0.0;
+  int completed_ = 0;
+  RunMetrics metrics_;
+  EventTrace trace_;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SIM_SIMULATOR_H_

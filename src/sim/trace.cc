@@ -1,0 +1,64 @@
+#include "src/sim/trace.h"
+
+#include <ostream>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+const char* SimEventTypeName(SimEventType type) {
+  switch (type) {
+    case SimEventType::kArrival:
+      return "arrival";
+    case SimEventType::kScheduled:
+      return "scheduled";
+    case SimEventType::kScaled:
+      return "scaled";
+    case SimEventType::kPaused:
+      return "paused";
+    case SimEventType::kResumed:
+      return "resumed";
+    case SimEventType::kStragglerReplaced:
+      return "straggler_replaced";
+    case SimEventType::kLearningRateDrop:
+      return "lr_drop";
+    case SimEventType::kCompleted:
+      return "completed";
+  }
+  return "unknown";
+}
+
+void EventTrace::Record(double time_s, SimEventType type, int job_id, int num_ps,
+                        int num_workers, std::string detail) {
+  OPTIMUS_CHECK(events_.empty() || time_s >= events_.back().time_s - 1e-9)
+      << "events must be recorded in time order";
+  events_.push_back({time_s, type, job_id, num_ps, num_workers, std::move(detail)});
+}
+
+std::vector<SimEvent> EventTrace::ForJob(int job_id) const {
+  std::vector<SimEvent> out;
+  for (const SimEvent& e : events_) {
+    if (e.job_id == job_id) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::map<SimEventType, int64_t> EventTrace::CountByType() const {
+  std::map<SimEventType, int64_t> counts;
+  for (const SimEvent& e : events_) {
+    ++counts[e.type];
+  }
+  return counts;
+}
+
+void EventTrace::WriteCsv(std::ostream& os) const {
+  os << "time_s,event,job,ps,workers,detail\n";
+  for (const SimEvent& e : events_) {
+    os << e.time_s << "," << SimEventTypeName(e.type) << "," << e.job_id << ","
+       << e.num_ps << "," << e.num_workers << "," << e.detail << "\n";
+  }
+}
+
+}  // namespace optimus

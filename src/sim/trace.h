@@ -1,0 +1,64 @@
+// Structured event trace of a simulation run.
+//
+// Records the scheduler-visible lifecycle of every job (arrival, scheduling,
+// elastic rescaling, pauses, straggler replacements, learning-rate drops,
+// completion) so that runs can be inspected, diffed, and exported to CSV —
+// the simulator-side analogue of a production scheduler's audit log.
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace optimus {
+
+enum class SimEventType {
+  kArrival,
+  kScheduled,       // first time a job receives resources
+  kScaled,          // (p, w) changed for a running job
+  kPaused,          // active job received no placeable resources
+  kResumed,         // previously paused job running again
+  kStragglerReplaced,
+  kLearningRateDrop,
+  kCompleted,
+};
+
+const char* SimEventTypeName(SimEventType type);
+
+struct SimEvent {
+  double time_s = 0.0;
+  SimEventType type = SimEventType::kArrival;
+  int job_id = 0;
+  // Allocation after the event (0/0 where not meaningful).
+  int num_ps = 0;
+  int num_workers = 0;
+  std::string detail;
+};
+
+class EventTrace {
+ public:
+  void Record(double time_s, SimEventType type, int job_id, int num_ps = 0,
+              int num_workers = 0, std::string detail = "");
+
+  const std::vector<SimEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  // Events of one job, in time order.
+  std::vector<SimEvent> ForJob(int job_id) const;
+
+  // Number of events per type.
+  std::map<SimEventType, int64_t> CountByType() const;
+
+  // CSV export: time_s,event,job,ps,workers,detail.
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  std::vector<SimEvent> events_;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SIM_TRACE_H_

@@ -1,0 +1,121 @@
+#include "src/sim/trace_replay.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/models/model_zoo.h"
+
+namespace optimus {
+
+namespace {
+
+constexpr char kHeader[] =
+    "job_id,model,mode,arrival_s,delta,patience,dataset_scale,max_ps,max_workers";
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  std::istringstream is(line);
+  while (std::getline(is, field, ',')) {
+    out.push_back(field);
+  }
+  return out;
+}
+
+const ModelSpec* FindModelOrNull(const std::string& name) {
+  for (const ModelSpec& spec : GetModelZoo()) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void WriteWorkloadCsv(const std::vector<JobSpec>& jobs, std::ostream& os) {
+  os.precision(17);  // exact double round-trip
+  os << kHeader << "\n";
+  for (const JobSpec& job : jobs) {
+    OPTIMUS_CHECK(job.model != nullptr);
+    os << job.id << "," << job.model->name << "," << TrainingModeName(job.mode) << ","
+       << job.arrival_time_s << "," << job.convergence_delta << "," << job.patience
+       << "," << job.dataset_scale << "," << job.max_ps << "," << job.max_workers
+       << "\n";
+  }
+}
+
+bool ReadWorkloadCsv(std::istream& is, const TraceReplayOptions& options,
+                     std::vector<JobSpec>* jobs, std::string* error) {
+  OPTIMUS_CHECK(jobs != nullptr);
+  OPTIMUS_CHECK(error != nullptr);
+  jobs->clear();
+  error->clear();
+
+  std::string line;
+  if (!std::getline(is, line) || line.rfind("job_id,model,mode", 0) != 0) {
+    *error = "missing or unrecognized header (expected '" + std::string(kHeader) + "')";
+    return false;
+  }
+
+  int line_no = 1;
+  std::vector<JobSpec> parsed;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 9) {
+      *error = "line " + std::to_string(line_no) + ": expected 9 fields, got " +
+               std::to_string(fields.size());
+      return false;
+    }
+    JobSpec spec;
+    try {
+      spec.id = std::stoi(fields[0]);
+      spec.arrival_time_s = std::stod(fields[3]);
+      spec.convergence_delta = std::stod(fields[4]);
+      spec.patience = std::stoi(fields[5]);
+      spec.dataset_scale = std::stod(fields[6]);
+      spec.max_ps = std::stoi(fields[7]);
+      spec.max_workers = std::stoi(fields[8]);
+    } catch (const std::exception& e) {
+      *error = "line " + std::to_string(line_no) + ": " + e.what();
+      return false;
+    }
+    spec.model = FindModelOrNull(fields[1]);
+    if (spec.model == nullptr) {
+      *error = "line " + std::to_string(line_no) + ": unknown model '" + fields[1] + "'";
+      return false;
+    }
+    if (fields[2] == "sync") {
+      spec.mode = TrainingMode::kSync;
+    } else if (fields[2] == "async") {
+      spec.mode = TrainingMode::kAsync;
+    } else {
+      *error = "line " + std::to_string(line_no) + ": unknown mode '" + fields[2] + "'";
+      return false;
+    }
+    if (spec.convergence_delta <= 0.0 || spec.patience < 1 || spec.dataset_scale <= 0.0 ||
+        spec.max_ps < 1 || spec.max_workers < 1 || spec.arrival_time_s < 0.0) {
+      *error = "line " + std::to_string(line_no) + ": out-of-range value";
+      return false;
+    }
+    spec.worker_demand = options.worker_demand;
+    spec.ps_demand = options.ps_demand;
+    parsed.push_back(spec);
+  }
+
+  std::stable_sort(parsed.begin(), parsed.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     return a.arrival_time_s < b.arrival_time_s;
+                   });
+  *jobs = std::move(parsed);
+  return true;
+}
+
+}  // namespace optimus

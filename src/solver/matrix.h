@@ -1,0 +1,64 @@
+// Minimal dense matrix/vector math used by the least-squares solvers.
+//
+// The fitting problems in Optimus are tiny (tens-to-thousands of rows, at most
+// five columns), so a straightforward row-major dense matrix with
+// normal-equation / QR solves is both sufficient and easy to audit.
+
+#ifndef SRC_SOLVER_MATRIX_H_
+#define SRC_SOLVER_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace optimus {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  // Returns A^T * A (cols x cols).
+  Matrix Gram() const;
+
+  // Returns A^T * v (length cols).
+  Vector TransposeTimes(const Vector& v) const;
+
+  // Returns A * x (length rows).
+  Vector Times(const Vector& x) const;
+
+  // Returns the submatrix keeping only the given columns, in order.
+  Matrix SelectColumns(const std::vector<size_t>& columns) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves the square symmetric positive-(semi)definite system M x = b by
+// Cholesky factorization with a small diagonal ridge for numerical safety.
+// Returns false if the system is too ill-conditioned to factor.
+bool SolveSpd(const Matrix& m, const Vector& b, Vector* x);
+
+// Ordinary least squares: minimizes ||A x - b||_2 via the normal equations.
+// Returns false on (near-)singular A^T A.
+bool SolveLeastSquares(const Matrix& a, const Vector& b, Vector* x);
+
+// Residual sum of squares ||A x - b||_2^2.
+double ResidualSumOfSquares(const Matrix& a, const Vector& x, const Vector& b);
+
+// Euclidean dot product; vectors must have equal length.
+double Dot(const Vector& a, const Vector& b);
+
+}  // namespace optimus
+
+#endif  // SRC_SOLVER_MATRIX_H_

@@ -1,0 +1,149 @@
+#include "src/solver/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+namespace {
+
+// Least squares on the passive column subset; entries outside the subset are
+// zero in the returned full-length vector.
+bool SolveOnSubset(const Matrix& a, const Vector& b, const std::vector<size_t>& passive,
+                   Vector* full) {
+  const Matrix sub = a.SelectColumns(passive);
+  Vector z;
+  if (!SolveLeastSquares(sub, b, &z)) {
+    return false;
+  }
+  full->assign(a.cols(), 0.0);
+  for (size_t i = 0; i < passive.size(); ++i) {
+    (*full)[passive[i]] = z[i];
+  }
+  return true;
+}
+
+}  // namespace
+
+NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
+  OPTIMUS_CHECK_EQ(b.size(), a.rows());
+  const size_t n = a.cols();
+
+  NnlsResult result;
+  result.x.assign(n, 0.0);
+
+  std::vector<bool> in_passive(n, false);
+  std::vector<size_t> passive;
+
+  // Gradient scale for the relative dual tolerance.
+  Vector grad0 = a.TransposeTimes(b);
+  double grad_scale = 0.0;
+  for (double g : grad0) {
+    grad_scale = std::max(grad_scale, std::abs(g));
+  }
+  const double tol = options.tolerance * std::max(grad_scale, 1.0);
+
+  Vector x(n, 0.0);
+  int iter = 0;
+  while (iter < options.max_iterations) {
+    // Dual vector w = A^T (b - A x).
+    Vector residual = b;
+    const Vector ax = a.Times(x);
+    for (size_t r = 0; r < residual.size(); ++r) {
+      residual[r] -= ax[r];
+    }
+    const Vector w = a.TransposeTimes(residual);
+
+    // Pick the most violated (largest-gradient) zero variable.
+    double best_w = tol;
+    size_t best_idx = n;
+    for (size_t j = 0; j < n; ++j) {
+      if (!in_passive[j] && w[j] > best_w) {
+        best_w = w[j];
+        best_idx = j;
+      }
+    }
+    if (best_idx == n) {
+      break;  // KKT conditions satisfied.
+    }
+
+    in_passive[best_idx] = true;
+    passive.push_back(best_idx);
+
+    // Inner loop: ensure the passive-set least-squares solution is feasible.
+    while (true) {
+      ++iter;
+      Vector z;
+      if (!SolveOnSubset(a, b, passive, &z)) {
+        // Numerically singular subset: drop the most recently added column.
+        in_passive[passive.back()] = false;
+        passive.pop_back();
+        break;
+      }
+
+      bool feasible = true;
+      for (size_t j : passive) {
+        if (z[j] <= 0.0) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        x = z;
+        break;
+      }
+
+      // Step from x toward z as far as feasibility allows.
+      double alpha = std::numeric_limits<double>::infinity();
+      for (size_t j : passive) {
+        if (z[j] <= 0.0) {
+          const double denom = x[j] - z[j];
+          if (denom > 0.0) {
+            alpha = std::min(alpha, x[j] / denom);
+          }
+        }
+      }
+      if (!std::isfinite(alpha)) {
+        alpha = 0.0;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        x[j] += alpha * (z[j] - x[j]);
+      }
+
+      // Move variables that hit zero back to the active set.
+      std::vector<size_t> next_passive;
+      for (size_t j : passive) {
+        if (x[j] > tol * 1e-4 && x[j] > 0.0) {
+          next_passive.push_back(j);
+        } else {
+          x[j] = 0.0;
+          in_passive[j] = false;
+        }
+      }
+      passive = std::move(next_passive);
+      if (passive.empty()) {
+        break;
+      }
+      if (iter >= options.max_iterations) {
+        break;
+      }
+    }
+    if (iter >= options.max_iterations) {
+      break;
+    }
+  }
+
+  result.converged = iter < options.max_iterations;
+  for (double& v : x) {
+    v = std::max(v, 0.0);
+  }
+  result.x = x;
+  result.iterations = iter;
+  result.residual_sum_of_squares = ResidualSumOfSquares(a, x, b);
+  return result;
+}
+
+}  // namespace optimus

@@ -1,0 +1,41 @@
+// Non-negative least squares (NNLS).
+//
+// Optimus fits both its convergence curve (Eqn 1) and its resource-speed
+// models (Eqns 3/4) with NNLS; the paper uses SciPy's solver, which implements
+// the active-set algorithm of Lawson & Hanson ("Solving Least Squares
+// Problems", 1974, ch. 23). This is a from-scratch implementation of the same
+// algorithm: minimize ||A x - b||_2 subject to x >= 0.
+
+#ifndef SRC_SOLVER_NNLS_H_
+#define SRC_SOLVER_NNLS_H_
+
+#include "src/solver/matrix.h"
+
+namespace optimus {
+
+struct NnlsResult {
+  // True when the active-set iteration converged (it virtually always does for
+  // the small, well-posed systems Optimus produces).
+  bool converged = false;
+  // The non-negative solution; all entries are >= 0 even on non-convergence
+  // (the best iterate found is returned).
+  Vector x;
+  // ||A x - b||_2^2 at the returned solution.
+  double residual_sum_of_squares = 0.0;
+  // Number of outer active-set iterations performed.
+  int iterations = 0;
+};
+
+struct NnlsOptions {
+  // Maximum outer iterations; Lawson-Hanson needs at most ~3n in practice.
+  int max_iterations = 300;
+  // Dual-feasibility tolerance, relative to the gradient scale.
+  double tolerance = 1e-10;
+};
+
+// Solves min ||A x - b|| s.t. x >= 0.
+NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& options = {});
+
+}  // namespace optimus
+
+#endif  // SRC_SOLVER_NNLS_H_

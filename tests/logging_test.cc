@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+namespace {
+
+TEST(LoggingTest, SeverityNames) {
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kDebug), "DEBUG");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kInfo), "INFO");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kWarning), "WARNING");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kError), "ERROR");
+  EXPECT_STREQ(LogSeverityName(LogSeverity::kFatal), "FATAL");
+}
+
+TEST(LoggingTest, MinSeverityRoundTrip) {
+  const LogSeverity original = GetMinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(GetMinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ OPTIMUS_CHECK(1 == 2) << "context " << 42; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckOpMacrosAbortWithOperands) {
+  EXPECT_DEATH({ OPTIMUS_CHECK_EQ(3, 4); }, "Check failed");
+  EXPECT_DEATH({ OPTIMUS_CHECK_LT(5, 5); }, "Check failed");
+  EXPECT_DEATH({ OPTIMUS_CHECK_GE(1, 2); }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ OPTIMUS_LOG(Fatal) << "boom"; }, "boom");
+}
+
+TEST(LoggingTest, PassingChecksAreSilentAndCheap) {
+  // Must not abort and must not evaluate the stream expression.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "";
+  };
+  OPTIMUS_CHECK(true) << count();
+  EXPECT_EQ(evaluations, 0);
+  OPTIMUS_CHECK_EQ(2, 2);
+  OPTIMUS_CHECK_NE(1, 2);
+  OPTIMUS_CHECK_LE(2, 2);
+  OPTIMUS_CHECK_GT(3, 2);
+}
+
+}  // namespace
+}  // namespace optimus

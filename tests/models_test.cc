@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/models/loss_curve.h"
+#include "src/models/model_zoo.h"
+#include "src/models/param_blocks.h"
+
+namespace optimus {
+namespace {
+
+TEST(ModelZooTest, HasNineTable1Models) {
+  const auto& zoo = GetModelZoo();
+  ASSERT_EQ(zoo.size(), 9u);
+  EXPECT_EQ(zoo[0].name, "ResNext-110");
+  EXPECT_EQ(zoo[1].name, "ResNet-50");
+  EXPECT_EQ(zoo.back().name, "DeepSpeech2");
+}
+
+TEST(ModelZooTest, Table1MetadataMatchesPaper) {
+  const ModelSpec& resnet = FindModel("ResNet-50");
+  EXPECT_DOUBLE_EQ(resnet.params_millions, 25.0);
+  EXPECT_EQ(resnet.dataset, "ILSVRC2012-ImageNet");
+  EXPECT_EQ(resnet.dataset_examples, 1313788);
+  EXPECT_EQ(resnet.network, NetworkType::kCnn);
+  EXPECT_EQ(resnet.num_param_blocks, 157);
+
+  const ModelSpec& ds2 = FindModel("DeepSpeech2");
+  EXPECT_DOUBLE_EQ(ds2.params_millions, 38.0);
+  EXPECT_EQ(ds2.network, NetworkType::kRnn);
+  EXPECT_EQ(ds2.dataset_examples, 45000);
+
+  const ModelSpec& cnn = FindModel("CNN-rand");
+  EXPECT_EQ(cnn.dataset, "MR");
+  EXPECT_EQ(cnn.dataset_examples, 10662);
+}
+
+TEST(ModelZooTest, AllSpecsAreInternallyValid) {
+  for (const ModelSpec& spec : GetModelZoo()) {
+    SCOPED_TRACE(spec.name);
+    EXPECT_GT(spec.params_millions, 0.0);
+    EXPECT_GT(spec.dataset_examples, 0);
+    EXPECT_GT(spec.default_sync_batch, 0);
+    EXPECT_GT(spec.default_async_minibatch, 0);
+    EXPECT_GT(spec.compute.fwd_time_per_example_s, 0.0);
+    EXPECT_GT(spec.compute.back_time_s, 0.0);
+    EXPECT_GT(spec.compute.update_time_full_s, 0.0);
+    EXPECT_GT(spec.loss.c0, 0.0);
+    EXPECT_GT(spec.loss.c1, 0.0);
+    EXPECT_GE(spec.loss.c2, 0.0);
+    EXPECT_GT(spec.num_param_blocks, 0);
+    EXPECT_EQ(spec.ParamBytes(), spec.TotalParams() * 4);
+  }
+}
+
+TEST(ModelZooTest, StepsPerEpoch) {
+  const ModelSpec& resnet = FindModel("ResNet-50");
+  EXPECT_EQ(resnet.StepsPerEpoch(128), 1313788 / 128);
+  // Tiny dataset with huge batch still yields at least one step.
+  ModelSpec small = resnet;
+  small.dataset_examples = 10;
+  EXPECT_EQ(small.StepsPerEpoch(128), 1);
+}
+
+TEST(LossCurveTest, MonotonicallyDecreasingToFloor) {
+  const ModelSpec& spec = FindModel("Seq2Seq");
+  LossCurve curve(spec.loss, spec.StepsPerEpoch(spec.default_sync_batch));
+  double prev = curve.TrueLossAtEpoch(0);
+  for (int e = 1; e <= 200; ++e) {
+    const double cur = curve.TrueLossAtEpoch(e);
+    EXPECT_LT(cur, prev);
+    EXPECT_GT(cur, spec.loss.c2);
+    prev = cur;
+  }
+}
+
+TEST(LossCurveTest, StepAndEpochViewsAgree) {
+  const ModelSpec& spec = FindModel("ResNext-110");
+  const int64_t spe = spec.StepsPerEpoch(spec.default_sync_batch);
+  LossCurve curve(spec.loss, spe);
+  EXPECT_DOUBLE_EQ(curve.TrueLossAtStep(spe * 3), curve.TrueLossAtEpoch(3.0));
+}
+
+TEST(LossCurveTest, NoisySamplesCenterOnTrueCurve) {
+  const ModelSpec& spec = FindModel("ResNet-50");
+  LossCurve curve(spec.loss, spec.StepsPerEpoch(spec.default_sync_batch));
+  Rng rng(21);
+  double sum = 0.0;
+  const int n = 4000;
+  const int64_t step = 100;
+  for (int i = 0; i < n; ++i) {
+    const double sample = curve.SampleLossAtStep(step, &rng);
+    EXPECT_GT(sample, 0.0);
+    sum += sample;
+  }
+  EXPECT_NEAR(sum / n, curve.TrueLossAtStep(step), 0.01 * curve.TrueLossAtStep(step));
+}
+
+TEST(LossCurveTest, ConvergenceEpochsDecreaseWithLooserThreshold) {
+  for (const ModelSpec& spec : GetModelZoo()) {
+    SCOPED_TRACE(spec.name);
+    LossCurve curve(spec.loss, spec.StepsPerEpoch(spec.default_sync_batch));
+    const int64_t tight = curve.EpochsToConverge(0.01, 3);
+    const int64_t loose = curve.EpochsToConverge(0.05, 3);
+    EXPECT_LE(loose, tight);
+    // Production-style models should converge within tens-to-hundreds of
+    // epochs, not instantly and not never.
+    EXPECT_GE(tight, 3);
+    EXPECT_LE(tight, 1000);
+  }
+}
+
+TEST(LossCurveTest, AccuracyIsBoundedAndIncreasing) {
+  const ModelSpec& spec = FindModel("ResNext-110");
+  LossCurve curve(spec.loss, spec.StepsPerEpoch(spec.default_sync_batch));
+  double prev = curve.TrainAccuracyAtEpoch(0);
+  for (int e = 1; e <= 100; ++e) {
+    const double acc = curve.TrainAccuracyAtEpoch(e);
+    EXPECT_GE(acc, prev);
+    EXPECT_LE(acc, spec.loss.max_accuracy + 1e-12);
+    prev = acc;
+  }
+}
+
+TEST(LossCurveTest, ValidationTracksTrainingWithGap) {
+  const ModelSpec& spec = FindModel("Inception-BN");
+  LossCurve curve(spec.loss, spec.StepsPerEpoch(spec.default_sync_batch));
+  for (int e = 0; e <= 50; e += 10) {
+    EXPECT_GT(curve.ValidationLossAtEpoch(e), curve.TrueLossAtEpoch(e));
+    EXPECT_LT(curve.ValidationAccuracyAtEpoch(e), curve.TrainAccuracyAtEpoch(e) + 1e-12);
+  }
+}
+
+TEST(LossCurveTest, LearningRateDropIsContinuousAndAccelerates) {
+  const ModelSpec& spec = FindModel("ResNet-50");
+  const int64_t spe = spec.StepsPerEpoch(spec.default_sync_batch);
+  LossCurve base(spec.loss, spe);
+  LearningRateDrop drop{.epoch = 30.0, .c0 = 2.0, .c2 = spec.loss.c2 * 0.5};
+  LossCurve dropped(spec.loss, spe, drop);
+
+  // Continuous at the drop point.
+  EXPECT_NEAR(dropped.TrueLossAtEpoch(30.0), base.TrueLossAtEpoch(30.0), 1e-9);
+  // Before the drop the curves agree; after, the dropped curve is lower.
+  EXPECT_DOUBLE_EQ(dropped.TrueLossAtEpoch(10.0), base.TrueLossAtEpoch(10.0));
+  EXPECT_LT(dropped.TrueLossAtEpoch(60.0), base.TrueLossAtEpoch(60.0));
+}
+
+TEST(ParamBlocksTest, ExactCountAndSum) {
+  for (const ModelSpec& spec : GetModelZoo()) {
+    SCOPED_TRACE(spec.name);
+    const ParamBlockSizes blocks = GenerateParamBlocks(spec);
+    EXPECT_EQ(static_cast<int>(blocks.size()), spec.num_param_blocks);
+    const int64_t sum = std::accumulate(blocks.begin(), blocks.end(), int64_t{0});
+    EXPECT_EQ(sum, spec.TotalParams());
+    for (int64_t b : blocks) {
+      EXPECT_GE(b, 1);
+    }
+  }
+}
+
+TEST(ParamBlocksTest, Deterministic) {
+  const ModelSpec& spec = FindModel("ResNet-50");
+  EXPECT_EQ(GenerateParamBlocks(spec), GenerateParamBlocks(spec));
+}
+
+TEST(ParamBlocksTest, ResNet50HasTenOverMillionBlocks) {
+  // Table 3's MXNet baseline slices blocks above 10^6 params; with 10 PSes it
+  // reports 247 total requests for 157 blocks => exactly 10 sliced blocks.
+  const ParamBlockSizes blocks = GenerateParamBlocks(FindModel("ResNet-50"));
+  const int over_million = static_cast<int>(
+      std::count_if(blocks.begin(), blocks.end(), [](int64_t b) { return b >= 1000000; }));
+  EXPECT_EQ(over_million, 10);
+}
+
+TEST(ParamBlocksTest, SkewedDistribution) {
+  // Property: in every model, the largest block dwarfs the smallest (realistic
+  // layer-size skew that the PS balancing experiments rely on).
+  for (const ModelSpec& spec : GetModelZoo()) {
+    SCOPED_TRACE(spec.name);
+    const ParamBlockSizes blocks = GenerateParamBlocks(spec);
+    const int64_t largest = *std::max_element(blocks.begin(), blocks.end());
+    const int64_t smallest = *std::min_element(blocks.begin(), blocks.end());
+    if (blocks.size() >= 10) {
+      EXPECT_GT(largest, smallest * 20);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optimus

@@ -1,0 +1,356 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/models/loss_curve.h"
+#include "src/models/model_zoo.h"
+#include "src/perfmodel/convergence_model.h"
+#include "src/perfmodel/preprocess.h"
+#include "src/perfmodel/sampler.h"
+#include "src/perfmodel/speed_model.h"
+#include "src/pserver/comm_model.h"
+
+namespace optimus {
+namespace {
+
+TEST(PreprocessTest, OutlierIsReplacedByNeighbourAverage) {
+  std::vector<LossSample> samples;
+  for (int i = 0; i < 20; ++i) {
+    samples.push_back({static_cast<double>(i), 1.0 - 0.01 * i});
+  }
+  samples[10].loss = 50.0;  // a wild spike
+  const std::vector<LossSample> cleaned = RemoveOutliers(samples, 5);
+  EXPECT_LT(cleaned[10].loss, 2.0);
+  // Non-outliers untouched.
+  EXPECT_DOUBLE_EQ(cleaned[3].loss, samples[3].loss);
+}
+
+TEST(PreprocessTest, SmoothCurveUntouched) {
+  std::vector<LossSample> samples;
+  for (int i = 0; i < 30; ++i) {
+    samples.push_back({static_cast<double>(i), 2.0 / (1.0 + 0.3 * i) + 0.1});
+  }
+  const std::vector<LossSample> cleaned = RemoveOutliers(samples, 5);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cleaned[i].loss, samples[i].loss) << i;
+  }
+}
+
+TEST(PreprocessTest, NormalizeScalesToUnitMax) {
+  std::vector<LossSample> samples = {{0, 8.0}, {1, 4.0}, {2, 2.0}};
+  const double factor = NormalizeLosses(&samples);
+  EXPECT_DOUBLE_EQ(factor, 8.0);
+  EXPECT_DOUBLE_EQ(samples[0].loss, 1.0);
+  EXPECT_DOUBLE_EQ(samples[2].loss, 0.25);
+}
+
+TEST(PreprocessTest, NormalizeEmptyIsSafe) {
+  std::vector<LossSample> samples;
+  EXPECT_DOUBLE_EQ(NormalizeLosses(&samples), 1.0);
+}
+
+TEST(PreprocessTest, DownsamplePreservesShapeAndBounds) {
+  std::vector<LossSample> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back({static_cast<double>(i), 1.0 / (1.0 + i)});
+  }
+  const std::vector<LossSample> down = Downsample(samples, 100);
+  EXPECT_LE(down.size(), 100u);
+  EXPECT_GE(down.size(), 90u);
+  // Monotone decreasing input stays monotone after bucket averaging.
+  for (size_t i = 1; i < down.size(); ++i) {
+    EXPECT_LT(down[i].loss, down[i - 1].loss);
+    EXPECT_GT(down[i].step, down[i - 1].step);
+  }
+  // Short inputs are passed through.
+  EXPECT_EQ(Downsample(down, 1000).size(), down.size());
+}
+
+class ConvergenceModelTest : public ::testing::Test {
+ protected:
+  // Feeds `num_epochs` epochs of noisy loss samples from a model's
+  // ground-truth curve into a convergence model. The paper collects a loss
+  // point after every step; we sample a representative 20 points per epoch.
+  static void FeedEpochs(const LossCurve& curve, int num_epochs, ConvergenceModel* model,
+                         Rng* rng) {
+    const int64_t spe = curve.steps_per_epoch();
+    const int per_epoch = 20;
+    for (int e = 0; e < num_epochs; ++e) {
+      for (int i = 1; i <= per_epoch; ++i) {
+        const int64_t step = e * spe + i * spe / per_epoch;
+        model->AddSample(static_cast<double>(step), curve.SampleLossAtStep(step, rng));
+      }
+    }
+  }
+};
+
+TEST_F(ConvergenceModelTest, RecoversCurveFromNoisySamples) {
+  const ModelSpec& spec = FindModel("Seq2Seq");
+  const int64_t spe = spec.StepsPerEpoch(spec.default_sync_batch);
+  LossCurve curve(spec.loss, spe);
+  ConvergenceModel model;
+  Rng rng(31);
+  FeedEpochs(curve, 40, &model, &rng);
+  ASSERT_TRUE(model.Fit());
+
+  // Predicted losses should track the true curve within a few percent over
+  // the observed range and extrapolate sensibly beyond it.
+  for (int e : {5, 20, 40, 60}) {
+    const double truth = curve.TrueLossAtEpoch(e);
+    const double pred = model.PredictLoss(static_cast<double>(e * spe));
+    EXPECT_NEAR(pred, truth, 0.08 * truth) << "epoch " << e;
+  }
+}
+
+TEST_F(ConvergenceModelTest, PredictsConvergenceEpochNearGroundTruth) {
+  for (const char* name : {"Seq2Seq", "ResNet-50", "ResNext-110"}) {
+    SCOPED_TRACE(name);
+    const ModelSpec& spec = FindModel(name);
+    const int64_t spe = spec.StepsPerEpoch(spec.default_sync_batch);
+    LossCurve curve(spec.loss, spe);
+    const double delta = 0.02;
+    const int patience = 3;
+    const int64_t truth = curve.EpochsToConverge(delta, patience);
+
+    ConvergenceModel model;
+    Rng rng(37);
+    // Observe roughly the first half of training.
+    FeedEpochs(curve, static_cast<int>(truth / 2), &model, &rng);
+    ASSERT_TRUE(model.Fit());
+    const int64_t predicted = model.PredictTotalEpochs(delta, patience, spe);
+    const double err =
+        std::abs(static_cast<double>(predicted - truth)) / static_cast<double>(truth);
+    EXPECT_LT(err, 0.25) << "predicted " << predicted << " truth " << truth;
+  }
+}
+
+TEST_F(ConvergenceModelTest, PredictionImprovesWithProgress) {
+  // Fig 6: the error of the estimated total epoch count shrinks as training
+  // progresses.
+  const ModelSpec& spec = FindModel("ResNext-110");
+  const int64_t spe = spec.StepsPerEpoch(spec.default_sync_batch);
+  LossCurve curve(spec.loss, spe);
+  const double delta = 0.02;
+  const int patience = 3;
+  const int64_t truth = curve.EpochsToConverge(delta, patience);
+
+  ConvergenceModel model;
+  Rng rng(41);
+  double early_err = 0.0;
+  double late_err = 0.0;
+  const int early_epochs = std::max<int>(4, static_cast<int>(truth / 10));
+  FeedEpochs(curve, early_epochs, &model, &rng);
+  if (model.Fit()) {
+    early_err = std::abs(static_cast<double>(
+                    model.PredictTotalEpochs(delta, patience, spe) - truth)) /
+                static_cast<double>(truth);
+  }
+  FeedEpochs(curve, static_cast<int>(truth), &model, &rng);  // up to ~2x truth total
+  ASSERT_TRUE(model.Fit());
+  late_err = std::abs(static_cast<double>(
+                 model.PredictTotalEpochs(delta, patience, spe) - truth)) /
+             static_cast<double>(truth);
+  EXPECT_LE(late_err, early_err + 0.05);
+  EXPECT_LT(late_err, 0.15);
+}
+
+TEST_F(ConvergenceModelTest, RemainingEpochsDecreasesAndHitsZero) {
+  const ModelSpec& spec = FindModel("DSSM");
+  const int64_t spe = spec.StepsPerEpoch(spec.default_sync_batch);
+  LossCurve curve(spec.loss, spe);
+  ConvergenceModel model;
+  Rng rng(43);
+  FeedEpochs(curve, 30, &model, &rng);
+  ASSERT_TRUE(model.Fit());
+  const double at_5 = model.PredictRemainingEpochs(5.0 * spe, 0.02, 3, spe);
+  const double at_20 = model.PredictRemainingEpochs(20.0 * spe, 0.02, 3, spe);
+  EXPECT_GT(at_5, at_20);
+  const double far_future = model.PredictRemainingEpochs(1e7 * spe, 0.02, 3, spe);
+  EXPECT_DOUBLE_EQ(far_future, 0.0);
+}
+
+TEST_F(ConvergenceModelTest, IgnoresInvalidSamples) {
+  ConvergenceModel model;
+  model.AddSample(1.0, std::nan(""));
+  model.AddSample(2.0, -1.0);
+  model.AddSample(3.0, 0.0);
+  EXPECT_EQ(model.num_samples(), 0u);
+}
+
+TEST_F(ConvergenceModelTest, ResetClearsState) {
+  const ModelSpec& spec = FindModel("CNN-rand");
+  LossCurve curve(spec.loss, spec.StepsPerEpoch(spec.default_sync_batch));
+  ConvergenceModel model;
+  Rng rng(47);
+  FeedEpochs(curve, 20, &model, &rng);
+  ASSERT_TRUE(model.Fit());
+  model.Reset();
+  EXPECT_FALSE(model.fitted());
+  EXPECT_EQ(model.num_samples(), 0u);
+}
+
+TEST_F(ConvergenceModelTest, TooFewSamplesDoesNotFit) {
+  ConvergenceModel model;
+  model.AddSample(1.0, 1.0);
+  model.AddSample(2.0, 0.9);
+  EXPECT_FALSE(model.Fit());
+  EXPECT_FALSE(model.fitted());
+}
+
+// ---------------------------------------------------------------------------
+// Speed model
+// ---------------------------------------------------------------------------
+
+class SpeedModelTest : public ::testing::Test {
+ protected:
+  // Ground-truth oracle from the communication model, with optional noise.
+  static SpeedOracle MakeOracle(const ModelSpec& model, TrainingMode mode,
+                                double noise_sd, Rng* rng) {
+    return [&model, mode, noise_sd, rng](int p, int w) {
+      StepTimeInputs in;
+      in.model = &model;
+      in.mode = mode;
+      in.num_ps = p;
+      in.num_workers = w;
+      CommConfig config;
+      double speed = TrainingSpeed(in, config);
+      if (noise_sd > 0.0 && rng != nullptr) {
+        speed *= rng->LogNormalFactor(noise_sd);
+      }
+      return speed;
+    };
+  }
+
+  static double MeanAbsRelError(const SpeedModel& model, const SpeedOracle& truth,
+                                int max_p, int max_w) {
+    double sum = 0.0;
+    int count = 0;
+    for (int p = 1; p <= max_p; p += 2) {
+      for (int w = 1; w <= max_w; w += 2) {
+        const double t = truth(p, w);
+        const double e = model.Estimate(p, w);
+        sum += std::abs(e - t) / t;
+        ++count;
+      }
+    }
+    return sum / count;
+  }
+};
+
+TEST_F(SpeedModelTest, SyncFitsGroundTruthClosely) {
+  const ModelSpec& spec = FindModel("ResNet-50");
+  SpeedOracle oracle = MakeOracle(spec, TrainingMode::kSync, 0.0, nullptr);
+  SpeedModel model(TrainingMode::kSync, spec.default_sync_batch);
+  for (int p = 2; p <= 20; p += 3) {
+    for (int w = 2; w <= 20; w += 3) {
+      model.AddSample(p, w, oracle(p, w));
+    }
+  }
+  ASSERT_TRUE(model.Fit());
+  EXPECT_LT(MeanAbsRelError(model, oracle, 20, 20), 0.10);
+}
+
+TEST_F(SpeedModelTest, AsyncFitsGroundTruthClosely) {
+  const ModelSpec& spec = FindModel("ResNet-50");
+  SpeedOracle oracle = MakeOracle(spec, TrainingMode::kAsync, 0.0, nullptr);
+  SpeedModel model(TrainingMode::kAsync, 0);
+  for (int p = 2; p <= 20; p += 3) {
+    for (int w = 2; w <= 20; w += 3) {
+      model.AddSample(p, w, oracle(p, w));
+    }
+  }
+  ASSERT_TRUE(model.Fit());
+  EXPECT_LT(MeanAbsRelError(model, oracle, 20, 20), 0.10);
+}
+
+TEST_F(SpeedModelTest, TenSamplesReachTenPercentError) {
+  // Fig 8: ~10 (p, w) samples suffice for <10% speed-estimation error.
+  const ModelSpec& spec = FindModel("ResNet-50");
+  Rng noise(51);
+  SpeedOracle noisy = MakeOracle(spec, TrainingMode::kSync, 0.02, &noise);
+  SpeedOracle truth = MakeOracle(spec, TrainingMode::kSync, 0.0, nullptr);
+  SpeedModel model(TrainingMode::kSync, spec.default_sync_batch);
+  Rng rng(53);
+  InitializeSpeedModel(&model, noisy, /*count=*/10, /*max_ps=*/20, /*max_workers=*/20,
+                       &rng);
+  ASSERT_TRUE(model.fitted());
+  EXPECT_LT(MeanAbsRelError(model, truth, 20, 20), 0.12);
+}
+
+TEST_F(SpeedModelTest, ThetaNonNegativeAndResidualSmall) {
+  const ModelSpec& spec = FindModel("Seq2Seq");
+  SpeedOracle oracle = MakeOracle(spec, TrainingMode::kSync, 0.0, nullptr);
+  SpeedModel model(TrainingMode::kSync, spec.default_sync_batch);
+  for (int p = 1; p <= 16; p += 2) {
+    for (int w = 1; w <= 16; w += 2) {
+      model.AddSample(p, w, oracle(p, w));
+    }
+  }
+  ASSERT_TRUE(model.Fit());
+  ASSERT_EQ(model.theta().size(), 5u);
+  for (double t : model.theta()) {
+    EXPECT_GE(t, 0.0);
+  }
+  // The ground truth includes a batch-efficiency floor outside the Eqn-4
+  // family, so the fit is not exact — but it stays within a few percent.
+  EXPECT_LT(MeanAbsRelError(model, oracle, 16, 16), 0.08);
+}
+
+TEST_F(SpeedModelTest, MoreSamplesReduceError) {
+  // Fig 8's diminishing-return shape: error(5 samples) >= error(30 samples).
+  const ModelSpec& spec = FindModel("ResNet-50");
+  Rng noise1(55);
+  Rng noise2(55);
+  SpeedOracle noisy1 = MakeOracle(spec, TrainingMode::kSync, 0.05, &noise1);
+  SpeedOracle noisy2 = MakeOracle(spec, TrainingMode::kSync, 0.05, &noise2);
+  SpeedOracle truth = MakeOracle(spec, TrainingMode::kSync, 0.0, nullptr);
+
+  SpeedModel few(TrainingMode::kSync, spec.default_sync_batch);
+  Rng rng1(57);
+  InitializeSpeedModel(&few, noisy1, 5, 20, 20, &rng1);
+  SpeedModel many(TrainingMode::kSync, spec.default_sync_batch);
+  Rng rng2(57);
+  InitializeSpeedModel(&many, noisy2, 30, 20, 20, &rng2);
+
+  ASSERT_TRUE(few.fitted());
+  ASSERT_TRUE(many.fitted());
+  EXPECT_LE(MeanAbsRelError(many, truth, 20, 20),
+            MeanAbsRelError(few, truth, 20, 20) + 0.03);
+}
+
+TEST_F(SpeedModelTest, RejectsInvalidSamples) {
+  SpeedModel model(TrainingMode::kAsync, 0);
+  model.AddSample(1, 1, 0.0);
+  model.AddSample(1, 1, -5.0);
+  model.AddSample(1, 1, std::nan(""));
+  EXPECT_EQ(model.num_samples(), 0u);
+  EXPECT_FALSE(model.Fit());
+}
+
+TEST(SamplerTest, PairsAreDistinctAndInRange) {
+  Rng rng(61);
+  const auto pairs = SelectSamplePairs(10, 12, 18, &rng);
+  EXPECT_EQ(pairs.size(), 10u);
+  for (const auto& [p, w] : pairs) {
+    EXPECT_GE(p, 1);
+    EXPECT_LE(p, 12);
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, 18);
+  }
+  // std::set semantics guarantee distinctness; double-check anyway.
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    for (size_t j = i + 1; j < pairs.size(); ++j) {
+      EXPECT_TRUE(pairs[i] != pairs[j]);
+    }
+  }
+}
+
+TEST(SamplerTest, CountClampedToGridSize) {
+  Rng rng(63);
+  const auto pairs = SelectSamplePairs(100, 3, 3, &rng);
+  EXPECT_EQ(pairs.size(), 9u);
+}
+
+}  // namespace
+}  // namespace optimus

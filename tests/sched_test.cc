@@ -1,0 +1,409 @@
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/server.h"
+#include "src/sched/baseline_allocators.h"
+#include "src/sched/optimus_allocator.h"
+#include "src/sched/placement.h"
+#include "src/sched/scheduler.h"
+
+namespace optimus {
+namespace {
+
+// A simple concave speed function: f improves with both p and w but with
+// diminishing returns, peaking inside the grid.
+SpeedEstimate ConcaveSpeed(double scale = 1.0) {
+  return [scale](int p, int w) {
+    const double t = 4.0 / w + 1.0 + 0.8 * w / p + 0.05 * w + 0.05 * p;
+    return scale / t;
+  };
+}
+
+SchedJob MakeJob(int id, double remaining_epochs, SpeedEstimate speed,
+                 double cpu_per_task = 5.0) {
+  SchedJob job;
+  job.job_id = id;
+  job.worker_demand = Resources(cpu_per_task, 10, 0, 0.2);
+  job.ps_demand = Resources(cpu_per_task, 10, 0, 0.2);
+  job.remaining_epochs = remaining_epochs;
+  job.speed = std::move(speed);
+  job.max_ps = 16;
+  job.max_workers = 16;
+  return job;
+}
+
+Resources Capacity(double cpu) { return Resources(cpu, 10000, 0, 1000); }
+
+// ---------------------------------------------------------------------------
+// OptimusAllocator
+// ---------------------------------------------------------------------------
+
+TEST(OptimusAllocatorTest, SeedsEveryJobWithOneWorkerOnePs) {
+  OptimusAllocator allocator;
+  std::vector<SchedJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(MakeJob(i, 10.0, ConcaveSpeed()));
+  }
+  // Capacity for exactly the seeds (4 jobs x 2 tasks x 5 cpu).
+  AllocationMap result = allocator.Allocate(jobs, Capacity(40));
+  ASSERT_EQ(result.size(), 4u);
+  for (const auto& [id, alloc] : result) {
+    EXPECT_EQ(alloc.num_ps, 1);
+    EXPECT_EQ(alloc.num_workers, 1);
+  }
+}
+
+TEST(OptimusAllocatorTest, RespectsCapacity) {
+  OptimusAllocator allocator;
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, ConcaveSpeed()),
+                                MakeJob(1, 20.0, ConcaveSpeed())};
+  const double cpu = 65.0;  // 13 tasks
+  AllocationMap result = allocator.Allocate(jobs, Capacity(cpu));
+  double used = 0.0;
+  for (const auto& [id, alloc] : result) {
+    used += 5.0 * (alloc.num_ps + alloc.num_workers);
+  }
+  EXPECT_LE(used, cpu + 1e-9);
+  // Work-hungry concave speeds should drive usage close to capacity.
+  EXPECT_GE(used, cpu - 10.0);
+}
+
+TEST(OptimusAllocatorTest, LargerJobGetsMoreResources) {
+  // Same speed function; job 1 has 10x the remaining work, so its marginal
+  // gains (Eqn 9 scales with Q) dominate.
+  OptimusAllocator allocator;
+  std::vector<SchedJob> jobs = {MakeJob(0, 2.0, ConcaveSpeed()),
+                                MakeJob(1, 20.0, ConcaveSpeed())};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(100));
+  const int tasks0 = result[0].num_ps + result[0].num_workers;
+  const int tasks1 = result[1].num_ps + result[1].num_workers;
+  EXPECT_GT(tasks1, tasks0);
+}
+
+TEST(OptimusAllocatorTest, StopsAtNonPositiveMarginalGain) {
+  // Speed independent of resources: no gain from extra tasks, so every job
+  // stays at its (1, 1) seed even with abundant capacity.
+  OptimusAllocator allocator;
+  SpeedEstimate flat = [](int, int) { return 1.0; };
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, flat), MakeJob(1, 10.0, flat)};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(1000));
+  for (const auto& [id, alloc] : result) {
+    EXPECT_EQ(alloc.num_ps, 1);
+    EXPECT_EQ(alloc.num_workers, 1);
+  }
+}
+
+TEST(OptimusAllocatorTest, PrefersWorkerOrPsByGain) {
+  // Speed that only improves with workers: all additional tasks should be
+  // workers.
+  OptimusAllocator allocator;
+  SpeedEstimate worker_only = [](int /*p*/, int w) { return 1.0 - 1.0 / (1.0 + w); };
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, worker_only)};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(60));
+  EXPECT_EQ(result[0].num_ps, 1);
+  EXPECT_GT(result[0].num_workers, 1);
+}
+
+TEST(OptimusAllocatorTest, RespectsPerJobCaps) {
+  OptimusAllocator allocator;
+  SchedJob job = MakeJob(0, 100.0, ConcaveSpeed());
+  job.max_ps = 2;
+  job.max_workers = 3;
+  AllocationMap result = allocator.Allocate({job}, Capacity(1000));
+  EXPECT_LE(result[0].num_ps, 2);
+  EXPECT_LE(result[0].num_workers, 3);
+}
+
+TEST(OptimusAllocatorTest, PriorityFactorDampsYoungJob) {
+  // Two identical jobs, one with a damped priority: the damped one must not
+  // receive more tasks than the other.
+  OptimusAllocator allocator;
+  SchedJob a = MakeJob(0, 10.0, ConcaveSpeed());
+  SchedJob b = MakeJob(1, 10.0, ConcaveSpeed());
+  b.priority_factor = 0.5;
+  AllocationMap result = allocator.Allocate({a, b}, Capacity(90));
+  const int tasks_a = result[0].num_ps + result[0].num_workers;
+  const int tasks_b = result[1].num_ps + result[1].num_workers;
+  EXPECT_GE(tasks_a, tasks_b);
+}
+
+TEST(OptimusAllocatorTest, ZeroRemainingWorkGetsOnlySeed) {
+  OptimusAllocator allocator;
+  std::vector<SchedJob> jobs = {MakeJob(0, 0.0, ConcaveSpeed()),
+                                MakeJob(1, 10.0, ConcaveSpeed())};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(100));
+  EXPECT_EQ(result[0].num_ps + result[0].num_workers, 2);
+  EXPECT_GT(result[1].num_ps + result[1].num_workers, 2);
+}
+
+TEST(OptimusAllocatorTest, DeterministicAcrossCalls) {
+  OptimusAllocator allocator;
+  std::vector<SchedJob> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(MakeJob(i, 5.0 + i, ConcaveSpeed(1.0 + 0.1 * i)));
+  }
+  AllocationMap a = allocator.Allocate(jobs, Capacity(200));
+  AllocationMap b = allocator.Allocate(jobs, Capacity(200));
+  EXPECT_EQ(a.size(), b.size());
+  for (const auto& [id, alloc] : a) {
+    EXPECT_TRUE(alloc == b[id]) << "job " << id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DrfAllocator
+// ---------------------------------------------------------------------------
+
+TEST(DrfAllocatorTest, EqualJobsGetEqualShares) {
+  DrfAllocator allocator;
+  std::vector<SchedJob> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back(MakeJob(i, 10.0 * (i + 1), ConcaveSpeed()));
+  }
+  AllocationMap result = allocator.Allocate(jobs, Capacity(200));  // 40 tasks
+  // Equal demands => equal units regardless of job size (DRF is size-blind).
+  ASSERT_EQ(result.size(), 4u);
+  int reference = result[0].num_workers;
+  for (const auto& [id, alloc] : result) {
+    EXPECT_EQ(alloc.num_workers, alloc.num_ps);  // 1:1 ratio
+    EXPECT_NEAR(alloc.num_workers, reference, 1);
+  }
+}
+
+TEST(DrfAllocatorTest, SmallerDemandJobGetsMoreUnits) {
+  // DRF equalizes dominant shares: a job with half the per-task demand gets
+  // about twice the units.
+  DrfAllocator allocator;
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, ConcaveSpeed(), /*cpu=*/10.0),
+                                MakeJob(1, 10.0, ConcaveSpeed(), /*cpu=*/5.0)};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(120));
+  EXPECT_GT(result[1].num_workers, result[0].num_workers);
+}
+
+TEST(DrfAllocatorTest, WorkConservingUpToCaps) {
+  DrfAllocator allocator;
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, ConcaveSpeed())};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(1000));
+  // One job, plenty of room: fills to its cap even though speed saturates.
+  EXPECT_EQ(result[0].num_workers, 16);
+  EXPECT_EQ(result[0].num_ps, 16);
+}
+
+// ---------------------------------------------------------------------------
+// TetrisAllocator
+// ---------------------------------------------------------------------------
+
+TEST(TetrisAllocatorTest, ShortJobServedFirst) {
+  TetrisAllocator allocator;
+  // Job 0 is 100x longer than job 1; under tight capacity the short job gets
+  // the larger share.
+  std::vector<SchedJob> jobs = {MakeJob(0, 100.0, ConcaveSpeed()),
+                                MakeJob(1, 1.0, ConcaveSpeed())};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(60));  // 12 tasks
+  const int tasks0 = result.count(0) ? result[0].num_ps + result[0].num_workers : 0;
+  const int tasks1 = result.count(1) ? result[1].num_ps + result[1].num_workers : 0;
+  EXPECT_GT(tasks1, tasks0);
+}
+
+TEST(TetrisAllocatorTest, OneToOneRatio) {
+  TetrisAllocator allocator;
+  std::vector<SchedJob> jobs = {MakeJob(0, 5.0, ConcaveSpeed())};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(100));
+  ASSERT_TRUE(result.count(0));
+  EXPECT_EQ(result[0].num_ps, result[0].num_workers);
+}
+
+TEST(TetrisAllocatorTest, StopsAtSpeedKnee) {
+  // A speed function that is flat beyond 3 units: Tetris should not allocate
+  // far past the knee even with huge capacity.
+  TetrisAllocator allocator;
+  SpeedEstimate knee = [](int p, int w) {
+    const int u = std::min(p, w);
+    return u <= 3 ? static_cast<double>(u) : 3.0 + 0.001 * (u - 3);
+  };
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, knee)};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(1000));
+  EXPECT_LE(result[0].num_workers, 5);
+}
+
+TEST(TetrisAllocatorTest, LeftoverCapacityIsNotWasted) {
+  TetrisAllocator allocator;
+  std::vector<SchedJob> jobs = {MakeJob(0, 1.0, ConcaveSpeed()),
+                                MakeJob(1, 50.0, ConcaveSpeed())};
+  AllocationMap result = allocator.Allocate(jobs, Capacity(300));
+  // Even the long job gets resources once the short one saturates.
+  ASSERT_TRUE(result.count(1));
+  EXPECT_GE(result[1].num_workers, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Placement
+// ---------------------------------------------------------------------------
+
+std::vector<Server> Uniform(int n, double cpu) {
+  return BuildUniformCluster(n, Resources(cpu, 1000, 0, 10));
+}
+
+PlacementJobInput PJob(int id, int p, int w, double cpu = 5.0) {
+  PlacementJobInput job;
+  job.job_id = id;
+  job.alloc = {p, w};
+  job.worker_demand = Resources(cpu, 10, 0, 0.1);
+  job.ps_demand = Resources(cpu, 10, 0, 0.1);
+  return job;
+}
+
+TEST(PlacementTest, OptimusPacksOntoFewestServers) {
+  // 2 PS + 2 workers at 5 cpu each fit on a single 20-cpu server.
+  PlacementResult result =
+      PlaceJobs(PlacementPolicy::kOptimusPack, {PJob(0, 2, 2)}, Uniform(4, 20));
+  ASSERT_TRUE(result.placements.count(0));
+  const JobPlacement& p = result.placements[0];
+  int servers_used = 0;
+  for (size_t s = 0; s < p.workers_per_server.size(); ++s) {
+    if (p.workers_per_server[s] + p.ps_per_server[s] > 0) {
+      ++servers_used;
+    }
+  }
+  EXPECT_EQ(servers_used, 1);
+}
+
+TEST(PlacementTest, OptimusSpreadsEvenlyWhenMultipleServersNeeded) {
+  // 4 PS + 4 workers at 5 cpu = 40 cpu; servers hold 20 cpu each => 2 servers
+  // with 2 PS + 2 workers each (Theorem 1).
+  PlacementResult result =
+      PlaceJobs(PlacementPolicy::kOptimusPack, {PJob(0, 4, 4)}, Uniform(4, 20));
+  ASSERT_TRUE(result.placements.count(0));
+  const JobPlacement& p = result.placements[0];
+  for (size_t s = 0; s < p.workers_per_server.size(); ++s) {
+    const int total = p.workers_per_server[s] + p.ps_per_server[s];
+    EXPECT_TRUE(total == 0 || total == 4) << "server " << s;
+    if (total == 4) {
+      EXPECT_EQ(p.workers_per_server[s], 2);
+      EXPECT_EQ(p.ps_per_server[s], 2);
+    }
+  }
+}
+
+TEST(PlacementTest, CountsMatchAllocation) {
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kOptimusPack, PlacementPolicy::kLoadBalance,
+        PlacementPolicy::kTetrisPack}) {
+    SCOPED_TRACE(PlacementPolicyName(policy));
+    PlacementResult result =
+        PlaceJobs(policy, {PJob(0, 3, 5), PJob(1, 2, 2)}, Uniform(6, 20));
+    for (int id : {0, 1}) {
+      ASSERT_TRUE(result.placements.count(id));
+      const JobPlacement& p = result.placements[id];
+      const Allocation want = id == 0 ? Allocation{3, 5} : Allocation{2, 2};
+      EXPECT_EQ(p.TotalPs(), want.num_ps);
+      EXPECT_EQ(p.TotalWorkers(), want.num_workers);
+      EXPECT_TRUE(result.effective_alloc[id] == want);
+    }
+  }
+}
+
+TEST(PlacementTest, RespectsServerCapacity) {
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kOptimusPack, PlacementPolicy::kLoadBalance,
+        PlacementPolicy::kTetrisPack}) {
+    SCOPED_TRACE(PlacementPolicyName(policy));
+    std::vector<PlacementJobInput> jobs;
+    for (int i = 0; i < 4; ++i) {
+      jobs.push_back(PJob(i, 2, 2));
+    }
+    PlacementResult result = PlaceJobs(policy, jobs, Uniform(4, 20));
+    // 4 jobs x 4 tasks x 5 cpu = 80 cpu = total capacity: per-server loads
+    // must never exceed 4 tasks.
+    std::vector<int> per_server(4, 0);
+    for (const auto& [id, p] : result.placements) {
+      for (size_t s = 0; s < p.workers_per_server.size(); ++s) {
+        per_server[s] += p.workers_per_server[s] + p.ps_per_server[s];
+      }
+    }
+    for (int c : per_server) {
+      EXPECT_LE(c, 4);
+    }
+  }
+}
+
+TEST(PlacementTest, ShrinkToFitReducesOversizedJob) {
+  // 8+8 tasks cannot fit on 2 small servers; shrink-to-fit should find a
+  // smaller allocation rather than pausing the job.
+  PlacementResult result =
+      PlaceJobs(PlacementPolicy::kOptimusPack, {PJob(0, 8, 8)}, Uniform(2, 20));
+  ASSERT_TRUE(result.placements.count(0));
+  const Allocation eff = result.effective_alloc[0];
+  EXPECT_LT(eff.num_workers, 8);
+  EXPECT_GE(eff.num_workers, 1);
+  EXPECT_EQ(result.unplaced.size(), 0u);
+}
+
+TEST(PlacementTest, WithoutShrinkOversizedJobIsUnplaced) {
+  PlacementResult result = PlaceJobs(PlacementPolicy::kOptimusPack, {PJob(0, 8, 8)},
+                                     Uniform(2, 20), /*shrink_to_fit=*/false);
+  EXPECT_EQ(result.placements.size(), 0u);
+  ASSERT_EQ(result.unplaced.size(), 1u);
+  EXPECT_EQ(result.unplaced[0], 0);
+}
+
+TEST(PlacementTest, LoadBalanceSpreadsTasks) {
+  PlacementResult result =
+      PlaceJobs(PlacementPolicy::kLoadBalance, {PJob(0, 2, 2)}, Uniform(4, 20));
+  ASSERT_TRUE(result.placements.count(0));
+  const JobPlacement& p = result.placements[0];
+  int servers_used = 0;
+  for (size_t s = 0; s < p.workers_per_server.size(); ++s) {
+    if (p.workers_per_server[s] + p.ps_per_server[s] > 0) {
+      ++servers_used;
+    }
+  }
+  EXPECT_EQ(servers_used, 4);  // one task per server
+}
+
+TEST(PlacementTest, TetrisPacksTightly) {
+  // Pre-load one server so it has exactly the needed space: tightest-fit
+  // should use it instead of opening empty servers.
+  std::vector<Server> servers = Uniform(3, 20);
+  servers[1].Allocate(Resources(10, 100, 0, 1));
+  PlacementResult result =
+      PlaceJobs(PlacementPolicy::kTetrisPack, {PJob(0, 1, 1)}, servers);
+  ASSERT_TRUE(result.placements.count(0));
+  const JobPlacement& p = result.placements[0];
+  EXPECT_EQ(p.workers_per_server[1] + p.ps_per_server[1], 2);
+}
+
+TEST(PlacementTest, SmallestJobPlacedFirstAvoidsStarvation) {
+  // One huge job and one tiny job compete for a small cluster; the tiny job
+  // must be placed.
+  PlacementResult result = PlaceJobs(PlacementPolicy::kOptimusPack,
+                                     {PJob(0, 6, 6), PJob(1, 1, 1)}, Uniform(2, 20));
+  EXPECT_TRUE(result.placements.count(1));
+}
+
+TEST(PlacementTest, HeterogeneousServersHandled) {
+  // Mixed 16-cpu and 8-cpu servers (the paper's testbed shape): a (4, 4) job
+  // with 5-cpu tasks must use the capacity-aware spread.
+  std::vector<Server> servers;
+  servers.emplace_back(0, Resources(16, 80, 0, 1));
+  servers.emplace_back(1, Resources(16, 80, 0, 1));
+  servers.emplace_back(2, Resources(8, 48, 0, 1));
+  servers.emplace_back(3, Resources(8, 48, 0, 1));
+  PlacementResult result =
+      PlaceJobs(PlacementPolicy::kOptimusPack, {PJob(0, 4, 4)}, servers);
+  ASSERT_TRUE(result.placements.count(0));
+  EXPECT_TRUE(result.effective_alloc[0] == (Allocation{4, 4}));
+}
+
+TEST(PlacementTest, InactiveJobsSkipped) {
+  PlacementResult result = PlaceJobs(PlacementPolicy::kOptimusPack,
+                                     {PJob(0, 0, 0), PJob(1, 1, 1)}, Uniform(2, 20));
+  EXPECT_FALSE(result.placements.count(0));
+  EXPECT_TRUE(result.placements.count(1));
+  EXPECT_TRUE(result.unplaced.empty());
+}
+
+}  // namespace
+}  // namespace optimus

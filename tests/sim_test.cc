@@ -1,0 +1,354 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/server.h"
+#include "src/common/rng.h"
+#include "src/sim/experiment.h"
+#include "src/sim/simulator.h"
+#include "src/sim/workload.h"
+
+namespace optimus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Workload generation
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadTest, GeneratesRequestedJobsSortedByArrival) {
+  WorkloadConfig config;
+  config.num_jobs = 25;
+  Rng rng(1);
+  std::vector<JobSpec> jobs = GenerateWorkload(config, &rng);
+  ASSERT_EQ(jobs.size(), 25u);
+  for (size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].arrival_time_s, jobs[i - 1].arrival_time_s);
+  }
+  for (const JobSpec& j : jobs) {
+    EXPECT_GE(j.convergence_delta, config.delta_lo);
+    EXPECT_LE(j.convergence_delta, config.delta_hi);
+    EXPECT_NE(j.model, nullptr);
+  }
+}
+
+TEST(WorkloadTest, FirstNineJobsCoverTheZoo) {
+  WorkloadConfig config;
+  config.num_jobs = 9;
+  Rng rng(2);
+  std::vector<JobSpec> jobs = GenerateWorkload(config, &rng);
+  std::set<std::string> names;
+  for (const JobSpec& j : jobs) {
+    names.insert(j.model->name);
+  }
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(WorkloadTest, UniformArrivalsWithinWindow) {
+  WorkloadConfig config;
+  config.num_jobs = 50;
+  config.arrival_window_s = 12000.0;
+  Rng rng(3);
+  for (const JobSpec& j : GenerateWorkload(config, &rng)) {
+    EXPECT_GE(j.arrival_time_s, 0.0);
+    EXPECT_LE(j.arrival_time_s, 12000.0);
+  }
+}
+
+TEST(WorkloadTest, PoissonInterArrivalsMatchRate) {
+  WorkloadConfig config;
+  config.num_jobs = 300;
+  config.arrivals = ArrivalProcess::kPoisson;
+  config.arrivals_per_interval = 3.0;
+  config.interval_s = 600.0;
+  Rng rng(4);
+  std::vector<JobSpec> jobs = GenerateWorkload(config, &rng);
+  const double span = jobs.back().arrival_time_s;
+  const double rate = 300.0 / span;  // arrivals per second
+  EXPECT_NEAR(rate, 3.0 / 600.0, 0.001);
+}
+
+TEST(WorkloadTest, GoogleTraceIsBurstier) {
+  // The bursty process should have a higher coefficient of variation of
+  // per-interval arrival counts than the Poisson process.
+  auto arrival_cv = [](ArrivalProcess process) {
+    WorkloadConfig config;
+    config.num_jobs = 400;
+    config.arrivals = process;
+    Rng rng(5);
+    std::vector<JobSpec> jobs = GenerateWorkload(config, &rng);
+    std::vector<double> counts;
+    const double span = jobs.back().arrival_time_s;
+    const int buckets = static_cast<int>(span / config.interval_s) + 1;
+    counts.assign(buckets, 0.0);
+    for (const JobSpec& j : jobs) {
+      counts[static_cast<size_t>(j.arrival_time_s / config.interval_s)] += 1.0;
+    }
+    double mean = 0.0;
+    for (double c : counts) {
+      mean += c;
+    }
+    mean /= counts.size();
+    double var = 0.0;
+    for (double c : counts) {
+      var += (c - mean) * (c - mean);
+    }
+    var /= counts.size();
+    return std::sqrt(var) / mean;
+  };
+  EXPECT_GT(arrival_cv(ArrivalProcess::kGoogleTrace),
+            arrival_cv(ArrivalProcess::kPoisson) * 1.3);
+}
+
+TEST(WorkloadTest, ForcedModeApplies) {
+  WorkloadConfig config;
+  config.num_jobs = 20;
+  config.forced_mode = TrainingMode::kSync;
+  Rng rng(6);
+  for (const JobSpec& j : GenerateWorkload(config, &rng)) {
+    EXPECT_EQ(j.mode, TrainingMode::kSync);
+  }
+}
+
+TEST(WorkloadTest, DownscalingCapsStepsPerEpoch) {
+  WorkloadConfig config;
+  config.target_steps_per_epoch = 20;
+  Rng rng(7);
+  for (const JobSpec& j : GenerateWorkload(config, &rng)) {
+    EXPECT_LE(j.StepsPerEpoch(), 21);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator end-to-end
+// ---------------------------------------------------------------------------
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static std::vector<JobSpec> SmallWorkload(int n, uint64_t seed) {
+    WorkloadConfig config;
+    config.num_jobs = n;
+    config.arrival_window_s = 3000.0;
+    Rng rng(seed);
+    return GenerateWorkload(config, &rng);
+  }
+};
+
+TEST_F(SimulatorTest, AllJobsCompleteUnderEveryScheduler) {
+  for (SchedulerPreset preset :
+       {SchedulerPreset::kOptimus, SchedulerPreset::kDrf, SchedulerPreset::kTetris}) {
+    SCOPED_TRACE(SchedulerPresetName(preset));
+    SimulatorConfig config;
+    ApplySchedulerPreset(preset, &config);
+    config.seed = 11;
+    Simulator sim(config, BuildTestbed(), SmallWorkload(6, 11));
+    RunMetrics metrics = sim.Run();
+    EXPECT_EQ(metrics.completed_jobs, 6);
+    EXPECT_GT(metrics.avg_jct_s, 0.0);
+    EXPECT_GT(metrics.makespan_s, 0.0);
+    EXPECT_GE(metrics.makespan_s, metrics.avg_jct_s);
+  }
+}
+
+TEST_F(SimulatorTest, DeterministicForSameSeed) {
+  auto run = [this] {
+    SimulatorConfig config;
+    ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+    config.seed = 13;
+    Simulator sim(config, BuildTestbed(), SmallWorkload(5, 13));
+    return sim.Run();
+  };
+  RunMetrics a = run();
+  RunMetrics b = run();
+  EXPECT_DOUBLE_EQ(a.avg_jct_s, b.avg_jct_s);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  ASSERT_EQ(a.jcts.size(), b.jcts.size());
+  for (size_t i = 0; i < a.jcts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jcts[i], b.jcts[i]);
+  }
+}
+
+TEST_F(SimulatorTest, JctsArePositiveAndBoundedByMakespan) {
+  SimulatorConfig config;
+  ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+  config.seed = 17;
+  Simulator sim(config, BuildTestbed(), SmallWorkload(5, 17));
+  RunMetrics metrics = sim.Run();
+  for (double jct : metrics.jcts) {
+    EXPECT_GT(jct, 0.0);
+    EXPECT_LE(jct, metrics.makespan_s + 1e-6);
+  }
+}
+
+TEST_F(SimulatorTest, TimelineRecordsRunningTasks) {
+  SimulatorConfig config;
+  ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+  config.seed = 19;
+  Simulator sim(config, BuildTestbed(), SmallWorkload(5, 19));
+  RunMetrics metrics = sim.Run();
+  ASSERT_FALSE(metrics.timeline.empty());
+  int max_tasks = 0;
+  for (const TimelinePoint& p : metrics.timeline) {
+    max_tasks = std::max(max_tasks, p.running_tasks);
+    EXPECT_GE(p.worker_cpu_util_pct, 0.0);
+    EXPECT_LE(p.worker_cpu_util_pct, 100.0);
+  }
+  EXPECT_GT(max_tasks, 0);
+}
+
+TEST_F(SimulatorTest, StepIntervalAdvancesTime) {
+  SimulatorConfig config;
+  ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+  config.seed = 23;
+  Simulator sim(config, BuildTestbed(), SmallWorkload(3, 23));
+  const double t0 = sim.now_s();
+  sim.StepInterval();
+  EXPECT_GT(sim.now_s(), t0);
+}
+
+TEST_F(SimulatorTest, ScalingEventsChargeStalls) {
+  SimulatorConfig config;
+  ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+  config.seed = 29;
+  Simulator sim(config, BuildTestbed(), SmallWorkload(6, 29));
+  RunMetrics metrics = sim.Run();
+  // Scaling overhead is reported and small (the paper reports ~2.5%).
+  EXPECT_GE(metrics.scaling_overhead_fraction, 0.0);
+  EXPECT_LT(metrics.scaling_overhead_fraction, 0.2);
+}
+
+TEST_F(SimulatorTest, CheckpointBudgetFreezesAllocation) {
+  SimulatorConfig config;
+  ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+  config.checkpoint.max_scalings_per_job = 1;
+  config.seed = 31;
+  Simulator sim(config, BuildTestbed(), SmallWorkload(6, 31));
+  RunMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.completed_jobs, 6);
+  for (double jct : metrics.jcts) {
+    EXPECT_GT(jct, 0.0);
+  }
+}
+
+TEST_F(SimulatorTest, OracleModeCompletesFaster) {
+  // Perfect estimates should not be materially worse than fitted ones.
+  auto run = [this](bool oracle) {
+    SimulatorConfig config;
+    ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+    config.oracle_estimates = oracle;
+    config.seed = 37;
+    Simulator sim(config, BuildTestbed(), SmallWorkload(6, 37));
+    return sim.Run().avg_jct_s;
+  };
+  const double fitted = run(false);
+  const double oracle = run(true);
+  EXPECT_LT(oracle, fitted * 1.5);
+  EXPECT_LT(fitted, oracle * 1.8);
+}
+
+TEST_F(SimulatorTest, InjectedErrorDegradesPerformance) {
+  // Fig 15: larger prediction errors increase JCT (averaged over seeds).
+  auto mean_jct = [this](double err) {
+    double sum = 0.0;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+      SimulatorConfig config;
+      ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+      config.oracle_estimates = true;
+      config.error.convergence_error = err;
+      config.error.speed_error = err;
+      config.seed = seed;
+      Simulator sim(config, BuildTestbed(), SmallWorkload(7, seed));
+      sum += sim.Run().avg_jct_s;
+    }
+    return sum / 6.0;
+  };
+  EXPECT_LT(mean_jct(0.0), mean_jct(0.45) * 1.1);
+}
+
+TEST_F(SimulatorTest, StragglersSlowDownUnhandledJobs) {
+  auto run = [this](double inject, bool handle) {
+    double sum = 0.0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      SimulatorConfig config;
+      ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+      config.straggler.injection_prob_per_interval = inject;
+      config.straggler.handling_enabled = handle;
+      config.seed = seed;
+      Simulator sim(config, BuildTestbed(), SmallWorkload(6, seed));
+      sum += sim.Run().avg_jct_s;
+    }
+    return sum / 5.0;
+  };
+  const double clean = run(0.0, true);
+  const double unhandled = run(0.4, false);
+  const double handled = run(0.4, true);
+  EXPECT_GT(unhandled, clean);
+  EXPECT_LT(handled, unhandled);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment harness
+// ---------------------------------------------------------------------------
+
+TEST(ExperimentTest, AggregatesRepeats) {
+  ExperimentConfig config;
+  ApplySchedulerPreset(SchedulerPreset::kOptimus, &config.sim);
+  config.workload.num_jobs = 5;
+  config.workload.arrival_window_s = 3000.0;
+  config.repeats = 3;
+  config.label = "unit";
+  ExperimentResult result = RunExperiment(config, [] { return BuildTestbed(); });
+  EXPECT_EQ(result.runs.size(), 3u);
+  EXPECT_GT(result.avg_jct_mean, 0.0);
+  EXPECT_GT(result.makespan_mean, 0.0);
+  EXPECT_DOUBLE_EQ(result.completed_fraction, 1.0);
+  EXPECT_EQ(result.label, "unit");
+}
+
+TEST(ExperimentTest, OptimusBeatsBaselinesOnTestbedWorkload) {
+  // The headline Fig-11 property: Optimus achieves lower average JCT and
+  // makespan than both DRF and Tetris under the paper's testbed conditions.
+  auto run = [](SchedulerPreset preset) {
+    ExperimentConfig config;
+    ApplySchedulerPreset(preset, &config.sim);
+    ApplyTestbedConditions(&config.sim);
+    config.workload.num_jobs = 9;
+    config.workload.target_steps_per_epoch = 60;
+    config.repeats = 4;
+    return RunExperiment(config, [] { return BuildTestbed(); });
+  };
+  ExperimentResult optimus = run(SchedulerPreset::kOptimus);
+  ExperimentResult drf = run(SchedulerPreset::kDrf);
+  ExperimentResult tetris = run(SchedulerPreset::kTetris);
+  EXPECT_LT(optimus.avg_jct_mean, drf.avg_jct_mean);
+  EXPECT_LT(optimus.avg_jct_mean, tetris.avg_jct_mean);
+  EXPECT_LT(optimus.makespan_mean, drf.makespan_mean);
+  EXPECT_LT(optimus.makespan_mean, tetris.makespan_mean);
+}
+
+TEST_F(SimulatorTest, MultiFamilyFittingCompletesComparably) {
+  auto run = [this](bool multi) {
+    SimulatorConfig config;
+    ApplySchedulerPreset(SchedulerPreset::kOptimus, &config);
+    config.multi_family_fitting = multi;
+    config.seed = 67;
+    Simulator sim(config, BuildTestbed(), SmallWorkload(6, 67));
+    return sim.Run();
+  };
+  RunMetrics single = run(false);
+  RunMetrics multi = run(true);
+  EXPECT_EQ(single.completed_jobs, 6);
+  EXPECT_EQ(multi.completed_jobs, 6);
+  // Ground-truth curves are in the Eqn-1 family, so model selection should
+  // land on comparable estimates and comparable outcomes.
+  EXPECT_LT(multi.avg_jct_s, single.avg_jct_s * 1.5);
+  EXPECT_LT(single.avg_jct_s, multi.avg_jct_s * 1.5);
+}
+
+TEST(ExperimentTest, NormalizedTo) {
+  EXPECT_DOUBLE_EQ(NormalizedTo(10.0, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(NormalizedTo(10.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace optimus

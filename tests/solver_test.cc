@@ -1,0 +1,193 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/solver/matrix.h"
+#include "src/solver/nnls.h"
+
+namespace optimus {
+namespace {
+
+TEST(MatrixTest, TimesAndTransposeTimes) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6]
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Vector x = {1.0, 1.0, 1.0};
+  Vector ax = a.Times(x);
+  EXPECT_DOUBLE_EQ(ax[0], 6.0);
+  EXPECT_DOUBLE_EQ(ax[1], 15.0);
+
+  Vector v = {1.0, 1.0};
+  Vector atv = a.TransposeTimes(v);
+  EXPECT_DOUBLE_EQ(atv[0], 5.0);
+  EXPECT_DOUBLE_EQ(atv[1], 7.0);
+  EXPECT_DOUBLE_EQ(atv[2], 9.0);
+}
+
+TEST(MatrixTest, GramIsSymmetric) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  a(2, 0) = 5;
+  a(2, 1) = 6;
+  Matrix g = a.Gram();
+  EXPECT_DOUBLE_EQ(g(0, 1), g(1, 0));
+  EXPECT_DOUBLE_EQ(g(0, 0), 1 + 9 + 25);
+  EXPECT_DOUBLE_EQ(g(1, 1), 4 + 16 + 36);
+}
+
+TEST(MatrixTest, SelectColumns) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix s = a.SelectColumns({2, 0});
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3);
+  EXPECT_DOUBLE_EQ(s(0, 1), 1);
+  EXPECT_DOUBLE_EQ(s(1, 0), 6);
+}
+
+TEST(SolveSpdTest, SolvesDiagonalSystem) {
+  Matrix m(2, 2);
+  m(0, 0) = 2.0;
+  m(1, 1) = 4.0;
+  Vector b = {2.0, 8.0};
+  Vector x;
+  ASSERT_TRUE(SolveSpd(m, b, &x));
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(SolveLeastSquaresTest, RecoversExactSolution) {
+  // y = 2*x1 + 3*x2 on 4 points.
+  Matrix a(4, 2);
+  Vector b(4);
+  const double xs[4][2] = {{1, 0}, {0, 1}, {1, 1}, {2, 1}};
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = xs[i][0];
+    a(i, 1) = xs[i][1];
+    b[i] = 2 * xs[i][0] + 3 * xs[i][1];
+  }
+  Vector x;
+  ASSERT_TRUE(SolveLeastSquares(a, b, &x));
+  EXPECT_NEAR(x[0], 2.0, 1e-8);
+  EXPECT_NEAR(x[1], 3.0, 1e-8);
+  EXPECT_NEAR(ResidualSumOfSquares(a, x, b), 0.0, 1e-10);
+}
+
+TEST(NnlsTest, MatchesUnconstrainedWhenSolutionPositive) {
+  Matrix a(5, 2);
+  Vector b(5);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = i + 1.0;
+    a(i, 1) = 1.0;
+    b[i] = 1.5 * (i + 1.0) + 0.7;
+  }
+  NnlsResult result = SolveNnls(a, b);
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.5, 1e-8);
+  EXPECT_NEAR(result.x[1], 0.7, 1e-8);
+  EXPECT_NEAR(result.residual_sum_of_squares, 0.0, 1e-10);
+}
+
+TEST(NnlsTest, ClampsNegativeComponentToZero) {
+  // Unconstrained solution would have a negative coefficient for column 1:
+  // b = 2*col0 - 1*col1. NNLS must zero x[1] and refit.
+  Matrix a(6, 2);
+  Vector b(6);
+  Rng rng(11);
+  for (int i = 0; i < 6; ++i) {
+    a(i, 0) = rng.Uniform(0, 1);
+    a(i, 1) = rng.Uniform(0, 1);
+    b[i] = 2.0 * a(i, 0) - 1.0 * a(i, 1);
+  }
+  NnlsResult result = SolveNnls(a, b);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GE(result.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.x[1], 0.0);
+}
+
+TEST(NnlsTest, ZeroRhsGivesZeroSolution) {
+  Matrix a(3, 2);
+  a(0, 0) = 1;
+  a(1, 1) = 1;
+  a(2, 0) = 1;
+  Vector b = {0.0, 0.0, 0.0};
+  NnlsResult result = SolveNnls(a, b);
+  ASSERT_TRUE(result.converged);
+  EXPECT_DOUBLE_EQ(result.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.x[1], 0.0);
+}
+
+TEST(NnlsTest, AllSolutionsNonNegativeProperty) {
+  // Property: for random problems, NNLS never returns a negative entry and
+  // never beats the unconstrained optimum.
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t rows = 8;
+    const size_t cols = 4;
+    Matrix a(rows, cols);
+    Vector b(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        a(r, c) = rng.Normal(0.0, 1.0);
+      }
+      b[r] = rng.Normal(0.0, 1.0);
+    }
+    NnlsResult result = SolveNnls(a, b);
+    for (double v : result.x) {
+      EXPECT_GE(v, 0.0);
+    }
+    Vector unconstrained;
+    if (SolveLeastSquares(a, b, &unconstrained)) {
+      const double rss_unc = ResidualSumOfSquares(a, unconstrained, b);
+      EXPECT_GE(result.residual_sum_of_squares, rss_unc - 1e-8);
+    }
+    // The zero vector is always feasible, so NNLS can never do worse than it.
+    const double rss_zero = Dot(b, b);
+    EXPECT_LE(result.residual_sum_of_squares, rss_zero + 1e-8);
+  }
+}
+
+TEST(NnlsTest, RecoversNonNegativeGroundTruth) {
+  // Property: when the ground truth is non-negative and the system is
+  // overdetermined and noiseless, NNLS recovers it.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t rows = 30;
+    const size_t cols = 3;
+    Matrix a(rows, cols);
+    Vector truth = {rng.Uniform(0, 5), rng.Uniform(0, 5), rng.Uniform(0, 5)};
+    Vector b(rows, 0.0);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        a(r, c) = rng.Uniform(0.1, 2.0);
+        b[r] += a(r, c) * truth[c];
+      }
+    }
+    NnlsResult result = SolveNnls(a, b);
+    ASSERT_TRUE(result.converged);
+    for (size_t c = 0; c < cols; ++c) {
+      EXPECT_NEAR(result.x[c], truth[c], 1e-6) << "trial " << trial << " col " << c;
+    }
+  }
+}
+
+TEST(DotTest, Basic) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+}  // namespace
+}  // namespace optimus

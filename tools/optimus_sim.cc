@@ -1,0 +1,206 @@
+// optimus_sim — command-line driver for the cluster simulator.
+//
+// Runs one workload under one scheduler configuration and prints metrics; can
+// dump the per-interval timeline and the lifecycle event trace as CSV for
+// offline analysis.
+//
+// Examples:
+//   optimus_sim --scheduler=optimus --jobs=12 --seed=7
+//   optimus_sim --scheduler=drf --servers=40 --arrivals=poisson --repeats=3
+//   optimus_sim --scheduler=optimus --trace-csv=/tmp/events.csv
+//               --timeline-csv=/tmp/timeline.csv
+
+#include <fstream>
+#include <iostream>
+
+#include "src/cluster/server.h"
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/common/table.h"
+#include "src/sim/experiment.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace_replay.h"
+#include "src/sim/workload.h"
+
+namespace {
+
+using namespace optimus;
+
+constexpr char kUsage[] = R"(optimus_sim: deep-learning cluster scheduling simulator
+
+Flags:
+  --scheduler=optimus|drf|tetris|fifo   scheduler preset (default optimus)
+  --jobs=N                              number of jobs (default 9)
+  --servers=N                           uniform cluster size; 0 = paper's
+                                        13-server testbed (default 0)
+  --arrivals=uniform|poisson|trace      arrival process (default uniform)
+  --steps-per-epoch=N                   dataset downscaling cap (default 80)
+  --interval=SECONDS                    scheduling interval (default 600)
+  --seed=N                              workload + simulation seed (default 42)
+  --repeats=N                           averaged repeats (default 1)
+  --stragglers=P                        injection prob/job/interval (default 0.12)
+  --background-share=F                  mixed-workload reservation (default 0)
+  --oracle                              ground-truth estimates, no online fitting
+  --trace-csv=PATH                      write the event trace (repeats=1 only)
+  --timeline-csv=PATH                   write the interval timeline (repeats=1)
+  --workload-csv=PATH                   replay a workload trace instead of
+                                        generating one (repeats=1 only)
+  --dump-workload-csv=PATH              write the generated workload as CSV
+  --help                                this message
+)";
+
+SchedulerPreset ParseScheduler(const std::string& name) {
+  if (name == "optimus") {
+    return SchedulerPreset::kOptimus;
+  }
+  if (name == "drf") {
+    return SchedulerPreset::kDrf;
+  }
+  if (name == "tetris") {
+    return SchedulerPreset::kTetris;
+  }
+  if (name == "fifo") {
+    return SchedulerPreset::kOptimus;  // placement/PAA like Optimus; see below
+  }
+  OPTIMUS_LOG(Fatal) << "unknown scheduler '" << name
+                     << "' (expected optimus|drf|tetris|fifo)";
+  return SchedulerPreset::kOptimus;
+}
+
+ArrivalProcess ParseArrivals(const std::string& name) {
+  if (name == "uniform") {
+    return ArrivalProcess::kUniformRandom;
+  }
+  if (name == "poisson") {
+    return ArrivalProcess::kPoisson;
+  }
+  if (name == "trace") {
+    return ArrivalProcess::kGoogleTrace;
+  }
+  OPTIMUS_LOG(Fatal) << "unknown arrival process '" << name
+                     << "' (expected uniform|poisson|trace)";
+  return ArrivalProcess::kUniformRandom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::cout << kUsage;
+    return 0;
+  }
+
+  const std::string scheduler_name = flags.GetString("scheduler", "optimus");
+  const int num_jobs = static_cast<int>(flags.GetInt("jobs", 9));
+  const int num_servers = static_cast<int>(flags.GetInt("servers", 0));
+  const std::string arrivals = flags.GetString("arrivals", "uniform");
+  const int64_t steps_per_epoch = flags.GetInt("steps-per-epoch", 80);
+  const double interval_s = flags.GetDouble("interval", 600.0);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 1));
+  const double stragglers = flags.GetDouble("stragglers", 0.12);
+  const double background_share = flags.GetDouble("background-share", 0.0);
+  const bool oracle = flags.GetBool("oracle", false);
+  const std::string trace_csv = flags.GetString("trace-csv", "");
+  const std::string timeline_csv = flags.GetString("timeline-csv", "");
+  const std::string workload_csv = flags.GetString("workload-csv", "");
+  const std::string dump_workload_csv = flags.GetString("dump-workload-csv", "");
+
+  const std::vector<std::string> unknown = flags.UnconsumedKeys();
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag(s):";
+    for (const std::string& k : unknown) {
+      std::cerr << " --" << k;
+    }
+    std::cerr << "\n\n" << kUsage;
+    return 2;
+  }
+
+  ExperimentConfig config;
+  ApplySchedulerPreset(ParseScheduler(scheduler_name), &config.sim);
+  if (scheduler_name == "fifo") {
+    config.sim.allocator = AllocatorPolicy::kFifo;
+  }
+  config.sim.interval_s = interval_s;
+  config.sim.straggler.injection_prob_per_interval = stragglers;
+  config.sim.background_share = background_share;
+  config.sim.oracle_estimates = oracle;
+  config.workload.num_jobs = num_jobs;
+  config.workload.arrivals = ParseArrivals(arrivals);
+  config.workload.interval_s = interval_s;
+  config.workload.target_steps_per_epoch = steps_per_epoch;
+  config.repeats = repeats;
+  config.base_seed = seed;
+  config.label = scheduler_name;
+
+  auto cluster = [num_servers]() {
+    return num_servers > 0
+               ? BuildUniformCluster(num_servers, Resources(16, 80, 0, 1))
+               : BuildTestbed();
+  };
+
+  if (repeats == 1 &&
+      (!trace_csv.empty() || !timeline_csv.empty() || !workload_csv.empty() ||
+       !dump_workload_csv.empty())) {
+    // Single instrumented run.
+    SimulatorConfig sim_config = config.sim;
+    sim_config.seed = seed;
+    std::vector<JobSpec> specs;
+    if (!workload_csv.empty()) {
+      std::ifstream in(workload_csv);
+      OPTIMUS_CHECK(in.good()) << "cannot read " << workload_csv;
+      std::string parse_error;
+      if (!ReadWorkloadCsv(in, TraceReplayOptions{}, &specs, &parse_error)) {
+        std::cerr << "bad workload trace: " << parse_error << "\n";
+        return 2;
+      }
+    } else {
+      Rng rng(seed ^ 0x5eedULL);
+      specs = GenerateWorkload(config.workload, &rng);
+    }
+    if (!dump_workload_csv.empty()) {
+      std::ofstream os(dump_workload_csv);
+      OPTIMUS_CHECK(os.good()) << "cannot write " << dump_workload_csv;
+      WriteWorkloadCsv(specs, os);
+      std::cout << "wrote " << specs.size() << " jobs to " << dump_workload_csv << "\n";
+    }
+    Simulator sim(sim_config, cluster(), specs);
+    RunMetrics metrics = sim.Run();
+    if (!trace_csv.empty()) {
+      std::ofstream os(trace_csv);
+      OPTIMUS_CHECK(os.good()) << "cannot write " << trace_csv;
+      sim.trace().WriteCsv(os);
+      std::cout << "wrote " << sim.trace().size() << " events to " << trace_csv << "\n";
+    }
+    if (!timeline_csv.empty()) {
+      std::ofstream os(timeline_csv);
+      OPTIMUS_CHECK(os.good()) << "cannot write " << timeline_csv;
+      os << "time_s,running_tasks,worker_cpu_util_pct,ps_cpu_util_pct\n";
+      for (const TimelinePoint& p : metrics.timeline) {
+        os << p.time_s << "," << p.running_tasks << "," << p.worker_cpu_util_pct << ","
+           << p.ps_cpu_util_pct << "\n";
+      }
+      std::cout << "wrote " << metrics.timeline.size() << " timeline points to "
+                << timeline_csv << "\n";
+    }
+    std::cout << "scheduler " << scheduler_name << ": completed "
+              << metrics.completed_jobs << "/" << metrics.total_jobs << ", avg JCT "
+              << TablePrinter::FormatDouble(metrics.avg_jct_s, 0) << " s, makespan "
+              << TablePrinter::FormatDouble(metrics.makespan_s, 0) << " s\n";
+    return metrics.completed_jobs == metrics.total_jobs ? 0 : 1;
+  }
+
+  ExperimentResult result = RunExperiment(config, cluster);
+  TablePrinter table({"scheduler", "jobs", "avg JCT (s)", "JCT stddev", "makespan (s)",
+                      "makespan stddev", "completed", "scaling overhead %"});
+  table.AddRow({scheduler_name, std::to_string(num_jobs),
+                TablePrinter::FormatDouble(result.avg_jct_mean, 0),
+                TablePrinter::FormatDouble(result.avg_jct_stddev, 0),
+                TablePrinter::FormatDouble(result.makespan_mean, 0),
+                TablePrinter::FormatDouble(result.makespan_stddev, 0),
+                TablePrinter::FormatDouble(result.completed_fraction * 100.0, 0) + "%",
+                TablePrinter::FormatDouble(result.scaling_overhead_mean * 100.0, 2)});
+  table.Print(std::cout);
+  return result.completed_fraction == 1.0 ? 0 : 1;
+}
