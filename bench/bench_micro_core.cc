@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_util.h"
 #include "src/cluster/server.h"
 #include "src/common/rng.h"
 #include "src/models/loss_curve.h"
@@ -14,6 +18,7 @@
 #include "src/pserver/comm_model.h"
 #include "src/sched/optimus_allocator.h"
 #include "src/sched/placement.h"
+#include "src/sched/speed_surface.h"
 #include "src/solver/nnls.h"
 
 namespace optimus {
@@ -101,6 +106,77 @@ void BM_OptimusAllocation(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimusAllocation)->Arg(10)->Arg(100)->Arg(1000);
 
+// Jobs whose estimates run the full Eqn-2 step-time model with the §5.3
+// block-assignment load recomputed at the probed PS count (what a
+// full-fidelity oracle probe costs), cycling the Table-1 zoo so surfaces are
+// shared by signature.
+std::vector<SchedJob> MakeOracleJobs(int n) {
+  const std::vector<ModelSpec>& zoo = GetModelZoo();
+  const CommConfig comm;
+  std::vector<SchedJob> jobs = MakeJobs(n);
+  for (int i = 0; i < n; ++i) {
+    const ModelSpec& model = zoo[i % zoo.size()];
+    const double steps_per_epoch =
+        static_cast<double>(model.StepsPerEpoch(model.default_sync_batch));
+    const ParamBlockSizes blocks = GenerateParamBlocks(model);
+    jobs[i].speed = [&model, comm, steps_per_epoch, blocks](int p, int w) {
+      StepTimeInputs in;
+      in.model = &model;
+      in.mode = TrainingMode::kSync;
+      in.num_ps = p;
+      in.num_workers = w;
+      in.global_batch = model.default_sync_batch;
+      in.load = ComputeLoadMetrics(PaaAssigner().Assign(blocks, p));
+      in.load_valid = true;
+      return TrainingSpeed(in, comm) / steps_per_epoch;
+    };
+    jobs[i].speed_signature = static_cast<uint64_t>(i % zoo.size()) + 1;
+  }
+  return jobs;
+}
+
+// One allocation round over oracle-model jobs, with and without the memoized
+// speed surface. The gap is the per-round saving of the fast path.
+void BM_OptimusAllocationRound(benchmark::State& state, bool cached) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<SchedJob> jobs = MakeOracleJobs(n);
+  const Resources capacity(16.0 * n, 80.0 * n, 0, n);
+  OptimusAllocator allocator;
+  for (auto _ : state) {
+    SpeedSurfaceSet surfaces(cached);
+    benchmark::DoNotOptimize(allocator.Allocate(jobs, capacity, &surfaces));
+  }
+}
+
+void BM_OptimusAllocationCached(benchmark::State& state) {
+  BM_OptimusAllocationRound(state, /*cached=*/true);
+}
+BENCHMARK(BM_OptimusAllocationCached)->Arg(100)->Arg(1000);
+
+void BM_OptimusAllocationUncached(benchmark::State& state) {
+  BM_OptimusAllocationRound(state, /*cached=*/false);
+}
+BENCHMARK(BM_OptimusAllocationUncached)->Arg(100)->Arg(1000);
+
+void BM_SpeedSurfaceProbe(benchmark::State& state) {
+  std::vector<SchedJob> jobs = MakeOracleJobs(1);
+  SpeedSurface surface(jobs[0].speed, jobs[0].max_ps, jobs[0].max_workers);
+  // Warm the whole grid so the loop measures pure cache hits.
+  for (int p = 1; p <= jobs[0].max_ps; ++p) {
+    for (int w = 1; w <= jobs[0].max_workers; ++w) {
+      surface.Speed(p, w);
+    }
+  }
+  int p = 1;
+  int w = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(surface.Speed(p, w));
+    p = p % 16 + 1;
+    w = (w + 2) % 16 + 1;
+  }
+}
+BENCHMARK(BM_SpeedSurfaceProbe);
+
 void BM_OptimusPlacement(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   std::vector<SchedJob> jobs = MakeJobs(n);
@@ -139,7 +215,48 @@ void BM_StepTimeModel(benchmark::State& state) {
 }
 BENCHMARK(BM_StepTimeModel);
 
+// One timed allocation round outside the google-benchmark loop, for the
+// machine-readable snapshot.
+JsonObject MeasureAllocationRound(int n, bool cached) {
+  std::vector<SchedJob> jobs = MakeOracleJobs(n);
+  const Resources capacity(16.0 * n, 80.0 * n, 0, n);
+  SpeedSurfaceSet surfaces(cached);
+  const auto start = std::chrono::steady_clock::now();
+  OptimusAllocator().Allocate(jobs, capacity, &surfaces);
+  const auto end = std::chrono::steady_clock::now();
+
+  JsonObject round;
+  round.Set("cached", cached);
+  round.Set("jobs", n);
+  round.Set("alloc_s", std::chrono::duration<double>(end - start).count());
+  round.Set("probes", surfaces.probes());
+  round.Set("evals", surfaces.evals());
+  round.Set("hit_rate", surfaces.hit_rate());
+  return round;
+}
+
+void WriteMicroJson(const std::string& path) {
+  const int n = 500;
+  const JsonObject uncached = MeasureAllocationRound(n, false);
+  const JsonObject cached = MeasureAllocationRound(n, true);
+  JsonObject section;
+  section.Set("allocation_uncached", uncached);
+  section.Set("allocation_cached", cached);
+  if (WriteBenchJsonSection(path, "micro_core", section)) {
+    std::cout << "wrote section micro_core to " << path << "\n";
+  }
+}
+
 }  // namespace
 }  // namespace optimus
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  optimus::WriteMicroJson("BENCH_sched.json");
+  return 0;
+}

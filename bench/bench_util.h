@@ -27,6 +27,44 @@ void PrintExperimentHeader(const std::string& id, const std::string& title,
 std::vector<ExperimentResult> RunSchedulerComparison(const ExperimentConfig& base,
                                                      const std::string& caption);
 
+// ---------------------------------------------------------------------------
+// Machine-readable bench output (BENCH_sched.json and friends).
+// ---------------------------------------------------------------------------
+
+// A minimal ordered JSON object builder: keys are emitted in insertion order,
+// setting an existing key replaces its value in place. Values are encoded on
+// Set, so nested objects/arrays are copied by value. Non-finite doubles are
+// emitted as null (JSON has no NaN/Inf).
+class JsonObject {
+ public:
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, int64_t value);
+  void Set(const std::string& key, int value) { Set(key, static_cast<int64_t>(value)); }
+  void Set(const std::string& key, bool value);
+  void Set(const std::string& key, const std::string& value);
+  void Set(const std::string& key, const char* value);
+  void Set(const std::string& key, const JsonObject& value);
+  void Set(const std::string& key, const std::vector<JsonObject>& values);
+  void Set(const std::string& key, const std::vector<double>& values);
+
+  // Serializes with two-space indentation; `indent` is the starting depth.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  void SetRaw(const std::string& key, std::string encoded);
+
+  std::vector<std::pair<std::string, std::string>> entries_;  // key -> encoded
+};
+
+// Merges `value` into the JSON file at `path` as the top-level key `section`:
+// other top-level sections already in the file are preserved verbatim, an
+// existing `section` is replaced, and a missing file is created. A file that
+// does not scan as a flat JSON object is overwritten (with a warning) so a
+// corrupt file never wedges the benches. Returns false if the file could not
+// be written.
+bool WriteBenchJsonSection(const std::string& path, const std::string& section,
+                           const JsonObject& value);
+
 }  // namespace optimus
 
 #endif  // BENCH_BENCH_UTIL_H_

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "src/common/logging.h"
+#include "src/sched/speed_surface.h"
 
 namespace optimus {
 
@@ -20,7 +21,8 @@ int MaxUnits(const SchedJob& job) { return std::min(job.max_ps, job.max_workers)
 }  // namespace
 
 AllocationMap DrfAllocator::Allocate(const std::vector<SchedJob>& jobs,
-                                     const Resources& capacity) const {
+                                     const Resources& capacity,
+                                     SpeedSurfaceSet* /*surfaces*/) const {
   AllocationMap result;
   std::vector<int> units(jobs.size(), 0);
   std::vector<bool> saturated(jobs.size(), false);
@@ -64,10 +66,17 @@ AllocationMap DrfAllocator::Allocate(const std::vector<SchedJob>& jobs,
 }
 
 AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
-                                        const Resources& capacity) const {
+                                        const Resources& capacity,
+                                        SpeedSurfaceSet* surfaces) const {
+  OPTIMUS_CHECK(surfaces != nullptr);
   AllocationMap result;
   if (jobs.empty()) {
     return result;
+  }
+  std::vector<SpeedSurface*> surf;
+  surf.reserve(jobs.size());
+  for (const SchedJob& job : jobs) {
+    surf.push_back(surfaces->Surface(job));
   }
 
   // Score jobs once: shorter remaining time and smaller unit footprint first.
@@ -76,7 +85,7 @@ AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
   double max_duration = 0.0;
   double max_footprint = 0.0;
   for (size_t i = 0; i < jobs.size(); ++i) {
-    const double f = jobs[i].speed(1, 1);
+    const double f = surf[i]->Speed(1, 1);
     duration[i] = f > 0.0 ? jobs[i].remaining_epochs / f
                           : std::numeric_limits<double>::infinity();
     footprint[i] = UnitDemand(jobs[i]).DominantShare(capacity);
@@ -114,8 +123,8 @@ AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
     while (units[i] < MaxUnits(job) && capacity.Fits(used + unit)) {
       const int u = units[i];
       if (u >= 1) {
-        const double f_now = job.speed(u, u);
-        const double f_next = job.speed(u + 1, u + 1);
+        const double f_now = surf[i]->Speed(u, u);
+        const double f_next = surf[i]->Speed(u + 1, u + 1);
         if (f_next <= f_now * (1.0 + options_.min_speedup)) {
           break;  // past the speed-efficiency knee
         }
@@ -136,8 +145,8 @@ AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
       const Resources unit = UnitDemand(job);
       if (units[i] < MaxUnits(job) && capacity.Fits(used + unit)) {
         if (units[i] >= 1) {
-          const double f_now = job.speed(units[i], units[i]);
-          const double f_next = job.speed(units[i] + 1, units[i] + 1);
+          const double f_now = surf[i]->Speed(units[i], units[i]);
+          const double f_next = surf[i]->Speed(units[i] + 1, units[i] + 1);
           if (f_next <= f_now * (1.0 + options_.min_speedup)) {
             continue;
           }
@@ -158,17 +167,20 @@ AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
 }
 
 AllocationMap FifoAllocator::Allocate(const std::vector<SchedJob>& jobs,
-                                      const Resources& capacity) const {
+                                      const Resources& capacity,
+                                      SpeedSurfaceSet* surfaces) const {
+  OPTIMUS_CHECK(surfaces != nullptr);
   AllocationMap result;
   Resources used;
   // Input order is arrival order; fill each job to its knee in turn.
   for (const SchedJob& job : jobs) {
+    SpeedSurface* surface = surfaces->Surface(job);
     const Resources unit = UnitDemand(job);
     int units = 0;
     while (units < MaxUnits(job) && capacity.Fits(used + unit)) {
       if (units >= 1) {
-        const double f_now = job.speed(units, units);
-        const double f_next = job.speed(units + 1, units + 1);
+        const double f_now = surface->Speed(units, units);
+        const double f_next = surface->Speed(units + 1, units + 1);
         if (f_next <= f_now * (1.0 + min_speedup_)) {
           break;
         }

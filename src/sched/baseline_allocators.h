@@ -22,8 +22,11 @@ namespace optimus {
 
 class DrfAllocator : public Allocator {
  public:
-  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
-                         const Resources& capacity) const override;
+  using Allocator::Allocate;
+  // DRF never consults job speeds; `surfaces` is accepted for interface
+  // uniformity and left untouched.
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs, const Resources& capacity,
+                         SpeedSurfaceSet* surfaces) const override;
   const char* name() const override { return "drf"; }
 };
 
@@ -42,8 +45,9 @@ struct TetrisAllocatorOptions {
 class TetrisAllocator : public Allocator {
  public:
   explicit TetrisAllocator(TetrisAllocatorOptions options = {}) : options_(options) {}
-  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
-                         const Resources& capacity) const override;
+  using Allocator::Allocate;
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs, const Resources& capacity,
+                         SpeedSurfaceSet* surfaces) const override;
   const char* name() const override { return "tetris"; }
 
  private:
@@ -58,8 +62,9 @@ class FifoAllocator : public Allocator {
  public:
   // `min_speedup` is the same knee criterion Tetris uses.
   explicit FifoAllocator(double min_speedup = 0.04) : min_speedup_(min_speedup) {}
-  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
-                         const Resources& capacity) const override;
+  using Allocator::Allocate;
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs, const Resources& capacity,
+                         SpeedSurfaceSet* surfaces) const override;
   const char* name() const override { return "fifo"; }
 
  private:

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/sched/speed_surface.h"
 
 namespace optimus {
 
@@ -17,6 +18,7 @@ constexpr double kDeferralPenalty = 3.0;
 
 struct SearchState {
   const std::vector<SchedJob>* jobs = nullptr;
+  std::vector<SpeedSurface*> surfaces;
   Resources capacity;
   int64_t states_visited = 0;
   int64_t max_states = 0;
@@ -25,15 +27,15 @@ struct SearchState {
   std::vector<Allocation> best;
 };
 
-double OptionCost(const SchedJob& job, const Allocation& alloc) {
+double OptionCost(const SchedJob& job, SpeedSurface* surface, const Allocation& alloc) {
   if (!alloc.IsActive()) {
-    const double f_min = job.speed(1, 1);
+    const double f_min = surface->Speed(1, 1);
     if (f_min <= 0.0 || job.remaining_epochs <= 0.0) {
       return 0.0;
     }
     return kDeferralPenalty * job.remaining_epochs / f_min;
   }
-  const double f = job.speed(alloc.num_ps, alloc.num_workers);
+  const double f = surface->Speed(alloc.num_ps, alloc.num_workers);
   if (f <= 0.0) {
     return std::numeric_limits<double>::infinity();
   }
@@ -64,12 +66,14 @@ void Search(SearchState* state, size_t index, const Resources& used, double cost
         continue;
       }
       state->current[index] = alloc;
-      Search(state, index + 1, next_used, cost + OptionCost(job, alloc));
+      Search(state, index + 1, next_used,
+             cost + OptionCost(job, state->surfaces[index], alloc));
     }
     if (p == 0) {
       // The "nothing" option (w loop did not run).
       state->current[index] = Allocation{};
-      Search(state, index + 1, used, cost + OptionCost(job, Allocation{}));
+      Search(state, index + 1, used,
+             cost + OptionCost(job, state->surfaces[index], Allocation{}));
     }
   }
 }
@@ -78,21 +82,28 @@ void Search(SearchState* state, size_t index, const Resources& used, double cost
 
 double ExhaustiveAllocator::Objective(const std::vector<SchedJob>& jobs,
                                       const AllocationMap& alloc) {
+  SpeedSurfaceSet surfaces;
   double total = 0.0;
   for (const SchedJob& job : jobs) {
     Allocation a;
     if (auto it = alloc.find(job.job_id); it != alloc.end()) {
       a = it->second;
     }
-    total += OptionCost(job, a);
+    total += OptionCost(job, surfaces.Surface(job), a);
   }
   return total;
 }
 
 AllocationMap ExhaustiveAllocator::Allocate(const std::vector<SchedJob>& jobs,
-                                            const Resources& capacity) const {
+                                            const Resources& capacity,
+                                            SpeedSurfaceSet* surfaces) const {
+  OPTIMUS_CHECK(surfaces != nullptr);
   SearchState state;
   state.jobs = &jobs;
+  state.surfaces.reserve(jobs.size());
+  for (const SchedJob& job : jobs) {
+    state.surfaces.push_back(surfaces->Surface(job));
+  }
   state.capacity = capacity;
   state.max_states = options_.max_states;
   state.current.assign(jobs.size(), Allocation{});

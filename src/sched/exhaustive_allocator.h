@@ -28,8 +28,9 @@ class ExhaustiveAllocator : public Allocator {
   // Minimizes sum_j Q_j / f_j(p_j, w_j) over all feasible integer allocations
   // (including giving a job nothing, treated as contributing no term, to keep
   // the objective finite when capacity cannot seat everyone).
-  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
-                         const Resources& capacity) const override;
+  using Allocator::Allocate;
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs, const Resources& capacity,
+                         SpeedSurfaceSet* surfaces) const override;
 
   const char* name() const override { return "exhaustive"; }
 

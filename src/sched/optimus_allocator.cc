@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "src/common/logging.h"
+#include "src/sched/speed_surface.h"
 
 namespace optimus {
 
@@ -15,11 +16,11 @@ Resources AllocationDemand(const SchedJob& job, const Allocation& alloc) {
 namespace {
 
 // Estimated completion time at an allocation; infinity when speed is zero.
-double CompletionTime(const SchedJob& job, int p, int w) {
+double CompletionTime(const SchedJob& job, SpeedSurface* surface, int p, int w) {
   if (p < 1 || w < 1) {
     return std::numeric_limits<double>::infinity();
   }
-  const double f = job.speed(p, w);
+  const double f = surface->Speed(p, w);
   if (f <= 0.0) {
     return std::numeric_limits<double>::infinity();
   }
@@ -32,123 +33,139 @@ struct Candidate {
   double gain = 0.0;
   int job_index = 0;
   AddKind kind = AddKind::kWorker;
-  // Allocation snapshot the gain was computed at; stale entries are skipped.
+  // Allocation snapshot the gain was computed at; entries whose snapshot no
+  // longer matches are stale and get recomputed when popped.
   int at_ps = 0;
   int at_workers = 0;
 
-  bool operator<(const Candidate& other) const { return gain < other.gain; }
+  bool operator<(const Candidate& other) const {
+    if (gain != other.gain) {
+      return gain < other.gain;
+    }
+    // Deterministic tie-breaking: earlier-arrived jobs first, workers before
+    // parameter servers.
+    if (job_index != other.job_index) {
+      return job_index > other.job_index;
+    }
+    return kind == AddKind::kPs && other.kind == AddKind::kWorker;
+  }
 };
 
-// Computes the better of (add one worker, add one PS) for a job per Eqn 9,
-// normalized by the dominant-resource footprint of the added task. Returns
-// false when neither addition is possible (caps) or both gains are
-// non-positive.
-bool BestCandidate(const SchedJob& job, const Allocation& alloc,
-                   const Resources& capacity, double min_gain, Candidate* out) {
-  const double t_now = CompletionTime(job, alloc.num_ps, alloc.num_workers);
-  if (!std::isfinite(t_now) || job.remaining_epochs <= 0.0) {
+// Marginal gain of adding one task of `kind` to the job per Eqn 9, normalized
+// by the dominant-resource footprint of the added task. Returns false when
+// the addition is impossible (cap reached) or the gain is not above min_gain.
+bool KindCandidate(const SchedJob& job, SpeedSurface* surface, const Allocation& alloc,
+                   const Resources& capacity, AddKind kind, double min_gain,
+                   Candidate* out) {
+  if (job.remaining_epochs <= 0.0) {
+    return false;
+  }
+  const double t_now = CompletionTime(job, surface, alloc.num_ps, alloc.num_workers);
+  if (!std::isfinite(t_now)) {
     return false;
   }
 
-  double best_gain = min_gain;
-  bool found = false;
-
-  if (alloc.num_workers < job.max_workers) {
-    const double t_next = CompletionTime(job, alloc.num_ps, alloc.num_workers + 1);
-    const double dom = job.worker_demand.Get(job.worker_demand.DominantResource(capacity));
-    if (dom > 0.0 && std::isfinite(t_next)) {
-      const double gain = (t_now - t_next) / dom * job.priority_factor;
-      if (gain > best_gain) {
-        best_gain = gain;
-        out->kind = AddKind::kWorker;
-        found = true;
-      }
+  double t_next = std::numeric_limits<double>::infinity();
+  double dom = 0.0;
+  if (kind == AddKind::kWorker) {
+    if (alloc.num_workers >= job.max_workers) {
+      return false;
     }
-  }
-  if (alloc.num_ps < job.max_ps) {
-    const double t_next = CompletionTime(job, alloc.num_ps + 1, alloc.num_workers);
-    const double dom = job.ps_demand.Get(job.ps_demand.DominantResource(capacity));
-    if (dom > 0.0 && std::isfinite(t_next)) {
-      const double gain = (t_now - t_next) / dom * job.priority_factor;
-      if (gain > best_gain) {
-        best_gain = gain;
-        out->kind = AddKind::kPs;
-        found = true;
-      }
+    t_next = CompletionTime(job, surface, alloc.num_ps, alloc.num_workers + 1);
+    dom = job.worker_demand.Get(job.worker_demand.DominantResource(capacity));
+  } else {
+    if (alloc.num_ps >= job.max_ps) {
+      return false;
     }
+    t_next = CompletionTime(job, surface, alloc.num_ps + 1, alloc.num_workers);
+    dom = job.ps_demand.Get(job.ps_demand.DominantResource(capacity));
   }
-  if (found) {
-    out->gain = best_gain;
-    out->at_ps = alloc.num_ps;
-    out->at_workers = alloc.num_workers;
+  if (dom <= 0.0 || !std::isfinite(t_next)) {
+    return false;
   }
-  return found;
+  const double gain = (t_now - t_next) / dom * job.priority_factor;
+  if (gain <= min_gain) {
+    return false;
+  }
+  out->gain = gain;
+  out->kind = kind;
+  out->at_ps = alloc.num_ps;
+  out->at_workers = alloc.num_workers;
+  return true;
 }
 
 }  // namespace
 
 AllocationMap OptimusAllocator::Allocate(const std::vector<SchedJob>& jobs,
-                                         const Resources& capacity) const {
+                                         const Resources& capacity,
+                                         SpeedSurfaceSet* surfaces) const {
+  OPTIMUS_CHECK(surfaces != nullptr);
   AllocationMap result;
   std::vector<Allocation> alloc(jobs.size());
   Resources used;
 
+  OptimusAllocRoundStats local_stats;
+  OptimusAllocRoundStats* stats =
+      options_.stats != nullptr ? options_.stats : &local_stats;
+
   // Seed every job with (1 PS, 1 worker) while capacity lasts, in input
   // (arrival) order; jobs that do not fit stay pending this interval.
   std::vector<bool> active(jobs.size(), false);
+  std::vector<SpeedSurface*> surf(jobs.size(), nullptr);
   for (size_t i = 0; i < jobs.size(); ++i) {
     const Resources seed = jobs[i].worker_demand + jobs[i].ps_demand;
     if (capacity.Fits(used + seed)) {
       used += seed;
       alloc[i] = {1, 1};
       active[i] = true;
+      surf[i] = surfaces->Surface(jobs[i]);
     }
   }
 
-  // Greedy marginal-gain filling with a lazily-validated max-heap.
+  // Greedy marginal-gain filling with a lazily-validated max-heap holding one
+  // fresh candidate per (job, kind). Whenever a job's allocation moves, both
+  // of its kinds are re-pushed with gains recomputed at the new allocation;
+  // the superseded entries are detected by their snapshot and discarded when
+  // popped, so the heap top is always an exact maximum over current gains. A
+  // kind is dropped once its task no longer fits the remaining capacity
+  // (capacity only shrinks within a round).
   std::priority_queue<Candidate> heap;
+  auto push_kind = [&](size_t i, AddKind kind) {
+    Candidate c;
+    c.job_index = static_cast<int>(i);
+    if (KindCandidate(jobs[i], surf[i], alloc[i], capacity, kind, options_.min_gain,
+                      &c)) {
+      heap.push(c);
+    }
+  };
   for (size_t i = 0; i < jobs.size(); ++i) {
     if (!active[i]) {
       continue;
     }
-    Candidate c;
-    c.job_index = static_cast<int>(i);
-    if (BestCandidate(jobs[i], alloc[i], capacity, options_.min_gain, &c)) {
-      heap.push(c);
-    }
+    push_kind(i, AddKind::kWorker);
+    push_kind(i, AddKind::kPs);
   }
 
   while (!heap.empty()) {
-    Candidate c = heap.top();
+    const Candidate c = heap.top();
     heap.pop();
+    ++stats->pops;
     const size_t i = static_cast<size_t>(c.job_index);
-    // Skip stale entries (the job's allocation moved since this was pushed).
+    // Stale: the job's allocation moved since this entry was pushed. Both
+    // kinds were re-pushed with fresh gains at grant time, so this superseded
+    // snapshot is simply discarded.
     if (c.at_ps != alloc[i].num_ps || c.at_workers != alloc[i].num_workers) {
-      Candidate fresh;
-      fresh.job_index = c.job_index;
-      if (BestCandidate(jobs[i], alloc[i], capacity, options_.min_gain, &fresh)) {
-        heap.push(fresh);
-      }
+      ++stats->stale_drops;
       continue;
     }
 
     const Resources demand =
         c.kind == AddKind::kWorker ? jobs[i].worker_demand : jobs[i].ps_demand;
     if (!capacity.Fits(used + demand)) {
-      // This particular addition does not fit; the other kind (or other
-      // jobs') might. Recompute restricted to what still fits by simply not
-      // re-pushing this job for this kind — re-evaluate with the current
-      // state; if its best candidate is the same unfittable kind, drop it.
-      Candidate fresh;
-      fresh.job_index = c.job_index;
-      if (BestCandidate(jobs[i], alloc[i], capacity, options_.min_gain, &fresh)) {
-        const Resources fresh_demand = fresh.kind == AddKind::kWorker
-                                           ? jobs[i].worker_demand
-                                           : jobs[i].ps_demand;
-        if (fresh.kind != c.kind && capacity.Fits(used + fresh_demand)) {
-          heap.push(fresh);
-        }
-      }
+      // Capacity only shrinks within a round and the per-task demand is
+      // fixed, so this kind can never fit again: drop it. The job's other
+      // kind keeps its own heap entry.
+      ++stats->unfittable_drops;
       continue;
     }
 
@@ -158,12 +175,12 @@ AllocationMap OptimusAllocator::Allocate(const std::vector<SchedJob>& jobs,
     } else {
       ++alloc[i].num_ps;
     }
-
-    Candidate next;
-    next.job_index = c.job_index;
-    if (BestCandidate(jobs[i], alloc[i], capacity, options_.min_gain, &next)) {
-      heap.push(next);
-    }
+    ++stats->grants;
+    // The allocation moved: re-push BOTH kinds with fresh gains (any older
+    // entries of this job are now stale and will be discarded on pop). Note a
+    // kind dropped as unfittable can re-enter here; it pops and drops again.
+    push_kind(i, AddKind::kWorker);
+    push_kind(i, AddKind::kPs);
   }
 
   for (size_t i = 0; i < jobs.size(); ++i) {

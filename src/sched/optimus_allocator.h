@@ -16,18 +16,35 @@
 
 namespace optimus {
 
+// Observable counters for one greedy round; useful for tests (the lazy-heap
+// stale/unfittable paths) and for the scalability benches.
+struct OptimusAllocRoundStats {
+  int64_t pops = 0;
+  int64_t grants = 0;
+  // Candidates whose snapshot no longer matched the job's allocation when
+  // popped: the job moved since the push, and both kinds were already
+  // re-pushed with fresh gains at grant time, so the entry is discarded.
+  int64_t stale_drops = 0;
+  // Candidates whose task kind no longer fits the remaining capacity;
+  // dropped for good (capacity only shrinks within a round).
+  int64_t unfittable_drops = 0;
+};
+
 struct OptimusAllocatorOptions {
   // Stop adding tasks once marginal gains fall below this (0 reproduces the
   // paper; a small positive value trades speed for allocation quality).
   double min_gain = 0.0;
+  // When non-null, the allocator accumulates per-round counters here.
+  OptimusAllocRoundStats* stats = nullptr;
 };
 
 class OptimusAllocator : public Allocator {
  public:
   explicit OptimusAllocator(OptimusAllocatorOptions options = {}) : options_(options) {}
 
-  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
-                         const Resources& capacity) const override;
+  using Allocator::Allocate;
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs, const Resources& capacity,
+                         SpeedSurfaceSet* surfaces) const override;
 
   const char* name() const override { return "optimus"; }
 

@@ -9,6 +9,7 @@
 #ifndef SRC_SCHED_SCHEDULER_H_
 #define SRC_SCHED_SCHEDULER_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <vector>
@@ -32,6 +33,11 @@ struct SchedJob {
   double remaining_epochs = 0.0;
   // f(p, w) in epochs/s; must be callable for p, w >= 1.
   SpeedEstimate speed;
+  // Memoization hint: jobs carrying the same nonzero signature (and the same
+  // caps) promise that their `speed` functions are pointwise identical, so a
+  // scheduling round may evaluate one shared speed surface for all of them.
+  // 0 (the default) disables sharing. See src/sched/speed_surface.h.
+  uint64_t speed_signature = 0;
   // Multiplier on the job's marginal gain (§4.1 suggests 0.95 for jobs whose
   // predictions are still unreliable).
   double priority_factor = 1.0;
@@ -53,14 +59,25 @@ using AllocationMap = std::map<int, Allocation>;
 // Sum of the resources an allocation consumes for one job.
 Resources AllocationDemand(const SchedJob& job, const Allocation& alloc);
 
+class SpeedSurfaceSet;
+
 class Allocator {
  public:
   virtual ~Allocator() = default;
 
   // Decides (p_j, w_j) for every job within `capacity`. Implementations must
-  // be deterministic given identical inputs.
+  // be deterministic given identical inputs. Builds a fresh set of memoized
+  // speed surfaces for the round (defined in speed_surface.cc).
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs,
+                         const Resources& capacity) const;
+
+  // Same decision, but every speed probe goes through `surfaces` (never
+  // null). Callers that run several allocations over the same jobs — what-if
+  // admission, ablations — pass one set so each (p, w) point is evaluated at
+  // most once across all of them.
   virtual AllocationMap Allocate(const std::vector<SchedJob>& jobs,
-                                 const Resources& capacity) const = 0;
+                                 const Resources& capacity,
+                                 SpeedSurfaceSet* surfaces) const = 0;
 
   virtual const char* name() const = 0;
 };

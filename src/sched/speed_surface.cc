@@ -1,0 +1,94 @@
+#include "src/sched/speed_surface.h"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+SpeedSurface::SpeedSurface(SpeedEstimate speed, int max_ps, int max_workers,
+                           bool cache_enabled)
+    : speed_(std::move(speed)),
+      max_ps_(max_ps),
+      max_workers_(max_workers),
+      cache_enabled_(cache_enabled) {
+  OPTIMUS_CHECK_GE(max_ps_, 1);
+  OPTIMUS_CHECK_GE(max_workers_, 1);
+  OPTIMUS_CHECK(speed_ != nullptr);
+}
+
+double SpeedSurface::Speed(int p, int w) {
+  ++probes_;
+  if (!cache_enabled_ || p < 1 || p > max_ps_ || w < 1 || w > max_workers_) {
+    ++evals_;
+    return speed_(p, w);
+  }
+  if (grid_.empty()) {
+    grid_.assign(static_cast<size_t>(max_ps_) * max_workers_,
+                 std::numeric_limits<double>::quiet_NaN());
+  }
+  double& cell = grid_[static_cast<size_t>(p - 1) * max_workers_ + (w - 1)];
+  if (std::isnan(cell)) {
+    ++evals_;
+    cell = speed_(p, w);
+  }
+  return cell;
+}
+
+SpeedSurface* SpeedSurfaceSet::Surface(const SchedJob& job) {
+  if (auto it = by_job_.find(job.job_id); it != by_job_.end()) {
+    return it->second.get();
+  }
+  std::shared_ptr<SpeedSurface> surface;
+  if (job.speed_signature != 0) {
+    const auto key =
+        std::make_tuple(job.speed_signature, job.max_ps, job.max_workers);
+    if (auto it = by_signature_.find(key); it != by_signature_.end()) {
+      surface = it->second;
+    } else {
+      surface = std::make_shared<SpeedSurface>(job.speed, job.max_ps,
+                                               job.max_workers, cache_enabled_);
+      by_signature_[key] = surface;
+      surfaces_.push_back(surface);
+    }
+  } else {
+    surface = std::make_shared<SpeedSurface>(job.speed, job.max_ps,
+                                             job.max_workers, cache_enabled_);
+    surfaces_.push_back(surface);
+  }
+  by_job_[job.job_id] = surface;
+  return surface.get();
+}
+
+int64_t SpeedSurfaceSet::probes() const {
+  int64_t total = 0;
+  for (const auto& s : surfaces_) {
+    total += s->probes();
+  }
+  return total;
+}
+
+int64_t SpeedSurfaceSet::evals() const {
+  int64_t total = 0;
+  for (const auto& s : surfaces_) {
+    total += s->evals();
+  }
+  return total;
+}
+
+double SpeedSurfaceSet::hit_rate() const {
+  const int64_t p = probes();
+  if (p == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(p - evals()) / static_cast<double>(p);
+}
+
+AllocationMap Allocator::Allocate(const std::vector<SchedJob>& jobs,
+                                  const Resources& capacity) const {
+  SpeedSurfaceSet surfaces;
+  return Allocate(jobs, capacity, &surfaces);
+}
+
+}  // namespace optimus

@@ -1,0 +1,97 @@
+// Memoized speed surfaces: the scheduling-round fast path.
+//
+// Every probe of `SchedJob::speed` is a std::function call that, in oracle
+// mode, re-runs the full comm/step-time model. One scheduling round probes
+// the same (p, w) points many times over: the greedy heap re-evaluates the
+// completion time at the current allocation for every candidate, the
+// exhaustive allocator revisits each configuration across branches, and
+// what-if admission runs two full allocations over the same jobs. A
+// SpeedSurface lazily caches f(p, w) over the job's feasible
+// [1..max_ps] x [1..max_workers] grid in a flat array so each point is
+// evaluated at most once per round; a SpeedSurfaceSet owns the surfaces of
+// one round and can share a single surface between jobs that declare
+// identical speed functions (SchedJob::speed_signature).
+//
+// Thread-safety: a SpeedSurface / SpeedSurfaceSet is NOT thread-safe; each
+// scheduling round (each allocator call chain) must own its own set. The
+// parallel experiment runner satisfies this by construction: every simulator
+// instance builds its rounds' surfaces privately.
+
+#ifndef SRC_SCHED_SPEED_SURFACE_H_
+#define SRC_SCHED_SPEED_SURFACE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "src/sched/scheduler.h"
+
+namespace optimus {
+
+// Lazy memo table over one speed function. Probes inside the grid are cached;
+// probes outside fall through to the underlying function every time.
+class SpeedSurface {
+ public:
+  // `cache_enabled = false` turns the surface into a counting pass-through
+  // (every probe re-evaluates); used to benchmark cached vs uncached rounds.
+  SpeedSurface(SpeedEstimate speed, int max_ps, int max_workers,
+               bool cache_enabled = true);
+
+  // Memoized job.speed(p, w).
+  double Speed(int p, int w);
+
+  int max_ps() const { return max_ps_; }
+  int max_workers() const { return max_workers_; }
+
+  // Total Speed() calls vs underlying speed-function evaluations.
+  int64_t probes() const { return probes_; }
+  int64_t evals() const { return evals_; }
+
+ private:
+  SpeedEstimate speed_;
+  int max_ps_;
+  int max_workers_;
+  bool cache_enabled_;
+  // NaN = not yet evaluated. Allocated lazily on the first in-grid probe so
+  // jobs that are never probed (e.g. DRF rounds) cost nothing.
+  std::vector<double> grid_;
+  int64_t probes_ = 0;
+  int64_t evals_ = 0;
+};
+
+// The surfaces of one scheduling round, keyed by job id. Jobs carrying the
+// same nonzero `speed_signature` (and identical caps) share one surface: the
+// caller guarantees their speed functions are identical, so a point evaluated
+// for one job is valid for all of them.
+class SpeedSurfaceSet {
+ public:
+  explicit SpeedSurfaceSet(bool cache_enabled = true)
+      : cache_enabled_(cache_enabled) {}
+
+  // Returns the surface for `job`, creating (or signature-sharing) it on
+  // first use. The returned pointer stays valid for the set's lifetime.
+  SpeedSurface* Surface(const SchedJob& job);
+
+  bool cache_enabled() const { return cache_enabled_; }
+  size_t num_surfaces() const { return surfaces_.size(); }
+
+  // Aggregate counters over all distinct surfaces (shared surfaces counted
+  // once).
+  int64_t probes() const;
+  int64_t evals() const;
+  // Fraction of probes served from the memo table; 0 when nothing was probed.
+  double hit_rate() const;
+
+ private:
+  bool cache_enabled_;
+  std::vector<std::shared_ptr<SpeedSurface>> surfaces_;
+  std::map<int, std::shared_ptr<SpeedSurface>> by_job_;
+  std::map<std::tuple<uint64_t, int, int>, std::shared_ptr<SpeedSurface>>
+      by_signature_;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SCHED_SPEED_SURFACE_H_

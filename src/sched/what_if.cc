@@ -4,19 +4,23 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/sched/speed_surface.h"
 
 namespace optimus {
 
 namespace {
 
-// Estimated completion times for every job under an allocation.
+// Estimated completion times for every job under an allocation, probing
+// through the round's shared speed surfaces.
 std::map<int, double> CompletionTimes(const std::vector<SchedJob>& jobs,
-                                      const AllocationMap& alloc) {
+                                      const AllocationMap& alloc,
+                                      SpeedSurfaceSet* surfaces) {
   std::map<int, double> out;
   for (const SchedJob& job : jobs) {
     double t = std::numeric_limits<double>::infinity();
     if (auto it = alloc.find(job.job_id); it != alloc.end() && it->second.IsActive()) {
-      const double f = job.speed(it->second.num_ps, it->second.num_workers);
+      const double f =
+          surfaces->Surface(job)->Speed(it->second.num_ps, it->second.num_workers);
       if (f > 0.0) {
         t = job.remaining_epochs / f;
       }
@@ -38,21 +42,27 @@ WhatIfResult EvaluateAdmission(const Allocator& allocator,
 
   WhatIfResult result;
 
+  // One memoized surface per job serves the whole analysis: the baseline
+  // round, the admitted round, and the completion-time readouts re-probe the
+  // same (p, w) points, so each is evaluated at most once.
+  SpeedSurfaceSet surfaces;
+
   // Baseline: the cluster without the candidate.
-  const AllocationMap baseline = allocator.Allocate(existing, capacity);
-  result.baseline_completion_s = CompletionTimes(existing, baseline);
+  const AllocationMap baseline = allocator.Allocate(existing, capacity, &surfaces);
+  result.baseline_completion_s = CompletionTimes(existing, baseline, &surfaces);
 
   // Scenario: the candidate competes with everyone else.
   std::vector<SchedJob> with_job = existing;
   with_job.push_back(candidate);
-  const AllocationMap admitted = allocator.Allocate(with_job, capacity);
-  result.with_job_completion_s = CompletionTimes(existing, admitted);
+  const AllocationMap admitted = allocator.Allocate(with_job, capacity, &surfaces);
+  result.with_job_completion_s = CompletionTimes(existing, admitted, &surfaces);
 
   if (auto it = admitted.find(candidate.job_id);
       it != admitted.end() && it->second.IsActive()) {
     result.admitted = true;
     result.new_job_alloc = it->second;
-    const double f = candidate.speed(it->second.num_ps, it->second.num_workers);
+    const double f =
+        surfaces.Surface(candidate)->Speed(it->second.num_ps, it->second.num_workers);
     result.new_job_completion_s =
         f > 0.0 ? candidate.remaining_epochs / f
                 : std::numeric_limits<double>::infinity();

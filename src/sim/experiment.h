@@ -31,10 +31,17 @@ struct ExperimentConfig {
   int repeats = 3;
   uint64_t base_seed = 42;
   std::string label;
+  // Worker threads for the repeats (each repeat is an independent simulation
+  // with its own seed). Every metric is bitwise identical for any thread
+  // count; see src/common/threadpool.h for the determinism contract. The
+  // default honors the OPTIMUS_THREADS environment variable (1 = serial).
+  int threads = 0;  // 0 = DefaultThreadCount()
 };
 
 // Runs `repeats` simulations on the given cluster builder (called per run so
-// servers start fresh) with seeds base_seed, base_seed+1, ...
+// servers start fresh; it must be safe to call from several threads when
+// config.threads > 1) with seeds base_seed, base_seed+1, ... Results are
+// aggregated in repeat order regardless of completion order.
 ExperimentResult RunExperiment(const ExperimentConfig& config,
                                const std::function<std::vector<Server>()>& cluster);
 

@@ -28,6 +28,14 @@ const char* AllocatorPolicyName(AllocatorPolicy policy) {
 
 namespace {
 
+// SplitMix64-style combiner for speed-surface signatures.
+uint64_t MixSignature(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 27);
+}
+
 std::unique_ptr<Allocator> MakeAllocator(AllocatorPolicy policy) {
   switch (policy) {
     case AllocatorPolicy::kOptimus:
@@ -63,18 +71,23 @@ Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
         EstimateDatasetBytes(*spec.model, spec.dataset_scale));
     jr->true_total_epochs = static_cast<double>(
         jr->curve.EpochsToConverge(spec.convergence_delta, spec.patience));
+    const bool inserted = job_index_.emplace(spec.id, jobs_.size()).second;
+    OPTIMUS_CHECK(inserted) << "duplicate job id " << spec.id;
     jobs_.push_back(std::move(jr));
+  }
+  const int init_threads =
+      config_.init_threads > 0 ? config_.init_threads : DefaultThreadCount();
+  if (init_threads > 1) {
+    init_pool_ = std::make_unique<ThreadPool>(init_threads);
   }
 }
 
 const Job& Simulator::job(int id) const {
-  for (const auto& jr : jobs_) {
-    if (jr->job.id() == id) {
-      return jr->job;
-    }
+  const auto it = job_index_.find(id);
+  if (it == job_index_.end()) {
+    OPTIMUS_LOG(Fatal) << "unknown job id " << id;
   }
-  OPTIMUS_LOG(Fatal) << "unknown job id " << id;
-  return jobs_.front()->job;
+  return jobs_[it->second]->job;
 }
 
 void Simulator::InitSpeedModel(JobRuntime* jr) {
@@ -109,13 +122,29 @@ void Simulator::InitSpeedModel(JobRuntime* jr) {
 }
 
 void Simulator::ActivateArrivals() {
+  // Collect this interval's arrivals first, then initialize their speed
+  // models — possibly in parallel. Initialization only touches per-job state
+  // (the job's own RNG streams included), so the parallel path is bitwise
+  // identical to the serial one; trace events are recorded afterwards, in
+  // arrival (input) order, to keep the event log deterministic too.
+  std::vector<JobRuntime*> arriving;
   for (auto& jr : jobs_) {
     if (!jr->arrived && jr->job.spec().arrival_time_s <= now_s_) {
       jr->arrived = true;
-      InitSpeedModel(jr.get());
-      trace_.Record(now_s_, SimEventType::kArrival, jr->job.id(), 0, 0,
-                    jr->job.spec().model->name);
+      arriving.push_back(jr.get());
     }
+  }
+  if (init_pool_ != nullptr && arriving.size() > 1) {
+    init_pool_->ParallelFor(static_cast<int64_t>(arriving.size()),
+                            [&](int64_t i) { InitSpeedModel(arriving[i]); });
+  } else {
+    for (JobRuntime* jr : arriving) {
+      InitSpeedModel(jr);
+    }
+  }
+  for (JobRuntime* jr : arriving) {
+    trace_.Record(now_s_, SimEventType::kArrival, jr->job.id(), 0, 0,
+                  jr->job.spec().model->name);
   }
 }
 
@@ -182,6 +211,17 @@ SchedJob Simulator::MakeSchedJob(JobRuntime* jr) const {
       const double tilt = 2.0 * (p + w) / span - 1.0;  // -1 at (1,1), +1 at caps
       return TrainingSpeed(in, comm) / spe * (1.0 + err * tilt);
     };
+    if (err == 0.0) {
+      // Without injected error the estimate depends only on the job's model
+      // profile, so jobs sharing one profile can share one memoized speed
+      // surface within a scheduling round.
+      uint64_t sig = std::hash<std::string>{}(spec.model->name);
+      sig = MixSignature(sig, static_cast<uint64_t>(spec.mode));
+      sig = MixSignature(sig, static_cast<uint64_t>(spec.GlobalBatch()));
+      sig = MixSignature(sig, static_cast<uint64_t>(spec.AsyncMinibatch()));
+      sig = MixSignature(sig, static_cast<uint64_t>(spec.StepsPerEpoch()));
+      sj.speed_signature = sig != 0 ? sig : 1;
+    }
   } else if (config_.naive_linear_speed) {
     // Naive assumption: perfect linear scaling in workers from the single
     // (1, 1) measurement, parameter servers free.

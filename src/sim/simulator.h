@@ -11,8 +11,11 @@
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <map>
 #include <memory>
 #include <vector>
+
+#include "src/common/threadpool.h"
 
 #include "src/cluster/checkpoint.h"
 #include "src/cluster/data_serving.h"
@@ -84,6 +87,11 @@ struct SimulatorConfig {
   // estimates with `error` injected instead of online fitting.
   bool oracle_estimates = false;
   ErrorInjection error;
+  // Worker threads for per-arrival speed-model pre-run sampling: jobs that
+  // arrive in the same interval are initialized concurrently. Each job owns
+  // its RNG stream, so results are bitwise identical for any thread count.
+  // 0 defers to the OPTIMUS_THREADS environment variable (1 = serial).
+  int init_threads = 1;
   // Data serving (§5.1): seconds to hand one 128 MB chunk to a new owner
   // when elastic scaling rebalances the per-worker data assignment. The
   // resulting stall is tiny next to the checkpoint cost, as in the paper.
@@ -159,6 +167,8 @@ class Simulator {
   SimulatorConfig config_;
   std::vector<Server> servers_;
   std::vector<std::unique_ptr<JobRuntime>> jobs_;
+  std::map<int, size_t> job_index_;  // job id -> index in jobs_
+  std::unique_ptr<ThreadPool> init_pool_;  // parallel pre-run sampling
   std::unique_ptr<Allocator> allocator_;
   StragglerModel straggler_;
   Rng rng_;

@@ -1,0 +1,94 @@
+// Determinism regression tests for the parallel fast paths: the experiment
+// runner and per-arrival speed-model sampling must produce bitwise-identical
+// metrics for any thread count (each repeat / job owns an independent split
+// RNG and results commit into index-owned slots).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/server.h"
+#include "src/common/rng.h"
+#include "src/sim/experiment.h"
+#include "src/sim/simulator.h"
+#include "src/sim/workload.h"
+
+namespace optimus {
+namespace {
+
+void ExpectIdenticalMetrics(const RunMetrics& a, const RunMetrics& b) {
+  EXPECT_EQ(a.total_jobs, b.total_jobs);
+  EXPECT_EQ(a.completed_jobs, b.completed_jobs);
+  ASSERT_EQ(a.jcts.size(), b.jcts.size());
+  for (size_t i = 0; i < a.jcts.size(); ++i) {
+    EXPECT_EQ(a.jcts[i], b.jcts[i]) << "jct " << i;  // bitwise
+  }
+  EXPECT_EQ(a.avg_jct_s, b.avg_jct_s);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.scaling_overhead_fraction, b.scaling_overhead_fraction);
+  EXPECT_EQ(a.straggler_replacements, b.straggler_replacements);
+  EXPECT_EQ(a.total_scalings, b.total_scalings);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].time_s, b.timeline[i].time_s);
+    EXPECT_EQ(a.timeline[i].running_tasks, b.timeline[i].running_tasks);
+    EXPECT_EQ(a.timeline[i].worker_cpu_util_pct, b.timeline[i].worker_cpu_util_pct);
+    EXPECT_EQ(a.timeline[i].ps_cpu_util_pct, b.timeline[i].ps_cpu_util_pct);
+  }
+}
+
+ExperimentConfig SmallExperiment(int threads) {
+  ExperimentConfig config;
+  config.workload.num_jobs = 6;
+  config.workload.arrival_window_s = 2400.0;
+  config.sim.max_sim_time_s = 2e5;
+  config.repeats = 3;
+  config.base_seed = 7;
+  config.threads = threads;
+  return config;
+}
+
+TEST(ParallelDeterminismTest, ExperimentRunnerMatchesSerialBitForBit) {
+  const ExperimentResult serial =
+      RunExperiment(SmallExperiment(1), [] { return BuildTestbed(); });
+  const ExperimentResult parallel =
+      RunExperiment(SmallExperiment(4), [] { return BuildTestbed(); });
+
+  EXPECT_EQ(serial.avg_jct_mean, parallel.avg_jct_mean);
+  EXPECT_EQ(serial.avg_jct_stddev, parallel.avg_jct_stddev);
+  EXPECT_EQ(serial.makespan_mean, parallel.makespan_mean);
+  EXPECT_EQ(serial.makespan_stddev, parallel.makespan_stddev);
+  EXPECT_EQ(serial.scaling_overhead_mean, parallel.scaling_overhead_mean);
+  EXPECT_EQ(serial.completed_fraction, parallel.completed_fraction);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  for (size_t r = 0; r < serial.runs.size(); ++r) {
+    ExpectIdenticalMetrics(serial.runs[r], parallel.runs[r]);
+  }
+}
+
+RunMetrics RunSimulatorWithInitThreads(int init_threads) {
+  SimulatorConfig sim;
+  sim.seed = 11;
+  sim.max_sim_time_s = 2e5;
+  sim.init_threads = init_threads;
+
+  WorkloadConfig workload;
+  workload.num_jobs = 8;
+  // Squeeze the arrivals so several jobs land in the same scheduling interval
+  // and the pre-run sampling genuinely runs concurrently.
+  workload.arrival_window_s = 1200.0;
+
+  Rng workload_rng(sim.seed ^ 0x5eedULL);
+  std::vector<JobSpec> specs = GenerateWorkload(workload, &workload_rng);
+  Simulator simulator(sim, BuildTestbed(), std::move(specs));
+  return simulator.Run();
+}
+
+TEST(ParallelDeterminismTest, ParallelPreRunSamplingMatchesSerialBitForBit) {
+  const RunMetrics serial = RunSimulatorWithInitThreads(1);
+  const RunMetrics parallel = RunSimulatorWithInitThreads(4);
+  ExpectIdenticalMetrics(serial, parallel);
+}
+
+}  // namespace
+}  // namespace optimus

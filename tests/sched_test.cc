@@ -95,6 +95,51 @@ TEST(OptimusAllocatorTest, StopsAtNonPositiveMarginalGain) {
   }
 }
 
+TEST(OptimusAllocatorTest, LazyHeapDropsStaleCandidates) {
+  // Every grant moves a job's allocation and re-pushes both kinds with fresh
+  // gains, so the superseded entries must surface as stale drops. With two
+  // competing jobs and plenty of capacity the greedy interleaves grants,
+  // guaranteeing stale pops.
+  OptimusAllocRoundStats stats;
+  OptimusAllocator allocator(OptimusAllocatorOptions{0.0, &stats});
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, ConcaveSpeed()),
+                                MakeJob(1, 20.0, ConcaveSpeed())};
+  allocator.Allocate(jobs, Capacity(100));
+  EXPECT_GT(stats.grants, 0);
+  EXPECT_GT(stats.stale_drops, 0);
+  // Every pop is exactly one of: grant, stale drop, unfittable drop.
+  EXPECT_EQ(stats.pops, stats.grants + stats.stale_drops + stats.unfittable_drops);
+}
+
+TEST(OptimusAllocatorTest, UnfittableKindIsDroppedWhileOtherKindFills) {
+  // PS tasks are cheaper than workers and the speed gains favor parameter
+  // servers, so the greedy keeps granting PSes until the worker candidate no
+  // longer fits the shrunken capacity: it must be dropped (not wedge the
+  // heap) while the PS side keeps filling.
+  OptimusAllocRoundStats stats;
+  OptimusAllocator allocator(OptimusAllocatorOptions{0.0, &stats});
+  SchedJob job;
+  job.job_id = 0;
+  job.worker_demand = Resources(5, 10, 0, 0.2);
+  job.ps_demand = Resources(3, 10, 0, 0.2);
+  job.remaining_epochs = 10.0;
+  // Improves strongly with p, only faintly with w: PS gains dominate but the
+  // worker candidate stays positive (so it gets pushed, then popped).
+  job.speed = [](int p, int w) {
+    return 1.0 / (4.0 / p + 0.2 / w + 0.05 * p + 0.05 * w);
+  };
+  job.max_ps = 16;
+  job.max_workers = 16;
+
+  // Seed (1 PS, 1 worker) costs 8 CPUs; the remaining 6 fit two more PSes
+  // (3 each) but never another worker (5).
+  AllocationMap result = allocator.Allocate({job}, Capacity(14.0));
+  EXPECT_EQ(result[0].num_workers, 1);
+  EXPECT_EQ(result[0].num_ps, 3);
+  EXPECT_GE(stats.unfittable_drops, 1);
+  EXPECT_EQ(stats.pops, stats.grants + stats.stale_drops + stats.unfittable_drops);
+}
+
 TEST(OptimusAllocatorTest, PrefersWorkerOrPsByGain) {
   // Speed that only improves with workers: all additional tasks should be
   // workers.

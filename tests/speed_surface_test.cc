@@ -1,0 +1,248 @@
+// Memoized speed surfaces (src/sched/speed_surface.h): memoization
+// correctness, pass-through mode, signature sharing, and the guarantee that
+// surface-backed allocation is bit-identical to direct-probe allocation for
+// every allocator.
+
+#include <functional>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sched/baseline_allocators.h"
+#include "src/sched/exhaustive_allocator.h"
+#include "src/sched/optimus_allocator.h"
+#include "src/sched/scheduler.h"
+#include "src/sched/speed_surface.h"
+#include "src/sched/what_if.h"
+
+namespace optimus {
+namespace {
+
+// Concave speed improving in both p and w with diminishing returns.
+SpeedEstimate ConcaveSpeed(double scale = 1.0) {
+  return [scale](int p, int w) {
+    const double t = 4.0 / w + 1.0 + 0.8 * w / p + 0.05 * w + 0.05 * p;
+    return scale / t;
+  };
+}
+
+// Wraps `fn` so every underlying evaluation bumps *counter.
+SpeedEstimate Counted(SpeedEstimate fn, std::shared_ptr<int> counter) {
+  return [fn = std::move(fn), counter](int p, int w) {
+    ++*counter;
+    return fn(p, w);
+  };
+}
+
+SchedJob MakeJob(int id, double remaining_epochs, SpeedEstimate speed,
+                 double cpu_per_task = 5.0) {
+  SchedJob job;
+  job.job_id = id;
+  job.worker_demand = Resources(cpu_per_task, 10, 0, 0.2);
+  job.ps_demand = Resources(cpu_per_task, 10, 0, 0.2);
+  job.remaining_epochs = remaining_epochs;
+  job.speed = std::move(speed);
+  job.max_ps = 16;
+  job.max_workers = 16;
+  return job;
+}
+
+Resources Capacity(double cpu) { return Resources(cpu, 10000, 0, 1000); }
+
+// ---------------------------------------------------------------------------
+// SpeedSurface
+// ---------------------------------------------------------------------------
+
+TEST(SpeedSurfaceTest, MemoizesWithoutChangingValues) {
+  auto evals = std::make_shared<int>(0);
+  SpeedSurface surface(Counted(ConcaveSpeed(), evals), 8, 8);
+  const SpeedEstimate direct = ConcaveSpeed();
+
+  for (int round = 0; round < 3; ++round) {
+    for (int p = 1; p <= 8; ++p) {
+      for (int w = 1; w <= 8; ++w) {
+        EXPECT_DOUBLE_EQ(surface.Speed(p, w), direct(p, w));
+      }
+    }
+  }
+  // 64 grid points evaluated once each, despite 192 probes.
+  EXPECT_EQ(*evals, 64);
+  EXPECT_EQ(surface.probes(), 192);
+  EXPECT_EQ(surface.evals(), 64);
+}
+
+TEST(SpeedSurfaceTest, OutOfGridProbesFallThrough) {
+  auto evals = std::make_shared<int>(0);
+  SpeedSurface surface(Counted(ConcaveSpeed(), evals), 4, 4);
+
+  EXPECT_DOUBLE_EQ(surface.Speed(5, 2), ConcaveSpeed()(5, 2));
+  EXPECT_DOUBLE_EQ(surface.Speed(5, 2), ConcaveSpeed()(5, 2));
+  EXPECT_EQ(*evals, 2);  // outside the grid: re-evaluated every time
+  EXPECT_EQ(surface.probes(), 2);
+  EXPECT_EQ(surface.evals(), 2);
+}
+
+TEST(SpeedSurfaceTest, DisabledCacheReEvaluatesEveryProbe) {
+  auto evals = std::make_shared<int>(0);
+  SpeedSurface surface(Counted(ConcaveSpeed(), evals), 8, 8,
+                       /*cache_enabled=*/false);
+  for (int i = 0; i < 5; ++i) {
+    surface.Speed(2, 3);
+  }
+  EXPECT_EQ(*evals, 5);
+  EXPECT_EQ(surface.probes(), surface.evals());
+}
+
+// ---------------------------------------------------------------------------
+// SpeedSurfaceSet
+// ---------------------------------------------------------------------------
+
+TEST(SpeedSurfaceSetTest, SharesSurfacesBySignature) {
+  SpeedSurfaceSet set;
+  SchedJob a = MakeJob(0, 10.0, ConcaveSpeed());
+  SchedJob b = MakeJob(1, 20.0, ConcaveSpeed());
+  SchedJob c = MakeJob(2, 30.0, ConcaveSpeed());
+  a.speed_signature = 7;
+  b.speed_signature = 7;
+  c.speed_signature = 8;
+
+  SpeedSurface* sa = set.Surface(a);
+  EXPECT_EQ(set.Surface(b), sa);      // same signature, same caps
+  EXPECT_NE(set.Surface(c), sa);      // different signature
+  EXPECT_EQ(set.Surface(a), sa);      // stable per job
+  EXPECT_EQ(set.num_surfaces(), 2u);
+}
+
+TEST(SpeedSurfaceSetTest, SignatureZeroMeansNoSharing) {
+  SpeedSurfaceSet set;
+  const SchedJob a = MakeJob(0, 10.0, ConcaveSpeed());
+  const SchedJob b = MakeJob(1, 20.0, ConcaveSpeed());
+  ASSERT_EQ(a.speed_signature, 0u);
+  EXPECT_NE(set.Surface(a), set.Surface(b));
+  EXPECT_EQ(set.num_surfaces(), 2u);
+}
+
+TEST(SpeedSurfaceSetTest, SameSignatureDifferentCapsNotShared) {
+  SpeedSurfaceSet set;
+  SchedJob a = MakeJob(0, 10.0, ConcaveSpeed());
+  SchedJob b = MakeJob(1, 20.0, ConcaveSpeed());
+  a.speed_signature = 7;
+  b.speed_signature = 7;
+  b.max_workers = 8;
+  EXPECT_NE(set.Surface(a), set.Surface(b));
+}
+
+// ---------------------------------------------------------------------------
+// Allocators through surfaces
+// ---------------------------------------------------------------------------
+
+// The headline guarantee: a full greedy round through a surface performs
+// strictly fewer underlying speed-model evaluations than probe calls.
+TEST(SpeedSurfaceSetTest, OptimusRoundEvaluatesFewerPointsThanItProbes) {
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, ConcaveSpeed()),
+                                MakeJob(1, 25.0, ConcaveSpeed(2.0)),
+                                MakeJob(2, 40.0, ConcaveSpeed(0.5))};
+  SpeedSurfaceSet surfaces;
+  OptimusAllocator().Allocate(jobs, Capacity(200), &surfaces);
+  EXPECT_GT(surfaces.probes(), 0);
+  EXPECT_LT(surfaces.evals(), surfaces.probes());
+  EXPECT_GT(surfaces.hit_rate(), 0.0);
+}
+
+TEST(SpeedSurfaceSetTest, DisabledSetCountsButNeverCaches) {
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, ConcaveSpeed()),
+                                MakeJob(1, 25.0, ConcaveSpeed(2.0))};
+  SpeedSurfaceSet surfaces(/*cache_enabled=*/false);
+  OptimusAllocator().Allocate(jobs, Capacity(120), &surfaces);
+  EXPECT_GT(surfaces.probes(), 0);
+  EXPECT_EQ(surfaces.evals(), surfaces.probes());
+  EXPECT_EQ(surfaces.hit_rate(), 0.0);
+}
+
+// Surface-backed allocation must be bit-identical to direct probing for every
+// allocator: the cache may never change a scheduling decision.
+TEST(SpeedSurfaceSetTest, CachedAllocationMatchesDirectProbing) {
+  Rng rng(424);
+  const OptimusAllocator optimus;
+  const DrfAllocator drf;
+  const TetrisAllocator tetris;
+  const FifoAllocator fifo;
+  const std::vector<const Allocator*> allocators = {&optimus, &drf, &tetris, &fifo};
+
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng trial_rng = rng.Split(trial);
+    std::vector<SchedJob> jobs;
+    const int n = static_cast<int>(trial_rng.UniformInt(1, 8));
+    for (int i = 0; i < n; ++i) {
+      const double scale = trial_rng.Uniform(0.5, 3.0);
+      jobs.push_back(MakeJob(i, trial_rng.Uniform(1.0, 50.0), ConcaveSpeed(scale),
+                             trial_rng.Uniform(1.0, 6.0)));
+    }
+    // Half the trials exercise signature sharing; a signature may only be
+    // shared between pointwise-identical speed functions.
+    if (trial % 2 == 0) {
+      for (SchedJob& job : jobs) {
+        job.speed = ConcaveSpeed(1.5);
+        job.speed_signature = 1;
+      }
+    }
+    const Resources capacity(trial_rng.Uniform(20, 200), 10000, 0, 1000);
+
+    for (const Allocator* allocator : allocators) {
+      SpeedSurfaceSet cached(true);
+      SpeedSurfaceSet direct(false);
+      const AllocationMap with_cache = allocator->Allocate(jobs, capacity, &cached);
+      const AllocationMap without = allocator->Allocate(jobs, capacity, &direct);
+      ASSERT_EQ(with_cache.size(), without.size()) << allocator->name();
+      for (const auto& [id, alloc] : with_cache) {
+        const auto it = without.find(id);
+        ASSERT_NE(it, without.end()) << allocator->name();
+        EXPECT_EQ(alloc.num_ps, it->second.num_ps) << allocator->name();
+        EXPECT_EQ(alloc.num_workers, it->second.num_workers) << allocator->name();
+      }
+    }
+  }
+}
+
+TEST(SpeedSurfaceSetTest, ExhaustiveAllocatorMatchesDirectProbing) {
+  std::vector<SchedJob> jobs = {MakeJob(0, 10.0, ConcaveSpeed()),
+                                MakeJob(1, 25.0, ConcaveSpeed(2.0))};
+  for (SchedJob& job : jobs) {
+    job.max_ps = 3;
+    job.max_workers = 3;
+  }
+  SpeedSurfaceSet cached(true);
+  SpeedSurfaceSet direct(false);
+  const ExhaustiveAllocator exhaustive;
+  const AllocationMap with_cache = exhaustive.Allocate(jobs, Capacity(25), &cached);
+  const AllocationMap without = exhaustive.Allocate(jobs, Capacity(25), &direct);
+  EXPECT_LT(cached.evals(), cached.probes());
+  ASSERT_EQ(with_cache.size(), without.size());
+  for (const auto& [id, alloc] : with_cache) {
+    EXPECT_EQ(alloc.num_ps, without.at(id).num_ps);
+    EXPECT_EQ(alloc.num_workers, without.at(id).num_workers);
+  }
+}
+
+// What-if admission runs two allocations plus completion-time passes over
+// one shared surface set; sharing must not change the verdict.
+TEST(WhatIfSurfaceTest, AdmissionUnchangedBySurfaceSharing) {
+  std::vector<SchedJob> existing = {MakeJob(0, 10.0, ConcaveSpeed()),
+                                    MakeJob(1, 25.0, ConcaveSpeed(2.0))};
+  const SchedJob candidate = MakeJob(7, 15.0, ConcaveSpeed(1.2));
+  const OptimusAllocator allocator;
+
+  const WhatIfResult result =
+      EvaluateAdmission(allocator, existing, candidate, Capacity(80));
+  EXPECT_TRUE(result.admitted);
+  EXPECT_GT(result.new_job_completion_s, 0.0);
+  // The candidate's completion estimate must agree with its own (uncached)
+  // speed function at the granted allocation.
+  const double speed = candidate.speed(result.new_job_alloc.num_ps,
+                                       result.new_job_alloc.num_workers);
+  EXPECT_NEAR(result.new_job_completion_s, candidate.remaining_epochs / speed, 1e-9);
+}
+
+}  // namespace
+}  // namespace optimus

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a perf smoke bench.
+#
+# Usage:
+#   tools/check.sh [build-dir]
+#
+# Environment:
+#   OPTIMUS_SANITIZE=address|thread   configure a sanitizer build (passed
+#                                     through to CMake; default off)
+#   OPTIMUS_THREADS=N                 thread count for the parallel runner
+#                                     (results are identical for any N)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DOPTIMUS_SANITIZE="${OPTIMUS_SANITIZE:-}"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+# Perf smoke: a seconds-scale scheduling round with and without the speed
+# surface; writes/updates BENCH_sched.json in the working directory.
+"${build_dir}/bench/bench_fig12_scalability" --smoke
+
+echo "check.sh: OK"

@@ -41,6 +41,11 @@ Flags:
   --stragglers=P                        injection prob/job/interval (default 0.12)
   --background-share=F                  mixed-workload reservation (default 0)
   --oracle                              ground-truth estimates, no online fitting
+  --threads=N                           worker threads for experiment repeats
+                                        and per-arrival pre-run sampling; all
+                                        metrics are bitwise identical for any
+                                        value. 0 = OPTIMUS_THREADS env var,
+                                        then 1 (default 0)
   --trace-csv=PATH                      write the event trace (repeats=1 only)
   --timeline-csv=PATH                   write the interval timeline (repeats=1)
   --workload-csv=PATH                   replay a workload trace instead of
@@ -102,6 +107,7 @@ int main(int argc, char** argv) {
   const double stragglers = flags.GetDouble("stragglers", 0.12);
   const double background_share = flags.GetDouble("background-share", 0.0);
   const bool oracle = flags.GetBool("oracle", false);
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
   const std::string trace_csv = flags.GetString("trace-csv", "");
   const std::string timeline_csv = flags.GetString("timeline-csv", "");
   const std::string workload_csv = flags.GetString("workload-csv", "");
@@ -126,6 +132,8 @@ int main(int argc, char** argv) {
   config.sim.straggler.injection_prob_per_interval = stragglers;
   config.sim.background_share = background_share;
   config.sim.oracle_estimates = oracle;
+  config.sim.init_threads = threads;
+  config.threads = threads;
   config.workload.num_jobs = num_jobs;
   config.workload.arrivals = ParseArrivals(arrivals);
   config.workload.interval_s = interval_s;
