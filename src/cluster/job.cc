@@ -97,6 +97,22 @@ bool Job::SetAllocation(int num_ps, int num_workers, JobPlacement placement) {
   return scaling_event;
 }
 
+void Job::TakeCheckpoint() {
+  checkpoint_steps_ = steps_done_;
+  checkpoint_epochs_recorded_ = epochs_recorded_;
+  checkpoint_streak_ = below_threshold_streak_;
+}
+
+double Job::RollbackToCheckpoint() {
+  OPTIMUS_CHECK(!converged_) << "job " << id() << " rolled back after converging";
+  const double lost = std::max(0.0, steps_done_ - checkpoint_steps_);
+  steps_done_ = checkpoint_steps_;
+  epochs_recorded_ = checkpoint_epochs_recorded_;
+  epoch_losses_.resize(static_cast<size_t>(checkpoint_epochs_recorded_));
+  below_threshold_streak_ = checkpoint_streak_;
+  return lost;
+}
+
 void Job::AddStall(double seconds) {
   OPTIMUS_CHECK_GE(seconds, 0.0);
   stall_remaining_s_ += seconds;

@@ -94,6 +94,17 @@ class Job {
   // Returns true when this constitutes a scaling event.
   bool SetAllocation(int num_ps, int num_workers, JobPlacement placement);
 
+  // --- Checkpoint / rollback (fault tolerance, §5.4) -----------------------
+  // Records the current progress (steps plus convergence bookkeeping) as the
+  // latest durable checkpoint. Called on every scaling event (Optimus saves
+  // the model to scale) and optionally on a periodic schedule.
+  void TakeCheckpoint();
+  double checkpoint_steps() const { return checkpoint_steps_; }
+  // A crash destroyed everything since the last checkpoint: restores steps
+  // and the convergence-detection state recorded by TakeCheckpoint. Stall and
+  // scaling accounting are unaffected. Returns the number of steps lost.
+  double RollbackToCheckpoint();
+
   // --- Stalls (checkpoint scaling, straggler replacement) -----------------
   double stall_remaining_s() const { return stall_remaining_s_; }
   void AddStall(double seconds);
@@ -127,6 +138,10 @@ class Job {
   int num_ps_ = 0;
   JobPlacement placement_;
   bool ever_allocated_ = false;
+
+  double checkpoint_steps_ = 0.0;
+  int64_t checkpoint_epochs_recorded_ = 0;
+  int checkpoint_streak_ = 0;
 
   double stall_remaining_s_ = 0.0;
   double total_stall_s_ = 0.0;

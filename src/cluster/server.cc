@@ -70,6 +70,9 @@ Resources PlaceableCapacity(const std::vector<Server>& servers,
                             const Resources& reference_demand) {
   Resources total;
   for (const Server& s : servers) {
+    if (!s.available()) {
+      continue;
+    }
     int slots = std::numeric_limits<int>::max();
     bool constrained = false;
     for (size_t i = 0; i < kNumResourceTypes; ++i) {

@@ -23,7 +23,14 @@ class Server {
   const Resources& used() const { return used_; }
   Resources Free() const { return capacity_ - used_; }
 
-  bool CanFit(const Resources& demand) const { return Free().Fits(demand); }
+  // Availability (fault injection): a crashed server keeps its capacity
+  // bookkeeping but accepts no placements until it recovers.
+  bool available() const { return available_; }
+  void SetAvailable(bool up) { available_ = up; }
+
+  bool CanFit(const Resources& demand) const {
+    return available_ && Free().Fits(demand);
+  }
 
   // Reserves resources; fatal if they do not fit (placement bugs must not be
   // silently absorbed).
@@ -37,6 +44,7 @@ class Server {
   int id_;
   Resources capacity_;
   Resources used_;
+  bool available_ = true;
 };
 
 // Builds the paper's 13-server testbed: 7 CPU servers (two 8-core E5-2650,
@@ -57,6 +65,8 @@ Resources TotalFree(const std::vector<Server>& servers);
 // it can host. The raw capacity sum (Eqn 7) over-counts per-server fragments
 // (e.g. a 16-core server holds only three 5-core containers), which makes
 // allocators hand out allocations that placement must then shrink.
+// Unavailable (crashed) servers contribute nothing, so allocators see the
+// reduced capacity of a faulted cluster.
 Resources PlaceableCapacity(const std::vector<Server>& servers,
                             const Resources& reference_demand);
 

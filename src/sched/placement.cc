@@ -53,7 +53,8 @@ bool TryEvenPlacement(const PlacementJobInput& job, const std::vector<size_t>& s
     int best = -1;
     for (int i = 0; i < k; ++i) {
       const Server& server = (*servers)[server_order[i]];
-      if (!(server.Free() - tentative_used[i]).Fits(demand)) {
+      if (!server.available() ||
+          !(server.Free() - tentative_used[i]).Fits(demand)) {
         continue;
       }
       if (best < 0) {
@@ -107,7 +108,11 @@ class ServerPool {
  public:
   explicit ServerPool(std::vector<Server>* servers) : servers_(servers) {
     for (size_t s = 0; s < servers_->size(); ++s) {
-      heap_.push({(*servers_)[s].Free().cpu(), s});
+      // Crashed servers never enter the pool; availability does not change
+      // within one PlaceJobs call.
+      if ((*servers_)[s].available()) {
+        heap_.push({(*servers_)[s].Free().cpu(), s});
+      }
     }
   }
 

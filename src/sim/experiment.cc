@@ -34,12 +34,17 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   std::vector<double> jcts;
   std::vector<double> makespans;
   std::vector<double> overheads;
+  std::vector<double> task_failures;
+  std::vector<double> evictions;
   double completed = 0.0;
   double total = 0.0;
   for (RunMetrics& metrics : runs) {
     jcts.push_back(metrics.avg_jct_s);
     makespans.push_back(metrics.makespan_s);
     overheads.push_back(metrics.scaling_overhead_fraction);
+    task_failures.push_back(static_cast<double>(metrics.task_failures));
+    evictions.push_back(static_cast<double>(metrics.job_evictions));
+    result.audit_violations_total += metrics.audit_violations;
     completed += metrics.completed_jobs;
     total += metrics.total_jobs;
     result.runs.push_back(std::move(metrics));
@@ -49,6 +54,8 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   result.makespan_mean = Mean(makespans);
   result.makespan_stddev = StdDev(makespans);
   result.scaling_overhead_mean = Mean(overheads);
+  result.task_failures_mean = Mean(task_failures);
+  result.job_evictions_mean = Mean(evictions);
   result.completed_fraction = total > 0.0 ? completed / total : 0.0;
   return result;
 }

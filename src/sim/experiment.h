@@ -22,6 +22,11 @@ struct ExperimentResult {
   double makespan_stddev = 0.0;
   double scaling_overhead_mean = 0.0;
   double completed_fraction = 1.0;
+  // Fault-injection aggregates (per-run means; 0 without faults) and the
+  // total invariant-audit violations across all repeats (must stay 0).
+  double task_failures_mean = 0.0;
+  double job_evictions_mean = 0.0;
+  int64_t audit_violations_total = 0;
   std::vector<RunMetrics> runs;
 };
 

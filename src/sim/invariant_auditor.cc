@@ -1,0 +1,178 @@
+#include "src/sim/invariant_auditor.h"
+
+#include <sstream>
+
+namespace optimus {
+
+namespace {
+
+// Slack for floating-point accumulation of placed demands.
+constexpr double kEps = 1e-6;
+
+}  // namespace
+
+void InvariantAuditor::NoteRollback(int job_id) { rollback_ok_.insert(job_id); }
+
+void InvariantAuditor::Report(double now_s, const char* invariant,
+                              std::string detail) {
+  violations_.push_back({now_s, invariant, std::move(detail)});
+}
+
+void InvariantAuditor::Check(double now_s, const std::vector<Server>& servers,
+                             const std::vector<JobView>& jobs,
+                             const Counts& counts) {
+  ++checks_run_;
+  const size_t n_servers = servers.size();
+  std::vector<Resources> placed_load(n_servers);
+  std::vector<int> placed_tasks(n_servers, 0);
+
+  int running = 0;
+  int paused = 0;
+  int pending = 0;
+  int completed = 0;
+  for (const JobView& job : jobs) {
+    switch (job.state) {
+      case JobState::kRunning:
+        ++running;
+        break;
+      case JobState::kPaused:
+        ++paused;
+        break;
+      case JobState::kPending:
+        ++pending;
+        break;
+      case JobState::kCompleted:
+        ++completed;
+        break;
+    }
+
+    // State sanity: non-negative counts and progress; non-running jobs hold
+    // no allocation; running jobs hold an active one.
+    if (job.num_ps < 0 || job.num_workers < 0 || job.steps_done < 0.0) {
+      std::ostringstream os;
+      os << "job " << job.job_id << ": negative ps/workers/steps (" << job.num_ps
+         << ", " << job.num_workers << ", " << job.steps_done << ")";
+      Report(now_s, "state", os.str());
+    }
+    if (job.state == JobState::kRunning &&
+        (job.num_ps <= 0 || job.num_workers <= 0)) {
+      std::ostringstream os;
+      os << "job " << job.job_id << " is running with allocation (" << job.num_ps
+         << ", " << job.num_workers << ")";
+      Report(now_s, "state", os.str());
+    }
+    if ((job.state == JobState::kPaused || job.state == JobState::kPending) &&
+        (job.num_ps != 0 || job.num_workers != 0)) {
+      std::ostringstream os;
+      os << "job " << job.job_id << " is " << JobStateName(job.state)
+         << " but holds allocation (" << job.num_ps << ", " << job.num_workers
+         << ")";
+      Report(now_s, "state", os.str());
+    }
+
+    // Progress monotonicity (modulo announced rollbacks).
+    if (const auto it = last_steps_.find(job.job_id); it != last_steps_.end()) {
+      if (job.steps_done < it->second - kEps &&
+          rollback_ok_.find(job.job_id) == rollback_ok_.end()) {
+        std::ostringstream os;
+        os << "job " << job.job_id << " progress went backwards without a "
+           << "rollback: " << it->second << " -> " << job.steps_done << " steps";
+        Report(now_s, "progress", os.str());
+      }
+    }
+    last_steps_[job.job_id] = job.steps_done;
+
+    // Accumulate per-server load from the placement of running jobs (only
+    // running jobs hold cluster resources between intervals).
+    if (job.state != JobState::kRunning || job.placement == nullptr ||
+        job.placement->empty()) {
+      continue;
+    }
+    const JobPlacement& placement = *job.placement;
+    if (placement.workers_per_server.size() != n_servers ||
+        placement.ps_per_server.size() != n_servers) {
+      std::ostringstream os;
+      os << "job " << job.job_id << " placement sized "
+         << placement.workers_per_server.size() << "/"
+         << placement.ps_per_server.size() << " for " << n_servers << " servers";
+      Report(now_s, "capacity", os.str());
+      continue;
+    }
+    int placed_w = 0;
+    int placed_p = 0;
+    for (size_t s = 0; s < n_servers; ++s) {
+      const int w = placement.workers_per_server[s];
+      const int p = placement.ps_per_server[s];
+      if (w < 0 || p < 0) {
+        std::ostringstream os;
+        os << "job " << job.job_id << " has negative task count on server " << s;
+        Report(now_s, "capacity", os.str());
+        continue;
+      }
+      placed_w += w;
+      placed_p += p;
+      placed_load[s] += job.worker_demand * w + job.ps_demand * p;
+      placed_tasks[s] += w + p;
+      if ((w > 0 || p > 0) && !servers[s].available()) {
+        std::ostringstream os;
+        os << "job " << job.job_id << " has " << w << " worker(s) and " << p
+           << " ps on dead server " << servers[s].id();
+        Report(now_s, "dead-server", os.str());
+      }
+    }
+    if (placed_w != job.num_workers || placed_p != job.num_ps) {
+      std::ostringstream os;
+      os << "job " << job.job_id << " placement totals (" << placed_p << ", "
+         << placed_w << ") != allocation (" << job.num_ps << ", "
+         << job.num_workers << ")";
+      Report(now_s, "capacity", os.str());
+    }
+  }
+
+  // Capacity conservation: the sum of placed demands on each server must fit
+  // within its physical capacity (equivalently, free stays non-negative).
+  for (size_t s = 0; s < n_servers; ++s) {
+    if (placed_tasks[s] == 0) {
+      continue;
+    }
+    if (!servers[s].capacity().Fits(placed_load[s])) {
+      std::ostringstream os;
+      os << "server " << servers[s].id() << " overcommitted: placed "
+         << placed_load[s].ToString() << " on capacity "
+         << servers[s].capacity().ToString();
+      Report(now_s, "capacity", os.str());
+    }
+  }
+
+  // Accounting identity over submitted jobs.
+  if (running + paused + pending + completed != counts.submitted) {
+    std::ostringstream os;
+    os << "job census " << running << "+" << paused << "+" << pending << "+"
+       << completed << " != " << counts.submitted << " submitted";
+    Report(now_s, "accounting", os.str());
+  }
+  if (completed != counts.completed_metric) {
+    std::ostringstream os;
+    os << "metrics report " << counts.completed_metric << " completed, census "
+       << "says " << completed;
+    Report(now_s, "accounting", os.str());
+  }
+
+  rollback_ok_.clear();
+}
+
+std::string InvariantAuditor::Summary(size_t max_items) const {
+  std::ostringstream os;
+  os << violations_.size() << " violation(s)";
+  const size_t n = std::min(max_items, violations_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const AuditViolation& v = violations_[i];
+    os << "; [t=" << v.time_s << " " << v.invariant << "] " << v.detail;
+  }
+  if (violations_.size() > n) {
+    os << "; ...";
+  }
+  return os.str();
+}
+
+}  // namespace optimus

@@ -1,0 +1,93 @@
+// Always-on invariant auditing for the cluster simulator.
+//
+// A production scheduler must never silently corrupt cluster state; the
+// auditor is the simulator-side analogue of that guarantee. Once per
+// scheduling interval it re-derives the cluster state from first principles
+// (per-server load from job placements, job-state census, progress deltas)
+// and checks:
+//   capacity    — per-server placed load fits within the server's capacity,
+//                 free resources stay non-negative, placement vectors are
+//                 sized to the server list, and per-job placement totals
+//                 match the job's allocation
+//   dead-server — no running job has a task on an unavailable server
+//   progress    — job epoch progress is monotone non-decreasing, except
+//                 across an announced checkpoint rollback
+//   accounting  — completed + running + paused + pending == jobs submitted,
+//                 and the metrics completion counter agrees
+//   state       — non-running jobs hold no allocation; task counts and
+//                 progress are non-negative
+//
+// Violations are collected with timestamps; the simulator reports them
+// loudly at the end of the run (fatally when audit_fatal is set). The checks
+// are pure over the passed-in views, so tests can feed deliberately corrupted
+// snapshots and assert the auditor rejects them.
+
+#ifndef SRC_SIM_INVARIANT_AUDITOR_H_
+#define SRC_SIM_INVARIANT_AUDITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/job.h"
+#include "src/cluster/server.h"
+#include "src/pserver/comm_model.h"
+
+namespace optimus {
+
+struct AuditViolation {
+  double time_s = 0.0;
+  std::string invariant;  // short id: capacity, dead-server, progress, ...
+  std::string detail;
+};
+
+class InvariantAuditor {
+ public:
+  // The auditor's read-only view of one job at check time.
+  struct JobView {
+    int job_id = 0;
+    JobState state = JobState::kPending;
+    double steps_done = 0.0;
+    int num_ps = 0;
+    int num_workers = 0;
+    Resources ps_demand;
+    Resources worker_demand;
+    const JobPlacement* placement = nullptr;  // may be null or empty
+  };
+
+  // Job-state census at check time, as the metrics layer counts it.
+  struct Counts {
+    int submitted = 0;  // jobs that have arrived so far
+    int completed_metric = 0;  // RunMetrics::completed_jobs
+  };
+
+  // Announces that `job_id`'s progress was legitimately rolled back to a
+  // checkpoint since the last Check (crash eviction or task failure); the
+  // next Check allows a progress decrease for it, once.
+  void NoteRollback(int job_id);
+
+  // Runs all invariant checks against the snapshot. Appends violations.
+  void Check(double now_s, const std::vector<Server>& servers,
+             const std::vector<JobView>& jobs, const Counts& counts);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<AuditViolation>& violations() const { return violations_; }
+  int64_t checks_run() const { return checks_run_; }
+
+  // Human-readable digest of up to `max_items` violations.
+  std::string Summary(size_t max_items = 5) const;
+
+ private:
+  void Report(double now_s, const char* invariant, std::string detail);
+
+  std::map<int, double> last_steps_;
+  std::set<int> rollback_ok_;
+  std::vector<AuditViolation> violations_;
+  int64_t checks_run_ = 0;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SIM_INVARIANT_AUDITOR_H_

@@ -32,6 +32,17 @@ struct RunMetrics {
   double scaling_overhead_fraction = 0.0;
   int64_t straggler_replacements = 0;
   int64_t total_scalings = 0;
+  // Fault-injection accounting (src/sim/fault_injector.h).
+  int64_t server_crashes = 0;
+  int64_t server_recoveries = 0;
+  int64_t task_failures = 0;
+  int64_t job_evictions = 0;
+  int64_t backoff_deferrals = 0;
+  int64_t checkpoints_taken = 0;
+  double rolled_back_steps = 0.0;
+  // Invariant-auditor results (both 0 when auditing is disabled).
+  int64_t audit_checks = 0;
+  int64_t audit_violations = 0;
   std::vector<TimelinePoint> timeline;
 };
 

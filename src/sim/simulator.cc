@@ -65,6 +65,7 @@ Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
   for (const JobSpec& spec : specs) {
     auto jr = std::make_unique<JobRuntime>(spec);
     jr->rng = rng_.Split(static_cast<uint64_t>(spec.id) + 1000);
+    jr->fault_rng = rng_.Split(static_cast<uint64_t>(spec.id) + 500000);
     jr->error_sign = jr->rng.Bernoulli(0.5) ? 1 : -1;
     jr->blocks = GenerateParamBlocks(*spec.model);
     jr->data = std::make_unique<DataServing>(
@@ -80,6 +81,8 @@ Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
   if (init_threads > 1) {
     init_pool_ = std::make_unique<ThreadPool>(init_threads);
   }
+  faults_ = std::make_unique<FaultInjector>(config_.fault,
+                                            static_cast<int>(servers_.size()));
 }
 
 const Job& Simulator::job(int id) const {
@@ -296,6 +299,139 @@ double Simulator::BackgroundShare(double t) const {
          (0.5 + 0.5 * std::sin(kTwoPi * t / config_.background_period_s));
 }
 
+void Simulator::EvictJob(JobRuntime* jr, const std::string& reason) {
+  Job& job = jr->job;
+  const double lost = job.RollbackToCheckpoint();
+  metrics_.rolled_back_steps += lost;
+  job.AddStall(CheckpointStallSeconds(*job.spec().model, config_.checkpoint));
+  job.SetAllocation(0, 0, {});
+  job.set_state(job.steps_done() > 0 ? JobState::kPaused : JobState::kPending);
+  jr->load_valid = false;
+  auditor_.NoteRollback(job.id());
+  ++metrics_.job_evictions;
+  ++jr->consecutive_evictions;
+  const FaultConfig& fc = config_.fault;
+  if (jr->consecutive_evictions >= fc.evictions_before_backoff &&
+      fc.backoff_base_s > 0.0) {
+    const int extra = jr->consecutive_evictions - fc.evictions_before_backoff;
+    const double backoff = std::min(
+        fc.backoff_max_s, fc.backoff_base_s * std::pow(2.0, extra));
+    jr->backoff_until_s = now_s_ + backoff;
+    ++metrics_.backoff_deferrals;
+  }
+  trace_.Record(now_s_, SimEventType::kEvicted, job.id(), 0, 0, reason);
+}
+
+void Simulator::ApplyFaults() {
+  const FaultConfig& fc = config_.fault;
+
+  // Periodic durable checkpoints happen first, so a crash in this same call
+  // rolls back to a checkpoint at most checkpoint_period_s old.
+  if (fc.checkpoint_period_s > 0.0) {
+    for (auto& jr : jobs_) {
+      if (!jr->arrived || jr->job.state() != JobState::kRunning) {
+        continue;
+      }
+      if (now_s_ - jr->last_checkpoint_time_s >= fc.checkpoint_period_s) {
+        jr->job.TakeCheckpoint();
+        jr->last_checkpoint_time_s = now_s_;
+        jr->job.AddStall(
+            fc.checkpoint_save_fraction *
+            CheckpointStallSeconds(*jr->job.spec().model, config_.checkpoint));
+        ++metrics_.checkpoints_taken;
+      }
+    }
+  }
+
+  const FaultInjector::IntervalFaults faults = faults_->Advance(now_s_);
+  if (faults.slow_factor != cluster_slow_factor_) {
+    cluster_slow_factor_ = faults.slow_factor;
+    trace_.Record(now_s_, SimEventType::kSlowdown, kClusterEventJobId, 0, 0,
+                  "factor=" + std::to_string(cluster_slow_factor_));
+  }
+  for (int sid : faults.recovered) {
+    servers_[static_cast<size_t>(sid)].SetAvailable(true);
+    ++metrics_.server_recoveries;
+    trace_.Record(now_s_, SimEventType::kServerRecovered, kClusterEventJobId, 0,
+                  0, "server=" + std::to_string(sid));
+  }
+  for (int sid : faults.crashed) {
+    servers_[static_cast<size_t>(sid)].SetAvailable(false);
+    ++metrics_.server_crashes;
+    trace_.Record(now_s_, SimEventType::kServerCrash, kClusterEventJobId, 0, 0,
+                  "server=" + std::to_string(sid));
+  }
+
+  // Evict every job with a task on a currently-down server (not just the
+  // newly crashed ones: an arrival placed while a server flapped must still
+  // be caught). The next scheduling round reallocates survivors onto the
+  // remaining capacity.
+  if (faults_->servers_down() > 0) {
+    for (auto& jr : jobs_) {
+      if (!jr->arrived || jr->job.state() == JobState::kCompleted ||
+          jr->job.placement().empty()) {
+        continue;
+      }
+      const JobPlacement& placement = jr->job.placement();
+      bool hit = false;
+      std::string detail;
+      for (size_t s = 0; s < servers_.size() && !hit; ++s) {
+        if (!servers_[s].available() &&
+            (placement.workers_per_server[s] > 0 ||
+             placement.ps_per_server[s] > 0)) {
+          hit = true;
+          detail = "server=" + std::to_string(servers_[s].id());
+        }
+      }
+      if (hit) {
+        EvictJob(jr.get(), detail);
+      }
+    }
+  }
+
+  // Unscripted container deaths: the job restores from its last checkpoint
+  // in place (placement survives; only un-checkpointed progress is lost).
+  if (fc.task_failure_prob > 0.0) {
+    for (auto& jr : jobs_) {
+      if (!jr->arrived || jr->job.state() != JobState::kRunning) {
+        continue;
+      }
+      const int tasks = jr->job.num_workers() + jr->job.num_ps();
+      const double p = faults_->JobFailureProbability(tasks);
+      if (p > 0.0 && jr->fault_rng.Bernoulli(p)) {
+        const double lost = jr->job.RollbackToCheckpoint();
+        metrics_.rolled_back_steps += lost;
+        jr->job.AddStall(
+            CheckpointStallSeconds(*jr->job.spec().model, config_.checkpoint));
+        auditor_.NoteRollback(jr->job.id());
+        ++metrics_.task_failures;
+        trace_.Record(now_s_, SimEventType::kTaskFailed, jr->job.id(),
+                      jr->job.num_ps(), jr->job.num_workers());
+      }
+    }
+  }
+}
+
+void Simulator::RunAudit() {
+  std::vector<InvariantAuditor::JobView> views;
+  InvariantAuditor::Counts counts;
+  views.reserve(jobs_.size());
+  for (const auto& jr : jobs_) {
+    if (!jr->arrived) {
+      continue;
+    }
+    ++counts.submitted;
+    const Job& job = jr->job;
+    views.push_back({job.id(), job.state(), job.steps_done(), job.num_ps(),
+                     job.num_workers(), job.spec().ps_demand,
+                     job.spec().worker_demand, &job.placement()});
+  }
+  counts.completed_metric = metrics_.completed_jobs;
+  auditor_.Check(now_s_ + config_.interval_s, servers_, views, counts);
+  metrics_.audit_checks = auditor_.checks_run();
+  metrics_.audit_violations = static_cast<int64_t>(auditor_.violations().size());
+}
+
 void Simulator::ScheduleActiveJobs() {
   // Split active jobs into schedulable and frozen (checkpoint budget spent:
   // they keep their allocation and are only re-placed).
@@ -319,12 +455,20 @@ void Simulator::ScheduleActiveJobs() {
   if (bg_share > 0.0) {
     capacity = capacity * (1.0 - bg_share);
     for (Server& s : servers) {
-      s.Allocate(s.capacity() * bg_share);
+      if (s.available()) {
+        s.Allocate(s.capacity() * bg_share);
+      }
     }
   }
 
   for (auto& jr : jobs_) {
     if (!jr->arrived || jr->job.state() == JobState::kCompleted) {
+      continue;
+    }
+    if (jr->backoff_until_s > now_s_) {
+      // Relaunch backoff after repeated evictions: the job sits out this
+      // round entirely (neither schedulable nor frozen), capping the
+      // relaunch storm a flapping server would otherwise cause.
       continue;
     }
     const bool budget_spent = !ScalingAllowed(jr->job.num_scalings(), config_.checkpoint);
@@ -431,7 +575,11 @@ void Simulator::ScheduleActiveJobs() {
       }
     }
     if (scaled) {
+      // Scaling saves the model and restarts from it (§5.4), so the scaled-to
+      // point is also the job's latest durable checkpoint.
       jr->job.AddStall(CheckpointStallSeconds(*jr->job.spec().model, config_.checkpoint));
+      jr->job.TakeCheckpoint();
+      jr->last_checkpoint_time_s = now_s_;
       ++metrics_.total_scalings;
     }
     // Data serving (§5.1): rebalance training chunks whenever the worker
@@ -475,10 +623,16 @@ void Simulator::AdvanceInterval() {
     }
 
     const double noise = jr->rng.LogNormalFactor(config_.runtime_noise_sd);
-    const double speed = TrueSpeed(*jr) * noise;  // steps/s
+    // steps/s; cluster-wide slowdown bursts scale every job equally.
+    const double speed = TrueSpeed(*jr) * noise * cluster_slow_factor_;
     if (speed <= 0.0) {
       continue;
     }
+
+    // The job made it through a full interval with live tasks: clear the
+    // eviction streak so the relaunch backoff starts fresh next time.
+    jr->consecutive_evictions = 0;
+    jr->backoff_until_s = -1.0;
 
     const double steps_before = job.steps_done();
     const double steps_after = steps_before + speed * train_time;
@@ -614,8 +768,12 @@ bool Simulator::StepInterval() {
     ActivateArrivals();
   }
 
+  ApplyFaults();
   ScheduleActiveJobs();
   AdvanceInterval();
+  if (config_.audit) {
+    RunAudit();
+  }
   now_s_ += config_.interval_s;
   return completed_ < static_cast<int>(jobs_.size()) &&
          now_s_ < config_.max_sim_time_s;
@@ -647,6 +805,13 @@ RunMetrics Simulator::Run() {
   metrics_.scaling_overhead_fraction =
       overhead_count > 0 ? overhead_sum / overhead_count : 0.0;
   metrics_.straggler_replacements = straggler_.replacements();
+
+  if (config_.audit && !auditor_.ok()) {
+    if (config_.audit_fatal) {
+      OPTIMUS_LOG(Fatal) << "invariant audit failed: " << auditor_.Summary();
+    }
+    OPTIMUS_LOG(Error) << "invariant audit failed: " << auditor_.Summary();
+  }
   return metrics_;
 }
 

@@ -31,6 +31,8 @@
 #include "src/pserver/block_assignment.h"
 #include "src/sched/placement.h"
 #include "src/sched/scheduler.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/invariant_auditor.h"
 #include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 
@@ -105,6 +107,15 @@ struct SimulatorConfig {
   double max_sim_time_s = 3e6;
   uint64_t seed = 1;
   bool record_timeline = true;
+  // Fault injection (server crashes, task failures, slowdown bursts); see
+  // src/sim/fault_injector.h and docs/FAULTS.md. Default: no faults.
+  FaultConfig fault;
+  // Invariant auditing: re-derive and check cluster invariants every
+  // interval (src/sim/invariant_auditor.h). On by default; violations are
+  // counted in RunMetrics and reported at the end of Run(). With
+  // audit_fatal, any violation aborts the run loudly instead.
+  bool audit = true;
+  bool audit_fatal = false;
 };
 
 class Simulator {
@@ -122,6 +133,12 @@ class Simulator {
   const Job& job(int id) const;
   // Lifecycle event log of the run so far.
   const EventTrace& trace() const { return trace_; }
+  // Invariant-audit results of the run so far (empty when audit is off).
+  const InvariantAuditor& auditor() const { return auditor_; }
+  // Whether `server_index` (index into the constructor's server list) is up.
+  bool server_available(size_t server_index) const {
+    return servers_[server_index].available();
+  }
 
  private:
   struct JobRuntime {
@@ -141,6 +158,9 @@ class Simulator {
     PsLoadMetrics load;
     bool load_valid = false;
     Rng rng{0};
+    // Dedicated stream for fault draws so enabling faults does not perturb
+    // the training/noise streams of an un-faulted run.
+    Rng fault_rng{0};
     int error_sign = 1;
     bool arrived = false;
     bool lr_drop_handled = false;   // convergence model restarted at the drop
@@ -148,6 +168,10 @@ class Simulator {
     double true_total_epochs = 0.0;  // ground-truth convergence epoch count
     double last_worker_util = 0.0;
     double last_ps_util = 0.0;
+    // Fault-tolerance state: relaunch backoff after repeated evictions.
+    int consecutive_evictions = 0;
+    double backoff_until_s = -1.0;
+    double last_checkpoint_time_s = 0.0;
   };
 
   void ActivateArrivals();
@@ -159,6 +183,15 @@ class Simulator {
   double TrueSpeed(const JobRuntime& jr) const;
   void ScheduleActiveJobs();
   void AdvanceInterval();
+  // Fault pipeline, run before each scheduling round: periodic checkpoints,
+  // scripted server crashes/recoveries (evicting affected jobs), task
+  // failures, and the cluster-wide slowdown factor for this interval.
+  void ApplyFaults();
+  // Evicts a job whose tasks died with a server: rolls progress back to the
+  // last checkpoint, charges the restore stall, releases the allocation, and
+  // applies the relaunch backoff policy.
+  void EvictJob(JobRuntime* jr, const std::string& reason);
+  void RunAudit();
   // Fraction of every server reserved for the background workload at time t.
   double BackgroundShare(double t) const;
   void RecomputeLoad(JobRuntime* jr);
@@ -171,6 +204,9 @@ class Simulator {
   std::unique_ptr<ThreadPool> init_pool_;  // parallel pre-run sampling
   std::unique_ptr<Allocator> allocator_;
   StragglerModel straggler_;
+  std::unique_ptr<FaultInjector> faults_;
+  InvariantAuditor auditor_;
+  double cluster_slow_factor_ = 1.0;
   Rng rng_;
   double now_s_ = 0.0;
   int completed_ = 0;

@@ -24,6 +24,16 @@ const char* SimEventTypeName(SimEventType type) {
       return "lr_drop";
     case SimEventType::kCompleted:
       return "completed";
+    case SimEventType::kServerCrash:
+      return "server_crash";
+    case SimEventType::kServerRecovered:
+      return "server_recovered";
+    case SimEventType::kTaskFailed:
+      return "task_failed";
+    case SimEventType::kEvicted:
+      return "evicted";
+    case SimEventType::kSlowdown:
+      return "slowdown";
   }
   return "unknown";
 }

@@ -24,7 +24,17 @@ enum class SimEventType {
   kStragglerReplaced,
   kLearningRateDrop,
   kCompleted,
+  // Fault-injection events (src/sim/fault_injector.h). Cluster-scoped events
+  // (server crash/recovery, slowdown changes) carry kClusterEventJobId.
+  kServerCrash,
+  kServerRecovered,
+  kTaskFailed,      // container death; job restored from checkpoint in place
+  kEvicted,         // job lost its tasks to a server crash; rolled back
+  kSlowdown,        // cluster-wide speed factor changed (detail: factor=F)
 };
+
+// job_id used for events that concern the cluster rather than one job.
+inline constexpr int kClusterEventJobId = -1;
 
 const char* SimEventTypeName(SimEventType type);
 

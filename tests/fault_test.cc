@@ -1,0 +1,542 @@
+// Fault-injection and invariant-auditor coverage: plan parsing, the injector
+// timeline, checkpoint/rollback exactness, simulator-level crash handling,
+// relaunch backoff, the straggler-detection boundary, and negative tests that
+// prove the auditor rejects corrupted cluster snapshots.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/job.h"
+#include "src/cluster/server.h"
+#include "src/cluster/straggler.h"
+#include "src/common/rng.h"
+#include "src/models/model_zoo.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/invariant_auditor.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/sim/workload.h"
+
+namespace optimus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Plan parsing
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanParseTest, ParsesAllEventKinds) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan(
+      "crash@2400:server=3,recover=30000;"
+      "rack@12000:servers=7-9,recover=21600;"
+      "crash@5000:server=1;"
+      "slow@6000:factor=0.6,duration=3600",
+      &plan, &error))
+      << error;
+  ASSERT_EQ(plan.outages.size(), 3u);
+  EXPECT_EQ(plan.outages[0].start_s, 2400.0);
+  EXPECT_EQ(plan.outages[0].recover_s, 30000.0);
+  EXPECT_EQ(plan.outages[0].servers, std::vector<int>({3}));
+  EXPECT_EQ(plan.outages[1].servers, std::vector<int>({7, 8, 9}));
+  // No recover clause = permanent.
+  EXPECT_TRUE(std::isinf(plan.outages[2].recover_s));
+  ASSERT_EQ(plan.slowdowns.size(), 1u);
+  EXPECT_EQ(plan.slowdowns[0].start_s, 6000.0);
+  EXPECT_EQ(plan.slowdowns[0].end_s, 9600.0);
+  EXPECT_EQ(plan.slowdowns[0].factor, 0.6);
+}
+
+TEST(FaultPlanParseTest, RejectsMalformedEvents) {
+  const char* bad[] = {
+      "bogus@100:server=1",          // unknown kind
+      "crash@x:server=1",            // bad time
+      "crash@100",                   // missing params
+      "crash@100:server=1,recover=50",   // recover before start
+      "rack@100:servers=5-3",        // empty range
+      "slow@100:factor=0,duration=600",  // factor out of (0, 1]
+      "slow@100:factor=1.5,duration=600",
+      "slow@100:factor=0.5,duration=0",  // non-positive duration
+      "slow@100:factor=0.5",         // missing duration
+  };
+  for (const char* spec : bad) {
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(ParseFaultPlan(spec, &plan, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+}
+
+TEST(FaultPlanParseTest, EmptySpecYieldsEmptyPlan) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan("", &plan, &error)) << error;
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanParseTest, LoadsPlanFromFileWithComments) {
+  const std::string path = testing::TempDir() + "/fault_plan.txt";
+  {
+    std::ofstream os(path);
+    os << "# scripted outage for the regression suite\n"
+       << "crash@600:server=0,recover=1200\n"
+       << "\n"
+       << "slow@300:factor=0.8,duration=900  # trailing comment\n";
+  }
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan("@" + path, &plan, &error)) << error;
+  EXPECT_EQ(plan.outages.size(), 1u);
+  EXPECT_EQ(plan.slowdowns.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Injector timeline
+// ---------------------------------------------------------------------------
+
+FaultConfig ConfigWithPlan(const std::string& spec) {
+  FaultConfig config;
+  std::string error;
+  EXPECT_TRUE(ParseFaultPlan(spec, &config.plan, &error)) << error;
+  return config;
+}
+
+TEST(FaultInjectorTest, ReportsCrashAndRecoveryOnSchedule) {
+  FaultInjector injector(ConfigWithPlan("crash@100:server=2,recover=400"), 4);
+  EXPECT_TRUE(injector.Advance(0).crashed.empty());
+  EXPECT_TRUE(injector.server_up(2));
+
+  FaultInjector::IntervalFaults at_crash = injector.Advance(100);
+  EXPECT_EQ(at_crash.crashed, std::vector<int>({2}));
+  EXPECT_FALSE(injector.server_up(2));
+  EXPECT_EQ(injector.servers_down(), 1);
+
+  EXPECT_TRUE(injector.Advance(300).crashed.empty());
+  FaultInjector::IntervalFaults at_recover = injector.Advance(400);
+  EXPECT_EQ(at_recover.recovered, std::vector<int>({2}));
+  EXPECT_TRUE(injector.server_up(2));
+  EXPECT_EQ(injector.servers_down(), 0);
+}
+
+TEST(FaultInjectorTest, FlapWithinOneSpanReportsNoNetTransition) {
+  // The server crashes and recovers between two Advance calls: no net change.
+  FaultInjector injector(ConfigWithPlan("crash@100:server=1,recover=200"), 4);
+  FaultInjector::IntervalFaults f = injector.Advance(250);
+  EXPECT_TRUE(f.crashed.empty());
+  EXPECT_TRUE(f.recovered.empty());
+  EXPECT_TRUE(injector.server_up(1));
+}
+
+TEST(FaultInjectorTest, OverlappingOutagesComposeUntilBothEnd) {
+  FaultInjector injector(
+      ConfigWithPlan("crash@100:server=0,recover=500;"
+                     "rack@200:servers=0-1,recover=300"),
+      4);
+  injector.Advance(200);
+  EXPECT_FALSE(injector.server_up(0));
+  EXPECT_FALSE(injector.server_up(1));
+  FaultInjector::IntervalFaults f = injector.Advance(300);
+  // Server 1 was covered only by the rack outage; server 0 stays down until
+  // its own outage ends at 500.
+  EXPECT_EQ(f.recovered, std::vector<int>({1}));
+  EXPECT_FALSE(injector.server_up(0));
+  injector.Advance(500);
+  EXPECT_TRUE(injector.server_up(0));
+}
+
+TEST(FaultInjectorTest, IgnoresServersOutsideTheCluster) {
+  FaultInjector injector(ConfigWithPlan("crash@100:server=9"), 4);
+  EXPECT_TRUE(injector.Advance(100).crashed.empty());
+  EXPECT_EQ(injector.servers_down(), 0);
+}
+
+TEST(FaultInjectorTest, SlowdownBurstsMultiply) {
+  FaultInjector injector(
+      ConfigWithPlan("slow@100:factor=0.5,duration=300;"
+                     "slow@200:factor=0.8,duration=100"),
+      4);
+  EXPECT_EQ(injector.Advance(0).slow_factor, 1.0);
+  EXPECT_EQ(injector.Advance(100).slow_factor, 0.5);
+  EXPECT_DOUBLE_EQ(injector.Advance(250).slow_factor, 0.5 * 0.8);
+  EXPECT_EQ(injector.Advance(350).slow_factor, 0.5);
+  EXPECT_EQ(injector.Advance(400).slow_factor, 1.0);
+}
+
+TEST(FaultInjectorTest, JobFailureProbabilityCompoundsPerTask) {
+  FaultConfig config;
+  config.task_failure_prob = 0.5;
+  FaultInjector injector(config, 4);
+  EXPECT_EQ(injector.JobFailureProbability(0), 0.0);
+  EXPECT_DOUBLE_EQ(injector.JobFailureProbability(1), 0.5);
+  EXPECT_DOUBLE_EQ(injector.JobFailureProbability(2), 0.75);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / rollback exactness
+// ---------------------------------------------------------------------------
+
+JobSpec MakeJobSpec() {
+  JobSpec spec;
+  spec.id = 1;
+  spec.model = &FindModel("ResNet-50");
+  spec.mode = TrainingMode::kSync;
+  spec.worker_demand = Resources(2.5, 10, 0, 0.15);
+  spec.ps_demand = Resources(2.5, 10, 0, 0.15);
+  return spec;
+}
+
+TEST(JobCheckpointTest, RollbackRestoresStepsExactly) {
+  Job job(MakeJobSpec());
+  job.AdvanceSteps(120.5);
+  job.TakeCheckpoint();
+  EXPECT_EQ(job.checkpoint_steps(), 120.5);
+  job.AdvanceSteps(37.25);
+  EXPECT_EQ(job.RollbackToCheckpoint(), 37.25);
+  EXPECT_EQ(job.steps_done(), 120.5);  // bitwise: both values are exact
+  // A second rollback without new progress loses nothing.
+  EXPECT_EQ(job.RollbackToCheckpoint(), 0.0);
+  EXPECT_EQ(job.steps_done(), 120.5);
+}
+
+TEST(JobCheckpointTest, FreshJobRollsBackToZero) {
+  Job job(MakeJobSpec());
+  job.AdvanceSteps(55.0);
+  EXPECT_EQ(job.RollbackToCheckpoint(), 55.0);
+  EXPECT_EQ(job.steps_done(), 0.0);
+}
+
+TEST(JobCheckpointTest, RollbackRestoresConvergenceBookkeeping) {
+  JobSpec spec = MakeJobSpec();
+  spec.convergence_delta = 0.02;
+  spec.patience = 2;
+  Job job(spec);
+  job.RecordEpochLoss(1.0);
+  job.RecordEpochLoss(0.9);
+  job.TakeCheckpoint();
+  // Progress past the checkpoint builds a convergence streak...
+  job.RecordEpochLoss(0.899);
+  EXPECT_EQ(job.epoch_losses().size(), 3u);
+  // ...which the crash destroys along with the steps.
+  job.RollbackToCheckpoint();
+  EXPECT_EQ(job.epoch_losses().size(), 2u);
+  EXPECT_FALSE(job.converged());
+  // Replaying the same epochs converges exactly as the first time would have.
+  EXPECT_FALSE(job.RecordEpochLoss(0.899));
+  EXPECT_TRUE(job.RecordEpochLoss(0.898));
+}
+
+// ---------------------------------------------------------------------------
+// Simulator-level fault handling
+// ---------------------------------------------------------------------------
+
+std::vector<JobSpec> SmallWorkload(int num_jobs, uint64_t seed,
+                                   double arrival_window_s = 2400.0) {
+  WorkloadConfig config;
+  config.num_jobs = num_jobs;
+  config.arrival_window_s = arrival_window_s;
+  Rng rng(seed ^ 0x5eedULL);
+  return GenerateWorkload(config, &rng);
+}
+
+TEST(SimulatorFaultTest, CrashEvictsAndRollsProgressBackToCheckpoint) {
+  SimulatorConfig config;
+  config.seed = 5;
+  config.max_sim_time_s = 2e4;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan("crash@1800:server=0", &config.fault.plan, &error))
+      << error;
+  // One job on a one-server cluster: the permanent crash at 1800 s must evict
+  // it mid-run and leave it parked on its last checkpoint forever.
+  Simulator sim(config, BuildUniformCluster(1, Resources(16, 80, 0, 1)),
+                SmallWorkload(1, config.seed, 1.0));
+  RunMetrics metrics = sim.Run();
+
+  EXPECT_EQ(metrics.server_crashes, 1);
+  EXPECT_EQ(metrics.server_recoveries, 0);
+  EXPECT_EQ(metrics.job_evictions, 1);
+  EXPECT_GT(metrics.rolled_back_steps, 0.0);
+  EXPECT_EQ(metrics.completed_jobs, 0);
+  EXPECT_FALSE(sim.server_available(0));
+  // Progress rolled back to the last checkpoint exactly.
+  const Job& job = sim.job(0);
+  EXPECT_EQ(job.steps_done(), job.checkpoint_steps());
+  EXPECT_NE(job.state(), JobState::kRunning);
+  // Crash and eviction are in the event trace; the auditor saw nothing wrong.
+  std::map<SimEventType, int64_t> counts = sim.trace().CountByType();
+  EXPECT_EQ(counts[SimEventType::kServerCrash], 1);
+  EXPECT_EQ(counts[SimEventType::kEvicted], 1);
+  EXPECT_GT(metrics.audit_checks, 0);
+  EXPECT_EQ(metrics.audit_violations, 0);
+}
+
+TEST(SimulatorFaultTest, TaskFailuresRollBackInPlaceAndJobsStillFinish) {
+  SimulatorConfig config;
+  config.seed = 9;
+  config.max_sim_time_s = 2e5;
+  config.fault.task_failure_prob = 0.05;
+  // Periodic checkpoints bound how much a rollback can destroy; without them
+  // a job that fails often enough could relive the same interval forever.
+  config.fault.checkpoint_period_s = 3600.0;
+  Simulator sim(config, BuildTestbed(), SmallWorkload(4, config.seed));
+  RunMetrics metrics = sim.Run();
+
+  EXPECT_GT(metrics.task_failures, 0);
+  EXPECT_EQ(metrics.server_crashes, 0);
+  EXPECT_EQ(metrics.job_evictions, 0);
+  EXPECT_EQ(metrics.completed_jobs, metrics.total_jobs);
+  EXPECT_EQ(metrics.audit_violations, 0);
+  std::map<SimEventType, int64_t> counts = sim.trace().CountByType();
+  EXPECT_EQ(counts[SimEventType::kTaskFailed], metrics.task_failures);
+}
+
+TEST(SimulatorFaultTest, StragglerHandlingDoesNotResurrectDeadServers) {
+  SimulatorConfig config;
+  config.seed = 3;
+  config.max_sim_time_s = 2e5;
+  config.straggler.injection_prob_per_interval = 0.4;
+  config.straggler.handling_enabled = true;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan("crash@3000:server=0;crash@3000:server=1",
+                             &config.fault.plan, &error))
+      << error;
+  Simulator sim(config, BuildTestbed(), SmallWorkload(6, config.seed));
+  RunMetrics metrics = sim.Run();
+
+  // Straggler replacement stayed active throughout the run...
+  EXPECT_GT(metrics.straggler_replacements, 0);
+  // ...while the crashed servers stayed dead to the end. The auditor checks
+  // the dead-server invariant every interval, so zero violations proves no
+  // replacement or reallocation ever landed tasks on them.
+  EXPECT_EQ(metrics.server_crashes, 2);
+  EXPECT_EQ(metrics.server_recoveries, 0);
+  EXPECT_FALSE(sim.server_available(0));
+  EXPECT_FALSE(sim.server_available(1));
+  EXPECT_GT(metrics.audit_checks, 0);
+  EXPECT_EQ(metrics.audit_violations, 0);
+}
+
+TEST(SimulatorFaultTest, AllAllocatorPoliciesAuditCleanUnderFaults) {
+  struct Policy {
+    AllocatorPolicy alloc;
+    PlacementPolicy place;
+  };
+  const Policy policies[] = {
+      {AllocatorPolicy::kOptimus, PlacementPolicy::kOptimusPack},
+      {AllocatorPolicy::kDrf, PlacementPolicy::kLoadBalance},
+      {AllocatorPolicy::kTetris, PlacementPolicy::kTetrisPack},
+      {AllocatorPolicy::kFifo, PlacementPolicy::kLoadBalance},
+  };
+  for (const Policy& policy : policies) {
+    SimulatorConfig config;
+    config.allocator = policy.alloc;
+    config.placement = policy.place;
+    config.seed = 11;
+    config.max_sim_time_s = 2e5;
+    std::string error;
+    ASSERT_TRUE(ParseFaultPlan(
+        "crash@1800:server=2,recover=9000;"
+        "rack@4200:servers=6-8,recover=12000;"
+        "slow@2400:factor=0.7,duration=1800",
+        &config.fault.plan, &error))
+        << error;
+    config.fault.task_failure_prob = 0.02;
+    config.fault.checkpoint_period_s = 3600.0;
+    Simulator sim(config, BuildTestbed(), SmallWorkload(6, config.seed));
+    RunMetrics metrics = sim.Run();
+    EXPECT_GT(metrics.audit_checks, 0) << AllocatorPolicyName(policy.alloc);
+    EXPECT_EQ(metrics.audit_violations, 0)
+        << AllocatorPolicyName(policy.alloc) << ": " << sim.auditor().Summary();
+    EXPECT_EQ(metrics.server_crashes, 4) << AllocatorPolicyName(policy.alloc);
+    EXPECT_EQ(metrics.server_recoveries, 4) << AllocatorPolicyName(policy.alloc);
+  }
+}
+
+TEST(SimulatorFaultTest, RepeatedEvictionsTriggerRelaunchBackoff) {
+  SimulatorConfig config;
+  config.seed = 13;
+  config.max_sim_time_s = 4e4;
+  config.fault.evictions_before_backoff = 1;
+  config.fault.backoff_base_s = 3000.0;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan("crash@1800:server=0,recover=2400",
+                             &config.fault.plan, &error))
+      << error;
+  Simulator sim(config, BuildUniformCluster(1, Resources(16, 80, 0, 1)),
+                SmallWorkload(1, config.seed, 1.0));
+  RunMetrics metrics = sim.Run();
+
+  EXPECT_EQ(metrics.job_evictions, 1);
+  EXPECT_EQ(metrics.backoff_deferrals, 1);
+  // The backoff delays the relaunch past the server's recovery but the job
+  // still finishes within the horizon.
+  EXPECT_EQ(metrics.completed_jobs, 1);
+  EXPECT_EQ(metrics.audit_violations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Straggler-detection boundary (§5.2): detect_threshold vs slow_factor_hi
+// ---------------------------------------------------------------------------
+
+TEST(StragglerBoundaryTest, ExactlyHalfMedianIsNotReplaced) {
+  StragglerConfig config;
+  config.injection_prob_per_interval = 0.0;
+  config.natural_recovery_prob = 0.0;
+  config.handling_enabled = true;
+  StragglerModel model(config);
+  Rng rng(1);
+
+  // Detection is a strict `<`: a worker at exactly half the median speed is
+  // left in place (healthy workers define the median factor of 1.0).
+  Job at_boundary(MakeJobSpec());
+  at_boundary.set_slowest_worker_factor(0.5);
+  EXPECT_FALSE(model.Step(&at_boundary, &rng));
+  EXPECT_EQ(at_boundary.slowest_worker_factor(), 0.5);
+  EXPECT_EQ(at_boundary.stall_remaining_s(), 0.0);
+
+  // Strictly below the threshold: replaced, speed restored, stall charged.
+  Job below(MakeJobSpec());
+  below.set_slowest_worker_factor(0.49);
+  EXPECT_TRUE(model.Step(&below, &rng));
+  EXPECT_EQ(below.slowest_worker_factor(), 1.0);
+  EXPECT_EQ(below.stall_remaining_s(), config.replace_delay_s);
+}
+
+TEST(StragglerBoundaryTest, MildStragglersInTheGapAreNeverReplaced) {
+  // The injection range [slow_factor_lo, slow_factor_hi) deliberately
+  // straddles detect_threshold: factors in [0.5, 0.7) are mild stragglers the
+  // paper's policy rides out rather than replacing.
+  StragglerConfig config;
+  config.injection_prob_per_interval = 0.0;
+  config.natural_recovery_prob = 0.0;
+  config.handling_enabled = true;
+  ASSERT_LT(config.detect_threshold, config.slow_factor_hi);
+  StragglerModel model(config);
+  Rng rng(1);
+
+  Job mild(MakeJobSpec());
+  mild.set_slowest_worker_factor(0.6);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(model.Step(&mild, &rng));
+  }
+  EXPECT_EQ(mild.slowest_worker_factor(), 0.6);
+  EXPECT_EQ(model.replacements(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Auditor negative tests: deliberately corrupted snapshots must be rejected
+// ---------------------------------------------------------------------------
+
+struct AuditFixture {
+  std::vector<Server> servers;
+  JobPlacement placement;
+  InvariantAuditor::JobView view;
+  InvariantAuditor::Counts counts;
+
+  AuditFixture() {
+    servers.push_back(Server(0, Resources(16, 64, 0, 1)));
+    servers.push_back(Server(1, Resources(16, 64, 0, 1)));
+    placement.workers_per_server = {2, 0};
+    placement.ps_per_server = {1, 0};
+    view.job_id = 0;
+    view.state = JobState::kRunning;
+    view.steps_done = 10.0;
+    view.num_ps = 1;
+    view.num_workers = 2;
+    view.worker_demand = Resources(2.5, 10, 0, 0.15);
+    view.ps_demand = Resources(2.5, 10, 0, 0.15);
+    view.placement = &placement;
+    counts.submitted = 1;
+    counts.completed_metric = 0;
+  }
+};
+
+TEST(AuditorNegativeTest, ConsistentSnapshotPasses) {
+  AuditFixture f;
+  InvariantAuditor auditor;
+  auditor.Check(600.0, f.servers, {f.view}, f.counts);
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+  EXPECT_EQ(auditor.checks_run(), 1);
+}
+
+TEST(AuditorNegativeTest, CatchesOvercommittedServer) {
+  AuditFixture f;
+  // 8 workers at 10 GB each overflow the server's 64 GB.
+  f.placement.workers_per_server = {8, 0};
+  f.view.num_workers = 8;
+  InvariantAuditor auditor;
+  auditor.Check(600.0, f.servers, {f.view}, f.counts);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].invariant, "capacity");
+}
+
+TEST(AuditorNegativeTest, CatchesPlacementOnDeadServer) {
+  AuditFixture f;
+  f.servers[0].SetAvailable(false);
+  InvariantAuditor auditor;
+  auditor.Check(600.0, f.servers, {f.view}, f.counts);
+  ASSERT_FALSE(auditor.ok());
+  bool found = false;
+  for (const AuditViolation& v : auditor.violations()) {
+    found = found || v.invariant == "dead-server";
+  }
+  EXPECT_TRUE(found) << auditor.Summary();
+}
+
+TEST(AuditorNegativeTest, CatchesPlacementAllocationMismatch) {
+  AuditFixture f;
+  f.view.num_workers = 3;  // placement only holds 2
+  InvariantAuditor auditor;
+  auditor.Check(600.0, f.servers, {f.view}, f.counts);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].invariant, "capacity");
+}
+
+TEST(AuditorNegativeTest, CatchesJobCensusMismatch) {
+  AuditFixture f;
+  f.counts.submitted = 2;  // claims one more job than the snapshot holds
+  InvariantAuditor auditor;
+  auditor.Check(600.0, f.servers, {f.view}, f.counts);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].invariant, "accounting");
+}
+
+TEST(AuditorNegativeTest, ProgressDecreaseNeedsAnAnnouncedRollback) {
+  AuditFixture f;
+  InvariantAuditor auditor;
+  auditor.Check(600.0, f.servers, {f.view}, f.counts);
+  ASSERT_TRUE(auditor.ok());
+
+  // Silent progress loss: violation.
+  f.view.steps_done = 5.0;
+  auditor.Check(1200.0, f.servers, {f.view}, f.counts);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].invariant, "progress");
+
+  // Announced rollback: the same decrease is allowed, once.
+  InvariantAuditor clean;
+  InvariantAuditor::JobView view = f.view;
+  view.steps_done = 10.0;
+  clean.Check(600.0, f.servers, {view}, f.counts);
+  clean.NoteRollback(view.job_id);
+  view.steps_done = 5.0;
+  clean.Check(1200.0, f.servers, {view}, f.counts);
+  EXPECT_TRUE(clean.ok()) << clean.Summary();
+  // The allowance does not persist to the next interval.
+  view.steps_done = 2.0;
+  clean.Check(1800.0, f.servers, {view}, f.counts);
+  EXPECT_FALSE(clean.ok());
+}
+
+TEST(AuditorNegativeTest, CatchesAllocationHeldWhilePaused) {
+  AuditFixture f;
+  f.view.state = JobState::kPaused;  // paused jobs must hold no resources
+  InvariantAuditor auditor;
+  auditor.Check(600.0, f.servers, {f.view}, f.counts);
+  EXPECT_FALSE(auditor.ok());
+}
+
+}  // namespace
+}  // namespace optimus

@@ -1,0 +1,143 @@
+// Golden-trace regression: one small fixed workload, run under a fixed fault
+// plan, must reproduce a committed metrics snapshot bit for bit. Any change
+// to scheduling, fault handling, RNG consumption order, or metrics
+// accounting shows up here as a readable diff instead of a silent drift.
+//
+// Regenerating the golden after an INTENDED behavior change:
+//
+//   OPTIMUS_REGEN_GOLDEN=1 ./build/tests/golden_trace_test
+//
+// then commit tests/golden/fault_trace.json together with the change that
+// moved it. The snapshot prints doubles with 17 significant digits, so it
+// round-trips exactly; the RNG is std::mt19937_64 with libstdc++'s
+// distributions, which is stable across runs and thread counts on the
+// toolchain CI uses (a different standard library may legitimately produce a
+// different golden).
+
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/server.h"
+#include "src/common/rng.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/sim/workload.h"
+
+#ifndef OPTIMUS_SOURCE_DIR
+#error "OPTIMUS_SOURCE_DIR must be defined to locate the golden file"
+#endif
+
+namespace optimus {
+namespace {
+
+constexpr char kGoldenPath[] = OPTIMUS_SOURCE_DIR "/tests/golden/fault_trace.json";
+
+// The pinned scenario: 6 jobs on the paper's testbed with a crash, a rack
+// outage, a slowdown burst, task failures, and periodic checkpoints.
+std::unique_ptr<Simulator> MakePinnedScenario() {
+  SimulatorConfig config;
+  config.seed = 7;
+  config.max_sim_time_s = 2e5;
+  std::string error;
+  // Recoveries land well inside the run (makespan ~8000 s) so the snapshot
+  // pins the full crash -> evict -> recover -> reallocate cycle.
+  const bool ok = ParseFaultPlan(
+      "crash@1800:server=2,recover=5400;"
+      "rack@4200:servers=6-8,recover=6600;"
+      "slow@2400:factor=0.7,duration=1800",
+      &config.fault.plan, &error);
+  EXPECT_TRUE(ok) << error;
+  config.fault.task_failure_prob = 0.02;
+  config.fault.checkpoint_period_s = 3600.0;
+  config.audit = true;
+
+  WorkloadConfig workload;
+  workload.num_jobs = 6;
+  workload.arrival_window_s = 2400.0;
+  Rng rng(config.seed ^ 0x5eedULL);
+  return std::make_unique<Simulator>(config, BuildTestbed(),
+                                     GenerateWorkload(workload, &rng));
+}
+
+std::string Snapshot(const RunMetrics& m, const EventTrace& trace) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "{\n";
+  os << "  \"total_jobs\": " << m.total_jobs << ",\n";
+  os << "  \"completed_jobs\": " << m.completed_jobs << ",\n";
+  os << "  \"jcts_s\": [";
+  for (size_t i = 0; i < m.jcts.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << m.jcts[i];
+  }
+  os << "],\n";
+  os << "  \"avg_jct_s\": " << m.avg_jct_s << ",\n";
+  os << "  \"makespan_s\": " << m.makespan_s << ",\n";
+  os << "  \"scaling_overhead_fraction\": " << m.scaling_overhead_fraction << ",\n";
+  os << "  \"total_scalings\": " << m.total_scalings << ",\n";
+  os << "  \"straggler_replacements\": " << m.straggler_replacements << ",\n";
+  os << "  \"server_crashes\": " << m.server_crashes << ",\n";
+  os << "  \"server_recoveries\": " << m.server_recoveries << ",\n";
+  os << "  \"task_failures\": " << m.task_failures << ",\n";
+  os << "  \"job_evictions\": " << m.job_evictions << ",\n";
+  os << "  \"backoff_deferrals\": " << m.backoff_deferrals << ",\n";
+  os << "  \"checkpoints_taken\": " << m.checkpoints_taken << ",\n";
+  os << "  \"rolled_back_steps\": " << m.rolled_back_steps << ",\n";
+  os << "  \"audit_checks\": " << m.audit_checks << ",\n";
+  os << "  \"audit_violations\": " << m.audit_violations << ",\n";
+  os << "  \"events\": {";
+  bool first = true;
+  for (const auto& [type, count] : trace.CountByType()) {
+    os << (first ? "" : ", ") << "\"" << SimEventTypeName(type) << "\": " << count;
+    first = false;
+  }
+  os << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+TEST(GoldenTraceTest, FaultedRunMatchesCommittedSnapshot) {
+  std::unique_ptr<Simulator> sim = MakePinnedScenario();
+  const RunMetrics metrics = sim->Run();
+  const std::string actual = Snapshot(metrics, sim->trace());
+
+  if (std::getenv("OPTIMUS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(kGoldenPath);
+    ASSERT_TRUE(os.good()) << "cannot write " << kGoldenPath;
+    os << actual;
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath);
+  ASSERT_TRUE(in.good())
+      << "missing golden " << kGoldenPath
+      << " — run with OPTIMUS_REGEN_GOLDEN=1 to create it";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(actual, golden.str())
+      << "metrics drifted from the committed golden; if the change is "
+         "intended, regenerate with OPTIMUS_REGEN_GOLDEN=1 and commit the "
+         "new tests/golden/fault_trace.json";
+}
+
+// The pinned scenario itself must be healthy: faults actually fire and the
+// auditor stays clean, so the golden keeps guarding real behavior.
+TEST(GoldenTraceTest, PinnedScenarioExercisesTheFaultPath) {
+  std::unique_ptr<Simulator> sim = MakePinnedScenario();
+  const RunMetrics metrics = sim->Run();
+  EXPECT_EQ(metrics.server_crashes, 4);
+  EXPECT_EQ(metrics.server_recoveries, 4);
+  EXPECT_GT(metrics.task_failures, 0);
+  EXPECT_GT(metrics.checkpoints_taken, 0);
+  EXPECT_GT(metrics.audit_checks, 0);
+  EXPECT_EQ(metrics.audit_violations, 0) << sim->auditor().Summary();
+}
+
+}  // namespace
+}  // namespace optimus

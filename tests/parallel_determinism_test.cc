@@ -10,6 +10,7 @@
 #include "src/cluster/server.h"
 #include "src/common/rng.h"
 #include "src/sim/experiment.h"
+#include "src/sim/fault_injector.h"
 #include "src/sim/simulator.h"
 #include "src/sim/workload.h"
 
@@ -28,6 +29,15 @@ void ExpectIdenticalMetrics(const RunMetrics& a, const RunMetrics& b) {
   EXPECT_EQ(a.scaling_overhead_fraction, b.scaling_overhead_fraction);
   EXPECT_EQ(a.straggler_replacements, b.straggler_replacements);
   EXPECT_EQ(a.total_scalings, b.total_scalings);
+  EXPECT_EQ(a.server_crashes, b.server_crashes);
+  EXPECT_EQ(a.server_recoveries, b.server_recoveries);
+  EXPECT_EQ(a.task_failures, b.task_failures);
+  EXPECT_EQ(a.job_evictions, b.job_evictions);
+  EXPECT_EQ(a.backoff_deferrals, b.backoff_deferrals);
+  EXPECT_EQ(a.checkpoints_taken, b.checkpoints_taken);
+  EXPECT_EQ(a.rolled_back_steps, b.rolled_back_steps);  // bitwise
+  EXPECT_EQ(a.audit_checks, b.audit_checks);
+  EXPECT_EQ(a.audit_violations, b.audit_violations);
   ASSERT_EQ(a.timeline.size(), b.timeline.size());
   for (size_t i = 0; i < a.timeline.size(); ++i) {
     EXPECT_EQ(a.timeline[i].time_s, b.timeline[i].time_s);
@@ -64,6 +74,47 @@ TEST(ParallelDeterminismTest, ExperimentRunnerMatchesSerialBitForBit) {
   for (size_t r = 0; r < serial.runs.size(); ++r) {
     ExpectIdenticalMetrics(serial.runs[r], parallel.runs[r]);
   }
+}
+
+// Same small experiment with the fault subsystem fully lit up: scripted
+// crashes (single-server and rack-style), a slowdown burst, task failures,
+// periodic checkpoints, and the auditor. All fault draws come from per-job
+// split streams and the injector advances serially, so metrics must stay
+// bitwise identical for any thread count.
+ExperimentConfig SmallFaultedExperiment(int threads) {
+  ExperimentConfig config = SmallExperiment(threads);
+  std::string error;
+  EXPECT_TRUE(ParseFaultPlan(
+      "crash@1800:server=2,recover=9000;"
+      "rack@4200:servers=6-8,recover=12000;"
+      "slow@2400:factor=0.7,duration=1800",
+      &config.sim.fault.plan, &error))
+      << error;
+  config.sim.fault.task_failure_prob = 0.03;
+  config.sim.fault.checkpoint_period_s = 1800.0;
+  config.sim.audit = true;
+  return config;
+}
+
+TEST(ParallelDeterminismTest, FaultedExperimentMatchesSerialBitForBit) {
+  const ExperimentResult serial =
+      RunExperiment(SmallFaultedExperiment(1), [] { return BuildTestbed(); });
+  const ExperimentResult parallel =
+      RunExperiment(SmallFaultedExperiment(4), [] { return BuildTestbed(); });
+
+  EXPECT_EQ(serial.avg_jct_mean, parallel.avg_jct_mean);
+  EXPECT_EQ(serial.makespan_mean, parallel.makespan_mean);
+  EXPECT_EQ(serial.task_failures_mean, parallel.task_failures_mean);
+  EXPECT_EQ(serial.job_evictions_mean, parallel.job_evictions_mean);
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  int64_t total_faults = 0;
+  for (size_t r = 0; r < serial.runs.size(); ++r) {
+    ExpectIdenticalMetrics(serial.runs[r], parallel.runs[r]);
+    total_faults += serial.runs[r].server_crashes + serial.runs[r].task_failures;
+    EXPECT_EQ(serial.runs[r].audit_violations, 0);
+  }
+  // The fault plan genuinely fired — otherwise this test pins nothing.
+  EXPECT_GT(total_faults, 0);
 }
 
 RunMetrics RunSimulatorWithInitThreads(int init_threads) {

@@ -1,0 +1,208 @@
+// Property-based fuzz tests for the fitting stack: the NNLS solver and the
+// Eqn-3/4 speed models must behave sanely on seeded random inputs — solutions
+// stay non-negative and finite, residuals respect their bounds, and exactly
+// representable problems are recovered exactly. Each case loops over many
+// seeds so a regression in any numerical corner shows up deterministically.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/models/model_zoo.h"
+#include "src/perfmodel/speed_model.h"
+#include "src/solver/matrix.h"
+#include "src/solver/nnls.h"
+
+namespace optimus {
+namespace {
+
+bool AllFinite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// NNLS
+// ---------------------------------------------------------------------------
+
+TEST(NnlsPropertyTest, RandomProblemsSatisfyTheContract) {
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    const size_t m = static_cast<size_t>(rng.UniformInt(3, 12));
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 5));
+    Matrix a(m, n);
+    Vector b(m);
+    double b_norm_sq = 0.0;
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        a(r, c) = rng.Uniform(-2.0, 2.0);
+      }
+      b[r] = rng.Uniform(-2.0, 2.0);
+      b_norm_sq += b[r] * b[r];
+    }
+
+    const NnlsResult result = SolveNnls(a, b);
+    ASSERT_EQ(result.x.size(), n) << "seed " << seed;
+    EXPECT_TRUE(AllFinite(result.x)) << "seed " << seed;
+    for (size_t c = 0; c < n; ++c) {
+      EXPECT_GE(result.x[c], 0.0) << "seed " << seed << " coefficient " << c;
+    }
+    EXPECT_TRUE(std::isfinite(result.residual_sum_of_squares)) << "seed " << seed;
+    EXPECT_GE(result.residual_sum_of_squares, -1e-9) << "seed " << seed;
+    // x = 0 is always feasible with residual ||b||^2, so the optimum (and any
+    // reasonable iterate) can never exceed it.
+    EXPECT_LE(result.residual_sum_of_squares, b_norm_sq + 1e-6) << "seed " << seed;
+    EXPECT_LE(result.iterations, NnlsOptions{}.max_iterations) << "seed " << seed;
+    // The reported residual must match the returned solution.
+    EXPECT_NEAR(result.residual_sum_of_squares,
+                ResidualSumOfSquares(a, result.x, b), 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(NnlsPropertyTest, RecoversFeasibleSolutionsExactly) {
+  // When b = A x_true with x_true >= 0, the optimal residual is zero and the
+  // active-set solver must find it (x_true itself when A has full column
+  // rank, which random continuous matrices have almost surely).
+  for (uint64_t seed = 100; seed < 130; ++seed) {
+    Rng rng(seed);
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 4));
+    const size_t m = n + 4;
+    Matrix a(m, n);
+    Vector x_true(n);
+    for (size_t c = 0; c < n; ++c) {
+      x_true[c] = rng.Uniform(0.0, 3.0);
+    }
+    for (size_t r = 0; r < m; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        a(r, c) = rng.Uniform(-1.0, 1.0) + (r == c ? 2.0 : 0.0);
+      }
+    }
+    const Vector b = a.Times(x_true);
+
+    const NnlsResult result = SolveNnls(a, b);
+    EXPECT_TRUE(result.converged) << "seed " << seed;
+    EXPECT_LT(result.residual_sum_of_squares, 1e-8) << "seed " << seed;
+    ASSERT_EQ(result.x.size(), n);
+    for (size_t c = 0; c < n; ++c) {
+      EXPECT_NEAR(result.x[c], x_true[c], 1e-5) << "seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Speed models (Eqns 3 and 4)
+// ---------------------------------------------------------------------------
+
+// Ground-truth generative speed for random non-negative theta.
+double TrueSpeed(TrainingMode mode, const std::vector<double>& theta,
+                 double global_batch, int p, int w) {
+  if (mode == TrainingMode::kAsync) {
+    // f = w / (t0 + t1 (w/p) + t2 w + t3 p)
+    return w / (theta[0] + theta[1] * (static_cast<double>(w) / p) +
+                theta[2] * w + theta[3] * p);
+  }
+  // f = 1 / (t0 (M/w) + t1 + t2 (w/p) + t3 w + t4 p)
+  return 1.0 / (theta[0] * (global_batch / w) + theta[1] +
+                theta[2] * (static_cast<double>(w) / p) + theta[3] * w +
+                theta[4] * p);
+}
+
+TEST(SpeedModelPropertyTest, FitsNoisyRandomCurvesWithinTheContract) {
+  const int kGrid[] = {1, 2, 4, 8, 16};
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    const TrainingMode mode =
+        seed % 2 == 0 ? TrainingMode::kSync : TrainingMode::kAsync;
+    const int global_batch = 512;
+    const size_t n_theta = mode == TrainingMode::kSync ? 5 : 4;
+    Rng rng(seed + 7000);
+    std::vector<double> theta(n_theta);
+    for (double& t : theta) {
+      t = rng.Uniform(0.001, 0.1);
+    }
+
+    SpeedModel model(mode, global_batch);
+    for (int p : kGrid) {
+      for (int w : kGrid) {
+        const double speed = TrueSpeed(mode, theta, global_batch, p, w) *
+                             rng.LogNormalFactor(0.05);
+        model.AddSample(p, w, speed);
+      }
+    }
+    ASSERT_TRUE(model.Fit()) << "seed " << seed;
+
+    ASSERT_EQ(model.theta().size(), n_theta) << "seed " << seed;
+    EXPECT_TRUE(AllFinite(model.theta())) << "seed " << seed;
+    for (double t : model.theta()) {
+      EXPECT_GE(t, 0.0) << "seed " << seed;
+    }
+    EXPECT_TRUE(std::isfinite(model.residual())) << "seed " << seed;
+    EXPECT_GE(model.residual(), 0.0) << "seed " << seed;
+    for (int p : kGrid) {
+      for (int w : kGrid) {
+        const double estimate = model.Estimate(p, w);
+        EXPECT_TRUE(std::isfinite(estimate))
+            << "seed " << seed << " (p, w) = (" << p << ", " << w << ")";
+        EXPECT_GT(estimate, 0.0)
+            << "seed " << seed << " (p, w) = (" << p << ", " << w << ")";
+      }
+    }
+  }
+}
+
+TEST(SpeedModelPropertyTest, RecoversNoiselessCurvesAccurately) {
+  // With zero noise the inverse speed is an exact non-negative combination of
+  // the features, so the NNLS fit reproduces the generative curve.
+  const int kGrid[] = {1, 2, 4, 8, 16};
+  for (uint64_t seed = 50; seed < 66; ++seed) {
+    const TrainingMode mode =
+        seed % 2 == 0 ? TrainingMode::kSync : TrainingMode::kAsync;
+    const int global_batch = 256;
+    const size_t n_theta = mode == TrainingMode::kSync ? 5 : 4;
+    Rng rng(seed + 9000);
+    std::vector<double> theta(n_theta);
+    for (double& t : theta) {
+      t = rng.Uniform(0.001, 0.1);
+    }
+
+    SpeedModel model(mode, global_batch);
+    for (int p : kGrid) {
+      for (int w : kGrid) {
+        model.AddSample(p, w, TrueSpeed(mode, theta, global_batch, p, w));
+      }
+    }
+    ASSERT_TRUE(model.Fit()) << "seed " << seed;
+    for (int p : kGrid) {
+      for (int w : kGrid) {
+        const double truth = TrueSpeed(mode, theta, global_batch, p, w);
+        EXPECT_NEAR(model.Estimate(p, w), truth, 1e-3 * truth)
+            << "seed " << seed << " (p, w) = (" << p << ", " << w << ")";
+      }
+    }
+  }
+}
+
+TEST(SpeedModelPropertyTest, DegenerateSamplesDoNotProduceNonFinite) {
+  // All samples at one (p, w): the system is underdetermined. Whatever Fit
+  // decides, nothing may go NaN/inf and a successful fit must stay positive
+  // at the sampled point.
+  SpeedModel model(TrainingMode::kAsync, 0);
+  for (int i = 0; i < 6; ++i) {
+    model.AddSample(2, 4, 10.0);
+  }
+  if (model.Fit()) {
+    EXPECT_TRUE(AllFinite(model.theta()));
+    const double estimate = model.Estimate(2, 4);
+    EXPECT_TRUE(std::isfinite(estimate));
+    EXPECT_GT(estimate, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace optimus
