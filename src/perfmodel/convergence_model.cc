@@ -23,20 +23,38 @@ void ConvergenceModel::AddSample(double step, double loss) {
     return;  // a real framework can emit NaN losses; never feed them the fit
   }
   samples_.push_back({step, loss});
+  dirty_ = true;
 }
 
 void ConvergenceModel::Reset() {
   samples_.clear();
+  dirty_ = true;
   fitted_ = false;
   beta0_ = beta1_ = beta2_ = 0.0;
   norm_factor_ = 1.0;
   residual_ = 0.0;
+  epochs_cache_.valid = false;
 }
 
 namespace {
 
+// Loss-space residual of the (beta0, beta1, beta2) candidate. Predictions
+// with beta1 == 0 at step 0 diverge, so guard the denominator.
+double LossSpaceRss(const std::vector<LossSample>& samples, double beta0,
+                    double beta1, double beta2) {
+  double rss = 0.0;
+  for (const LossSample& s : samples) {
+    const double denom = beta0 * s.step + beta1;
+    const double pred = denom > 1e-12 ? 1.0 / denom + beta2 : 1e12;
+    const double e = pred - s.loss;
+    rss += e * e;
+  }
+  return rss;
+}
+
 // NNLS fit of (beta0, beta1) for a fixed beta2 on normalized samples; returns
 // the residual in loss space (infinity when the transform is infeasible).
+// From-scratch reference path: builds the dense system per candidate.
 double FitForBeta2(const std::vector<LossSample>& samples, double beta2, double* beta0,
                    double* beta1) {
   Matrix a(samples.size(), 2);
@@ -53,16 +71,59 @@ double FitForBeta2(const std::vector<LossSample>& samples, double beta2, double*
   const NnlsResult fit = SolveNnls(a, b);
   *beta0 = fit.x[0];
   *beta1 = fit.x[1];
-  // Evaluate in loss space: predictions with beta1 == 0 at step 0 diverge, so
-  // guard the denominator.
-  double rss = 0.0;
+  return LossSpaceRss(samples, *beta0, *beta1, beta2);
+}
+
+// Same fit from a shared A^T A: A = [step, 1] does not depend on beta2, so
+// only the right-hand side is rebuilt per candidate. The moment sums below
+// accumulate over samples in order, exactly like Matrix::Gram() /
+// Matrix::TransposeTimes() over the dense build, so the solve is bit-identical
+// to FitForBeta2.
+struct ConvGram {
+  double step_step = 0.0;  // sum step_i^2
+  double step_one = 0.0;   // sum step_i
+  double one_one = 0.0;    // n
+};
+
+ConvGram AccumulateConvGram(const std::vector<LossSample>& samples) {
+  ConvGram g;
   for (const LossSample& s : samples) {
-    const double denom = *beta0 * s.step + *beta1;
-    const double pred = denom > 1e-12 ? 1.0 / denom + beta2 : 1e12;
-    const double e = pred - s.loss;
-    rss += e * e;
+    g.step_step += s.step * s.step;
   }
-  return rss;
+  for (const LossSample& s : samples) {
+    g.step_one += s.step * 1.0;
+  }
+  for (const LossSample& s : samples) {
+    g.one_one += 1.0 * 1.0;
+  }
+  return g;
+}
+
+double FitForBeta2Gram(const std::vector<LossSample>& samples, const ConvGram& g,
+                       double beta2, double* beta0, double* beta1) {
+  double atb0 = 0.0;
+  double atb1 = 0.0;
+  double btb = 0.0;
+  for (const LossSample& s : samples) {
+    const double gap = s.loss - beta2;
+    if (gap <= 1e-9) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double y = 1.0 / gap;
+    atb0 += s.step * y;
+    atb1 += 1.0 * y;
+    btb += y * y;
+  }
+  Matrix ata(2, 2);
+  ata(0, 0) = g.step_step;
+  ata(0, 1) = g.step_one;
+  ata(1, 0) = g.step_one;
+  ata(1, 1) = g.one_one;
+  const GramSystem gram(std::move(ata), {atb0, atb1}, btb, samples.size());
+  const NnlsResult fit = SolveNnlsGram(gram);
+  *beta0 = fit.x[0];
+  *beta1 = fit.x[1];
+  return LossSpaceRss(samples, *beta0, *beta1, beta2);
 }
 
 }  // namespace
@@ -71,8 +132,15 @@ bool ConvergenceModel::Fit() {
   if (static_cast<int>(samples_.size()) < options_.min_samples) {
     return fitted_;
   }
+  if (caching_ && !dirty_) {
+    return fitted_;  // no new samples since the last attempt
+  }
+  dirty_ = false;
 
-  // Preprocess: outliers -> normalize -> downsample.
+  // Preprocess: outliers -> normalize -> downsample. The normalization factor
+  // applies immediately (even if this attempt ends up degenerate and keeps
+  // the previous betas) — PredictLoss always denormalizes with the latest
+  // factor.
   std::vector<LossSample> pts = RemoveOutliers(samples_, options_.outlier_window);
   norm_factor_ = NormalizeLosses(&pts);
   pts = Downsample(pts, options_.max_fit_points);
@@ -81,6 +149,8 @@ bool ConvergenceModel::Fit() {
   for (const LossSample& s : pts) {
     min_loss = std::min(min_loss, s.loss);
   }
+
+  const ConvGram gram = AccumulateConvGram(pts);
 
   // Refining grid over beta2 in [0, min_loss).
   double lo = 0.0;
@@ -96,7 +166,8 @@ bool ConvergenceModel::Fit() {
       const double beta2 = lo + (hi - lo) * g / grid;
       double b0 = 0.0;
       double b1 = 0.0;
-      const double rss = FitForBeta2(pts, beta2, &b0, &b1);
+      const double rss = caching_ ? FitForBeta2Gram(pts, gram, beta2, &b0, &b1)
+                                  : FitForBeta2(pts, beta2, &b0, &b1);
       if (rss < best_rss) {
         best_rss = rss;
         best_b0 = b0;
@@ -119,6 +190,7 @@ bool ConvergenceModel::Fit() {
   beta2_ = best_b2;
   residual_ = best_rss;
   fitted_ = true;
+  epochs_cache_.valid = false;  // the curve changed; re-walk on next query
   return true;
 }
 
@@ -136,25 +208,34 @@ int64_t ConvergenceModel::PredictTotalEpochs(double delta, int patience,
   OPTIMUS_CHECK_GT(delta, 0.0);
   OPTIMUS_CHECK_GE(patience, 1);
   OPTIMUS_CHECK_GT(steps_per_epoch, 0);
+  if (caching_ && epochs_cache_.valid && epochs_cache_.delta == delta &&
+      epochs_cache_.patience == patience &&
+      epochs_cache_.steps_per_epoch == steps_per_epoch &&
+      epochs_cache_.max_epochs == max_epochs) {
+    return epochs_cache_.total;
+  }
   // Walk the fitted curve epoch by epoch with the same detector the job
   // itself uses; relative drops are scale-invariant so the normalized curve
   // suffices.
   int streak = 0;
   double prev = PredictLoss(0.0);
+  int64_t total = max_epochs;
   for (int64_t e = 1; e <= max_epochs; ++e) {
     const double cur = PredictLoss(static_cast<double>(e * steps_per_epoch));
     const double rel_drop = prev > 0.0 ? (prev - cur) / prev : 0.0;
     if (rel_drop < delta) {
       ++streak;
       if (streak >= patience) {
-        return e;
+        total = e;
+        break;
       }
     } else {
       streak = 0;
     }
     prev = cur;
   }
-  return max_epochs;
+  epochs_cache_ = {true, delta, patience, steps_per_epoch, max_epochs, total};
+  return total;
 }
 
 double ConvergenceModel::PredictRemainingEpochs(double current_step, double delta,

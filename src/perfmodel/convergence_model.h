@@ -7,6 +7,14 @@
 // residual in loss space. Losses are preprocessed (outlier removal,
 // normalization, downsampling) exactly as the paper describes.
 //
+// The design matrix A = [step, 1] is the same for every beta2 candidate, so
+// one Fit() accumulates A^T A once and solves each candidate from the shared
+// Gram in O(n) instead of O(n * iterations); a dirty flag skips the refit
+// entirely when no samples arrived since the last Fit(), and the epoch-walk
+// prediction (PredictTotalEpochs) is memoized per fit. All three shortcuts
+// reproduce the from-scratch fit bit for bit; set_caching(false) forces the
+// from-scratch path (reference/baseline mode).
+//
 // The fitted curve answers the scheduler's question: how many more epochs
 // until the per-epoch loss decrease stays below the job's threshold?
 
@@ -48,6 +56,10 @@ class ConvergenceModel {
   // them reproduces the model exactly).
   const std::vector<LossSample>& samples() const { return samples_; }
 
+  // Shared-Gram solves, dirty-flag refits, and prediction memoization on by
+  // default; off re-derives everything from scratch on every call.
+  void set_caching(bool enabled) { caching_ = enabled; }
+
   // Refits the curve on all samples collected so far. Returns true when a
   // usable fit exists (also re-queryable via fitted()).
   bool Fit();
@@ -77,12 +89,26 @@ class ConvergenceModel {
  private:
   ConvergenceModelOptions options_;
   std::vector<LossSample> samples_;
+  bool caching_ = true;
+  bool dirty_ = true;  // samples added since the last Fit() attempt
   bool fitted_ = false;
   double beta0_ = 0.0;
   double beta1_ = 0.0;
   double beta2_ = 0.0;
   double norm_factor_ = 1.0;
   double residual_ = 0.0;
+
+  // Memoized PredictTotalEpochs walk, keyed by its arguments; invalidated
+  // whenever the fitted curve changes.
+  struct EpochsCache {
+    bool valid = false;
+    double delta = 0.0;
+    int patience = 0;
+    int64_t steps_per_epoch = 0;
+    int64_t max_epochs = 0;
+    int64_t total = 0;
+  };
+  mutable EpochsCache epochs_cache_;
 };
 
 }  // namespace optimus

@@ -4,15 +4,23 @@
 
 #include "src/common/logging.h"
 #include "src/solver/matrix.h"
-#include "src/solver/nnls.h"
 
 namespace optimus {
 
 SpeedModel::SpeedModel(TrainingMode mode, int global_batch)
-    : mode_(mode), global_batch_(static_cast<double>(global_batch)) {
+    : mode_(mode),
+      global_batch_(static_cast<double>(global_batch)),
+      gram_(mode == TrainingMode::kAsync ? 4 : 5) {
   if (mode_ == TrainingMode::kSync) {
     OPTIMUS_CHECK_GT(global_batch, 0);
   }
+}
+
+double SpeedModel::InverseSpeedTarget(const SpeedSample& s) const {
+  // Invert the speed into per-step time: async aggregates w workers.
+  return mode_ == TrainingMode::kAsync
+             ? static_cast<double>(s.num_workers) / s.speed
+             : 1.0 / s.speed;
 }
 
 void SpeedModel::AddSample(int num_ps, int num_workers, double speed) {
@@ -22,10 +30,14 @@ void SpeedModel::AddSample(int num_ps, int num_workers, double speed) {
     return;
   }
   samples_.push_back({num_ps, num_workers, speed});
+  gram_.Add(Features(num_ps, num_workers), InverseSpeedTarget(samples_.back()));
+  dirty_ = true;
 }
 
 void SpeedModel::Reset() {
   samples_.clear();
+  gram_.Reset();
+  dirty_ = false;
   theta_.clear();
   fitted_ = false;
   residual_ = 0.0;
@@ -43,25 +55,32 @@ std::vector<double> SpeedModel::Features(int num_ps, int num_workers) const {
 }
 
 bool SpeedModel::Fit() {
-  const size_t dims = mode_ == TrainingMode::kAsync ? 4 : 5;
   if (samples_.size() < 3) {
     return fitted_;
   }
-
-  Matrix a(samples_.size(), dims);
-  Vector b(samples_.size());
-  for (size_t i = 0; i < samples_.size(); ++i) {
-    const SpeedSample& s = samples_[i];
-    const std::vector<double> feat = Features(s.num_ps, s.num_workers);
-    for (size_t c = 0; c < dims; ++c) {
-      a(i, c) = feat[c];
-    }
-    // Invert the speed into per-step time: async aggregates w workers.
-    b[i] = mode_ == TrainingMode::kAsync ? static_cast<double>(s.num_workers) / s.speed
-                                         : 1.0 / s.speed;
+  if (caching_ && !dirty_) {
+    return fitted_;  // no new samples since the last solve
   }
 
-  const NnlsResult fit = SolveNnls(a, b);
+  NnlsResult fit;
+  if (caching_) {
+    fit = SolveNnlsGram(gram_);
+  } else {
+    const size_t d = dims();
+    Matrix a(samples_.size(), d);
+    Vector b(samples_.size());
+    for (size_t i = 0; i < samples_.size(); ++i) {
+      const SpeedSample& s = samples_[i];
+      const std::vector<double> feat = Features(s.num_ps, s.num_workers);
+      for (size_t c = 0; c < d; ++c) {
+        a(i, c) = feat[c];
+      }
+      b[i] = InverseSpeedTarget(s);
+    }
+    fit = SolveNnls(a, b);
+  }
+  dirty_ = false;
+
   double sum = 0.0;
   for (double t : fit.x) {
     sum += t;
@@ -70,7 +89,19 @@ bool SpeedModel::Fit() {
     return fitted_;  // degenerate; keep any previous fit
   }
   theta_ = fit.x;
-  residual_ = fit.residual_sum_of_squares;
+  // Exact residual in inverse-speed space (same accumulation order as the
+  // dense ResidualSumOfSquares, so both code paths report identical values).
+  double rss = 0.0;
+  for (const SpeedSample& s : samples_) {
+    const std::vector<double> feat = Features(s.num_ps, s.num_workers);
+    double pred = 0.0;
+    for (size_t c = 0; c < feat.size(); ++c) {
+      pred += feat[c] * theta_[c];
+    }
+    const double e = pred - InverseSpeedTarget(s);
+    rss += e * e;
+  }
+  residual_ = rss;
   fitted_ = true;
   return true;
 }

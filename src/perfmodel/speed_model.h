@@ -9,6 +9,13 @@
 // the coefficients are fitted with NNLS — exactly the paper's procedure. The
 // model is initialized from a handful of short pre-runs at different (p, w)
 // configurations and then recalibrated online as real measurements accrue.
+//
+// The normal equations are accumulated incrementally as samples arrive
+// (GramSystem), so a refit costs O(k^2 * iterations) regardless of how many
+// samples the job has collected, and a Fit() with no new samples returns the
+// cached coefficients without solving at all. Both shortcuts reproduce the
+// from-scratch fit bit for bit; set_caching(false) forces the from-scratch
+// dense path (reference/baseline mode).
 
 #ifndef SRC_PERFMODEL_SPEED_MODEL_H_
 #define SRC_PERFMODEL_SPEED_MODEL_H_
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "src/models/model_zoo.h"
+#include "src/solver/nnls.h"
 
 namespace optimus {
 
@@ -43,6 +51,10 @@ class SpeedModel {
   const std::vector<SpeedSample>& samples() const { return samples_; }
   void Reset();
 
+  // Incremental refits (Gram accumulation + dirty flag) on by default; off
+  // refits densely from the full sample history on every Fit() call.
+  void set_caching(bool enabled) { caching_ = enabled; }
+
   // Refits theta on all samples. Returns true when a usable fit exists.
   bool Fit();
   bool fitted() const { return fitted_; }
@@ -57,10 +69,15 @@ class SpeedModel {
 
  private:
   std::vector<double> Features(int num_ps, int num_workers) const;
+  double InverseSpeedTarget(const SpeedSample& s) const;
+  size_t dims() const { return mode_ == TrainingMode::kAsync ? 4 : 5; }
 
   TrainingMode mode_;
   double global_batch_;
   std::vector<SpeedSample> samples_;
+  GramSystem gram_;
+  bool caching_ = true;
+  bool dirty_ = false;  // samples added since the last solve
   std::vector<double> theta_;
   bool fitted_ = false;
   double residual_ = 0.0;

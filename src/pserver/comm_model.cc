@@ -9,10 +9,24 @@
 namespace optimus {
 
 int JobPlacement::TotalWorkers() const {
+  if (!used_servers.empty()) {
+    int total = 0;
+    for (int s : used_servers) {
+      total += workers_per_server[static_cast<size_t>(s)];
+    }
+    return total;
+  }
   return std::accumulate(workers_per_server.begin(), workers_per_server.end(), 0);
 }
 
 int JobPlacement::TotalPs() const {
+  if (!used_servers.empty()) {
+    int total = 0;
+    for (int s : used_servers) {
+      total += ps_per_server[static_cast<size_t>(s)];
+    }
+    return total;
+  }
   return std::accumulate(ps_per_server.begin(), ps_per_server.end(), 0);
 }
 
@@ -28,8 +42,9 @@ double CrossServerTransferTime(const StepTimeInputs& in, const CommConfig& confi
   const double bw = config.container_bandwidth_bps;
   const int p = in.num_ps;
   const int w = in.num_workers;
+  const JobPlacement& placement = EffectivePlacement(in);
 
-  if (in.placement.empty()) {
+  if (placement.empty()) {
     // All communication crosses the network. PS side: the busiest PS serves
     // w' concurrent workers, each exchanging its shard. Worker side: each
     // worker exchanges the full model through its NIC.
@@ -38,13 +53,12 @@ double CrossServerTransferTime(const StepTimeInputs& in, const CommConfig& confi
     return 2.0 * std::max(ps_side, worker_side);
   }
 
-  OPTIMUS_CHECK_EQ(in.placement.workers_per_server.size(),
-                   in.placement.ps_per_server.size());
+  OPTIMUS_CHECK_EQ(placement.workers_per_server.size(),
+                   placement.ps_per_server.size());
+  // Servers without any task of this job contribute nothing to the max, so
+  // only the occupied ones need visiting.
   double worst = 0.0;
-  const size_t servers = in.placement.workers_per_server.size();
-  for (size_t k = 0; k < servers; ++k) {
-    const int w_k = in.placement.workers_per_server[k];
-    const int p_k = in.placement.ps_per_server[k];
+  placement.ForEachUsed([&](size_t /*k*/, int w_k, int p_k) {
     if (p_k > 0) {
       // The busiest PS (bytes-wise) could sit on any server; being
       // conservative, charge the max shard size to PSes on every server.
@@ -59,7 +73,7 @@ double CrossServerTransferTime(const StepTimeInputs& in, const CommConfig& confi
       const double worker_time = remote_shard_bytes / bw;
       worst = std::max(worst, worker_time);
     }
-  }
+  });
   return 2.0 * worst;
 }
 
@@ -70,9 +84,10 @@ StepTimeBreakdown ComputeStepTime(const StepTimeInputs& in, const CommConfig& co
   OPTIMUS_CHECK_GE(in.num_ps, 1);
   OPTIMUS_CHECK_GE(in.num_workers, 1);
   OPTIMUS_CHECK_GT(in.slowest_worker_factor, 0.0);
-  if (!in.placement.empty()) {
-    OPTIMUS_CHECK_EQ(in.placement.TotalWorkers(), in.num_workers);
-    OPTIMUS_CHECK_EQ(in.placement.TotalPs(), in.num_ps);
+  const JobPlacement& placement = EffectivePlacement(in);
+  if (!placement.empty()) {
+    OPTIMUS_CHECK_EQ(placement.TotalWorkers(), in.num_workers);
+    OPTIMUS_CHECK_EQ(placement.TotalPs(), in.num_ps);
   }
 
   const ModelSpec& model = *in.model;

@@ -45,10 +45,36 @@ struct CommConfig {
 struct JobPlacement {
   std::vector<int> workers_per_server;
   std::vector<int> ps_per_server;
+  // Sorted indices of the servers hosting at least one task of this job.
+  // Filled by the placement engine so consumers iterate O(tasks) instead of
+  // O(servers); when empty (hand-built placements), consumers fall back to
+  // scanning the dense vectors. When non-empty it MUST cover every nonzero
+  // entry.
+  std::vector<int> used_servers;
 
   int TotalWorkers() const;
   int TotalPs() const;
   bool empty() const { return workers_per_server.empty() && ps_per_server.empty(); }
+
+  // Calls fn(server_index, workers, ps) for every server hosting at least
+  // one task, in ascending server order.
+  template <typename Fn>
+  void ForEachUsed(Fn&& fn) const {
+    if (!used_servers.empty()) {
+      for (int s : used_servers) {
+        fn(static_cast<size_t>(s), workers_per_server[static_cast<size_t>(s)],
+           ps_per_server[static_cast<size_t>(s)]);
+      }
+      return;
+    }
+    for (size_t s = 0; s < workers_per_server.size(); ++s) {
+      const int w = workers_per_server[s];
+      const int p = ps_per_server[s];
+      if (w != 0 || p != 0) {
+        fn(s, w, p);
+      }
+    }
+  }
 };
 
 struct StepTimeInputs {
@@ -65,9 +91,19 @@ struct StepTimeInputs {
   bool load_valid = false;
   // Optional placement (see JobPlacement); empty = all cross-server.
   JobPlacement placement;
+  // Borrowed alternative to `placement` for hot paths that already own a
+  // JobPlacement: avoids copying two server-sized vectors per call. Takes
+  // precedence over `placement` when set; the pointee must outlive the call.
+  const JobPlacement* placement_ref = nullptr;
   // Speed factor of the slowest worker (1.0 = healthy; 0.5 = half speed).
   double slowest_worker_factor = 1.0;
 };
+
+// The placement a step-time computation should use: the borrowed reference
+// when present, the owned copy otherwise.
+inline const JobPlacement& EffectivePlacement(const StepTimeInputs& in) {
+  return in.placement_ref != nullptr ? *in.placement_ref : in.placement;
+}
 
 struct StepTimeBreakdown {
   double forward_s = 0.0;

@@ -208,16 +208,17 @@ TaskLayout BuildLayout(const StepTimeInputs& in) {
   TaskLayout layout;
   layout.worker_server.assign(in.num_workers, -1);
   layout.ps_server.assign(in.num_ps, -2);  // distinct from workers by default
-  if (in.placement.empty()) {
+  const JobPlacement& placement = EffectivePlacement(in);
+  if (placement.empty()) {
     return layout;
   }
   int w = 0;
   int p = 0;
-  for (size_t s = 0; s < in.placement.workers_per_server.size(); ++s) {
-    for (int i = 0; i < in.placement.workers_per_server[s]; ++i) {
+  for (size_t s = 0; s < placement.workers_per_server.size(); ++s) {
+    for (int i = 0; i < placement.workers_per_server[s]; ++i) {
       layout.worker_server[w++] = static_cast<int>(s);
     }
-    for (int i = 0; i < in.placement.ps_per_server[s]; ++i) {
+    for (int i = 0; i < placement.ps_per_server[s]; ++i) {
       layout.ps_server[p++] = static_cast<int>(s);
     }
   }
@@ -431,9 +432,10 @@ EventSimResult SimulateStep(const StepTimeInputs& in, const CommConfig& config,
   OPTIMUS_CHECK(in.model != nullptr);
   OPTIMUS_CHECK_GE(in.num_workers, 1);
   OPTIMUS_CHECK_GE(in.num_ps, 1);
-  if (!in.placement.empty()) {
-    OPTIMUS_CHECK_EQ(in.placement.TotalWorkers(), in.num_workers);
-    OPTIMUS_CHECK_EQ(in.placement.TotalPs(), in.num_ps);
+  const JobPlacement& placement = EffectivePlacement(in);
+  if (!placement.empty()) {
+    OPTIMUS_CHECK_EQ(placement.TotalWorkers(), in.num_workers);
+    OPTIMUS_CHECK_EQ(placement.TotalPs(), in.num_ps);
   }
   return in.mode == TrainingMode::kSync ? RunSync(in, config, options)
                                         : RunAsync(in, config, options);

@@ -95,7 +95,9 @@ bool TryEvenPlacement(const PlacementJobInput& job, const std::vector<size_t>& s
     server.Allocate(tentative_used[i]);
     placement->workers_per_server[server_order[i]] += tentative_w[i];
     placement->ps_per_server[server_order[i]] += tentative_p[i];
+    placement->used_servers.push_back(static_cast<int>(server_order[i]));
   }
+  std::sort(placement->used_servers.begin(), placement->used_servers.end());
   return true;
 }
 
@@ -217,6 +219,13 @@ bool PlacePerTask(const PlacementJobInput& job, PickRule rule,
   if (place_tasks(job.alloc.num_ps, job.ps_demand, &placement->ps_per_server) &&
       place_tasks(job.alloc.num_workers, job.worker_demand,
                   &placement->workers_per_server)) {
+    for (const Step& step : committed) {
+      placement->used_servers.push_back(static_cast<int>(step.server));
+    }
+    std::sort(placement->used_servers.begin(), placement->used_servers.end());
+    placement->used_servers.erase(
+        std::unique(placement->used_servers.begin(), placement->used_servers.end()),
+        placement->used_servers.end());
     return true;
   }
   // Roll back.
@@ -259,9 +268,12 @@ PlacementResult PlaceJobs(PlacementPolicy policy,
 
     bool placed = false;
     JobPlacement placement;
+    // Failed attempts leave the dense vectors all-zero (TryEvenPlacement only
+    // commits on success; PlacePerTask rolls back), so one allocation serves
+    // every shrink retry.
+    placement.workers_per_server.assign(n_servers, 0);
+    placement.ps_per_server.assign(n_servers, 0);
     while (true) {
-      placement.workers_per_server.assign(n_servers, 0);
-      placement.ps_per_server.assign(n_servers, 0);
       switch (policy) {
         case PlacementPolicy::kOptimusPack:
           placed = PlaceOptimus(job, &servers, &pool, &placement);

@@ -2,9 +2,8 @@
 //
 // A production scheduler must never silently corrupt cluster state; the
 // auditor is the simulator-side analogue of that guarantee. Once per
-// scheduling interval it re-derives the cluster state from first principles
-// (per-server load from job placements, job-state census, progress deltas)
-// and checks:
+// scheduling interval it checks the cluster state (per-server load from job
+// placements, job-state census, progress deltas):
 //   capacity    — per-server placed load fits within the server's capacity,
 //                 free resources stay non-negative, placement vectors are
 //                 sized to the server list, and per-job placement totals
@@ -16,6 +15,17 @@
 //                 and the metrics completion counter agrees
 //   state       — non-running jobs hold no allocation; task counts and
 //                 progress are non-negative
+//
+// Two check modes share the same invariants:
+//   Check()            re-derives everything from the passed-in views from
+//                      first principles — O(jobs * servers) per call.
+//   CheckIncremental() reads a placement tracker maintained by delta updates
+//                      (SetPlacement / ClearPlacement at placement, eviction
+//                      and completion time) — O(changed) per call. The
+//                      simulator runs this most intervals and falls back to
+//                      the full re-derivation periodically, pairing it with
+//                      CheckTrackerAgainstViews() so any drift between the
+//                      tracker and the true state is itself a violation.
 //
 // Violations are collected with timestamps; the simulator reports them
 // loudly at the end of the run (fatally when audit_fatal is set). The checks
@@ -68,9 +78,37 @@ class InvariantAuditor {
   // next Check allows a progress decrease for it, once.
   void NoteRollback(int job_id);
 
-  // Runs all invariant checks against the snapshot. Appends violations.
+  // Runs all invariant checks against the snapshot, re-deriving per-server
+  // load from scratch. Appends violations.
   void Check(double now_s, const std::vector<Server>& servers,
              const std::vector<JobView>& jobs, const Counts& counts);
+
+  // --- Incremental mode ----------------------------------------------------
+
+  // Sizes the per-server tracker; must be called before SetPlacement.
+  void SetClusterSize(size_t n_servers);
+
+  // Delta updates to the placement tracker. SetPlacement replaces job_id's
+  // tracked contribution with `placement` (recording the demands so per-server
+  // load can be re-derived lazily); ClearPlacement removes it (eviction,
+  // pause, completion). Both are O(tasks of the job).
+  void SetPlacement(int job_id, const Resources& worker_demand,
+                    const Resources& ps_demand, const JobPlacement& placement);
+  void ClearPlacement(int job_id);
+
+  // Same invariants as Check(), but per-server load comes from the tracker:
+  // only servers whose occupancy changed since the last check are re-summed,
+  // so the cost is O(jobs + changed-servers) instead of O(jobs * servers).
+  void CheckIncremental(double now_s, const std::vector<Server>& servers,
+                        const std::vector<JobView>& jobs, const Counts& counts);
+
+  // Cross-checks the tracker against the ground-truth views: every running
+  // job's placement must match its tracked contribution exactly, and the
+  // tracker must hold nothing else. Divergence is reported as an
+  // "audit-divergence" violation. Does not count as a check (checks_run()
+  // is unchanged) — the simulator runs it alongside the periodic full
+  // Check() to prove the incremental path never drifted.
+  void CheckTrackerAgainstViews(double now_s, const std::vector<JobView>& jobs);
 
   bool ok() const { return violations_.empty(); }
   const std::vector<AuditViolation>& violations() const { return violations_; }
@@ -80,12 +118,51 @@ class InvariantAuditor {
   std::string Summary(size_t max_items = 5) const;
 
  private:
+  struct Census {
+    int running = 0;
+    int paused = 0;
+    int pending = 0;
+    int completed = 0;
+  };
+
+  // One tracked (server, workers, ps) contribution of a job.
+  struct TrackedTask {
+    int server = 0;
+    int workers = 0;
+    int ps = 0;
+  };
+  struct TrackedJob {
+    std::vector<TrackedTask> tasks;  // ascending server order
+    Resources worker_demand;
+    Resources ps_demand;
+    int num_workers = 0;
+    int num_ps = 0;
+  };
+  struct ServerLoad {
+    // job id -> (workers, ps) on this server; summed in job-id order when the
+    // load is re-derived, so the result is deterministic.
+    std::map<int, std::pair<int, int>> jobs;
+  };
+
   void Report(double now_s, const char* invariant, std::string detail);
+  // Per-job scalar invariants shared by both check modes: state sanity,
+  // progress monotonicity (consuming rollback_ok_ at the end), and the
+  // accounting identities. Returns the state census.
+  Census CheckJobScalars(double now_s, const std::vector<JobView>& jobs);
+  void CheckAccounting(double now_s, const Census& census, const Counts& counts);
+  Resources DeriveServerLoad(size_t s) const;
+  void MarkDirty(int server) { dirty_servers_.insert(server); }
 
   std::map<int, double> last_steps_;
   std::set<int> rollback_ok_;
   std::vector<AuditViolation> violations_;
   int64_t checks_run_ = 0;
+
+  // Incremental tracker state.
+  std::map<int, TrackedJob> tracked_;
+  std::vector<ServerLoad> server_load_;
+  std::set<int> occupied_;       // servers with at least one tracked task
+  std::set<int> dirty_servers_;  // occupancy changed since the last check
 };
 
 }  // namespace optimus

@@ -43,6 +43,13 @@ struct RunMetrics {
   // Invariant-auditor results (both 0 when auditing is disabled).
   int64_t audit_checks = 0;
   int64_t audit_violations = 0;
+  // Host wall-clock seconds per simulator phase over the whole run (profiling
+  // only: nondeterministic, so excluded from golden snapshots and determinism
+  // comparisons).
+  double wall_faults_s = 0.0;
+  double wall_schedule_s = 0.0;
+  double wall_advance_s = 0.0;
+  double wall_audit_s = 0.0;
   std::vector<TimelinePoint> timeline;
 };
 

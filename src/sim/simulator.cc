@@ -1,6 +1,7 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -76,13 +77,15 @@ Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
     OPTIMUS_CHECK(inserted) << "duplicate job id " << spec.id;
     jobs_.push_back(std::move(jr));
   }
-  const int init_threads =
-      config_.init_threads > 0 ? config_.init_threads : DefaultThreadCount();
-  if (init_threads > 1) {
-    init_pool_ = std::make_unique<ThreadPool>(init_threads);
+  const int threads = config_.threads > 0 ? config_.threads : DefaultThreadCount();
+  if (threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(threads);
   }
   faults_ = std::make_unique<FaultInjector>(config_.fault,
                                             static_cast<int>(servers_.size()));
+  auditor_.SetClusterSize(servers_.size());
+  // Rough per-run event budget: a handful of lifecycle events per job.
+  trace_.Reserve(jobs_.size() * 8 + 64);
 }
 
 const Job& Simulator::job(int id) const {
@@ -95,12 +98,22 @@ const Job& Simulator::job(int id) const {
 
 void Simulator::InitSpeedModel(JobRuntime* jr) {
   const JobSpec& spec = jr->job.spec();
-  jr->conv = std::make_unique<ConvergenceModel>();
+  ConvergenceModelOptions conv_options;
+  if (config_.conv_fit_points > 0) {
+    conv_options.max_fit_points = config_.conv_fit_points;
+  }
+  jr->conv = std::make_unique<ConvergenceModel>(conv_options);
   if (config_.multi_family_fitting) {
     jr->multi_conv = std::make_unique<MultiFamilyConvergenceModel>();
   }
   jr->speed =
       std::make_unique<SpeedModel>(spec.mode, spec.GlobalBatch());
+  if (!config_.model_caching) {
+    // Baseline mode: from-scratch dense refits and un-memoized predictions
+    // (bit-identical outputs, used to benchmark the cached paths).
+    jr->conv->set_caching(false);
+    jr->speed->set_caching(false);
+  }
   if (config_.oracle_estimates) {
     return;  // oracle mode never consults the fitted models
   }
@@ -137,9 +150,9 @@ void Simulator::ActivateArrivals() {
       arriving.push_back(jr.get());
     }
   }
-  if (init_pool_ != nullptr && arriving.size() > 1) {
-    init_pool_->ParallelFor(static_cast<int64_t>(arriving.size()),
-                            [&](int64_t i) { InitSpeedModel(arriving[i]); });
+  if (pool_ != nullptr && arriving.size() > 1) {
+    pool_->ParallelFor(static_cast<int64_t>(arriving.size()),
+                       [&](int64_t i) { InitSpeedModel(arriving[i]); });
   } else {
     for (JobRuntime* jr : arriving) {
       InitSpeedModel(jr);
@@ -282,7 +295,7 @@ double Simulator::TrueSpeed(const JobRuntime& jr) const {
   in.async_minibatch = spec.AsyncMinibatch();
   in.load = jr.load;
   in.load_valid = jr.load_valid;
-  in.placement = jr.job.placement();
+  in.placement_ref = &jr.job.placement();  // borrow; avoids 2 vector copies
   in.slowest_worker_factor = jr.job.slowest_worker_factor();
   return TrainingSpeed(in, config_.comm);
 }
@@ -308,6 +321,7 @@ void Simulator::EvictJob(JobRuntime* jr, const std::string& reason) {
   job.set_state(job.steps_done() > 0 ? JobState::kPaused : JobState::kPending);
   jr->load_valid = false;
   auditor_.NoteRollback(job.id());
+  auditor_.ClearPlacement(job.id());
   ++metrics_.job_evictions;
   ++jr->consecutive_evictions;
   const FaultConfig& fc = config_.fault;
@@ -346,20 +360,20 @@ void Simulator::ApplyFaults() {
   const FaultInjector::IntervalFaults faults = faults_->Advance(now_s_);
   if (faults.slow_factor != cluster_slow_factor_) {
     cluster_slow_factor_ = faults.slow_factor;
-    trace_.Record(now_s_, SimEventType::kSlowdown, kClusterEventJobId, 0, 0,
-                  "factor=" + std::to_string(cluster_slow_factor_));
+    trace_.RecordFactor(now_s_, SimEventType::kSlowdown, kClusterEventJobId,
+                        cluster_slow_factor_);
   }
   for (int sid : faults.recovered) {
     servers_[static_cast<size_t>(sid)].SetAvailable(true);
     ++metrics_.server_recoveries;
-    trace_.Record(now_s_, SimEventType::kServerRecovered, kClusterEventJobId, 0,
-                  0, "server=" + std::to_string(sid));
+    trace_.RecordServer(now_s_, SimEventType::kServerRecovered,
+                        kClusterEventJobId, sid);
   }
   for (int sid : faults.crashed) {
     servers_[static_cast<size_t>(sid)].SetAvailable(false);
     ++metrics_.server_crashes;
-    trace_.Record(now_s_, SimEventType::kServerCrash, kClusterEventJobId, 0, 0,
-                  "server=" + std::to_string(sid));
+    trace_.RecordServer(now_s_, SimEventType::kServerCrash, kClusterEventJobId,
+                        sid);
   }
 
   // Evict every job with a task on a currently-down server (not just the
@@ -375,14 +389,17 @@ void Simulator::ApplyFaults() {
       const JobPlacement& placement = jr->job.placement();
       bool hit = false;
       std::string detail;
-      for (size_t s = 0; s < servers_.size() && !hit; ++s) {
-        if (!servers_[s].available() &&
-            (placement.workers_per_server[s] > 0 ||
-             placement.ps_per_server[s] > 0)) {
+      // Visit only the servers this job occupies (ascending, same order as
+      // the dense scan) — O(tasks) instead of O(servers) per job.
+      placement.ForEachUsed([&](size_t s, int w_k, int p_k) {
+        if (hit || (w_k <= 0 && p_k <= 0)) {
+          return;
+        }
+        if (!servers_[s].available()) {
           hit = true;
           detail = "server=" + std::to_string(servers_[s].id());
         }
-      }
+      });
       if (hit) {
         EvictJob(jr.get(), detail);
       }
@@ -427,7 +444,21 @@ void Simulator::RunAudit() {
                      job.spec().worker_demand, &job.placement()});
   }
   counts.completed_metric = metrics_.completed_jobs;
-  auditor_.Check(now_s_ + config_.interval_s, servers_, views, counts);
+  const double check_time = now_s_ + config_.interval_s;
+  // Most intervals run the O(changed) incremental check; every
+  // full_audit_period-th check (and always, when incremental auditing is
+  // off) re-derives everything from the views and cross-checks the tracker
+  // against them, so incremental-state drift cannot go unnoticed.
+  const bool full = !config_.incremental_audit || config_.full_audit_period <= 1 ||
+                    auditor_.checks_run() % config_.full_audit_period == 0;
+  if (full) {
+    auditor_.Check(check_time, servers_, views, counts);
+    if (config_.incremental_audit) {
+      auditor_.CheckTrackerAgainstViews(check_time, views);
+    }
+  } else {
+    auditor_.CheckIncremental(check_time, servers_, views, counts);
+  }
   metrics_.audit_checks = auditor_.checks_run();
   metrics_.audit_violations = static_cast<int64_t>(auditor_.violations().size());
 }
@@ -481,10 +512,17 @@ void Simulator::ScheduleActiveJobs() {
     }
   }
 
-  std::vector<SchedJob> sched_jobs;
-  sched_jobs.reserve(schedulable.size());
-  for (JobRuntime* jr : schedulable) {
-    sched_jobs.push_back(MakeSchedJob(jr));
+  // Scheduler-input construction is per-job-pure (model predictions read and
+  // memoize only job-owned state), so it fans out over the pool; slot i is
+  // owned by job i, keeping the result order-independent of thread count.
+  std::vector<SchedJob> sched_jobs(schedulable.size());
+  if (pool_ != nullptr && schedulable.size() > 1) {
+    pool_->ParallelFor(static_cast<int64_t>(schedulable.size()),
+                       [&](int64_t i) { sched_jobs[i] = MakeSchedJob(schedulable[i]); });
+  } else {
+    for (size_t i = 0; i < schedulable.size(); ++i) {
+      sched_jobs[i] = MakeSchedJob(schedulable[i]);
+    }
   }
   AllocationMap alloc = allocator_->Allocate(sched_jobs, capacity);
 
@@ -539,25 +577,52 @@ void Simulator::ScheduleActiveJobs() {
   }
   PlacementResult placed = PlaceJobs(config_.placement, inputs, std::move(servers));
 
+  // Index the placement result once instead of two map lookups per job: the
+  // two maps carry identical key sets (both filled on successful placement),
+  // so one synchronized walk scatters them into job-index-addressed slots.
+  std::vector<JobPlacement*> placement_by_index(jobs_.size(), nullptr);
+  std::vector<Allocation> alloc_by_index(jobs_.size());
+  {
+    auto pit = placed.placements.begin();
+    auto ait = placed.effective_alloc.begin();
+    for (; pit != placed.placements.end(); ++pit, ++ait) {
+      OPTIMUS_CHECK(ait != placed.effective_alloc.end());
+      OPTIMUS_CHECK_EQ(pit->first, ait->first);
+      const auto idx = job_index_.find(pit->first);
+      OPTIMUS_CHECK(idx != job_index_.end());
+      placement_by_index[idx->second] = &pit->second;
+      alloc_by_index[idx->second] = ait->second;  // may be shrunk by placement
+    }
+    OPTIMUS_CHECK(ait == placed.effective_alloc.end());
+  }
+
   // Apply decisions.
-  for (auto& jr : jobs_) {
+  for (size_t job_idx = 0; job_idx < jobs_.size(); ++job_idx) {
+    auto& jr = jobs_[job_idx];
     if (!jr->arrived || jr->job.state() == JobState::kCompleted) {
       continue;
     }
     const int id = jr->job.id();
-    auto pit = placed.placements.find(id);
-    Allocation a;
-    if (auto eit = placed.effective_alloc.find(id); eit != placed.effective_alloc.end()) {
-      a = eit->second;  // what placement actually reserved (may be shrunk)
-    }
-    const bool placeable = pit != placed.placements.end() && a.IsActive();
+    JobPlacement* placement = placement_by_index[job_idx];
+    const Allocation a = alloc_by_index[job_idx];
+    const bool placeable = placement != nullptr && a.IsActive();
 
     const int old_ps = jr->job.num_ps();
     const JobState old_state = jr->job.state();
     bool scaled = false;
     if (placeable) {
       const bool first_schedule = old_state == JobState::kPending;
-      scaled = jr->job.SetAllocation(a.num_ps, a.num_workers, pit->second);
+      if (!config_.sparse_placement) {
+        // Baseline mode: drop the sparse index so every placement walk falls
+        // back to the dense O(n_servers) scan. ForEachUsed visits the same
+        // nonzero entries either way, so outputs are bit-identical.
+        placement->used_servers.clear();
+      }
+      // `placed` is dead after this loop, so the placement's server vectors
+      // can move into the job instead of being copied.
+      scaled = jr->job.SetAllocation(a.num_ps, a.num_workers, std::move(*placement));
+      auditor_.SetPlacement(id, jr->job.spec().worker_demand,
+                            jr->job.spec().ps_demand, jr->job.placement());
       jr->job.set_state(JobState::kRunning);
       if (first_schedule) {
         trace_.Record(now_s_, SimEventType::kScheduled, id, a.num_ps, a.num_workers);
@@ -568,6 +633,7 @@ void Simulator::ScheduleActiveJobs() {
       }
     } else {
       jr->job.SetAllocation(0, 0, {});
+      auditor_.ClearPlacement(id);
       jr->job.set_state(jr->job.steps_done() > 0 ? JobState::kPaused
                                                  : JobState::kPending);
       if (old_state == JobState::kRunning) {
@@ -602,132 +668,173 @@ void Simulator::ScheduleActiveJobs() {
   }
 }
 
+void Simulator::AdvanceJob(JobRuntime* jr, AdvanceOutcome* out) {
+  const double dt = config_.interval_s;
+  Job& job = jr->job;
+  const JobSpec& spec = job.spec();
+
+  // Stalls (checkpoint restore, straggler relaunch) eat into the interval.
+  const double stalled = job.ConsumeStall(dt);
+  const double train_time = dt - stalled;
+  if (train_time <= 0.0) {
+    return;
+  }
+
+  const double noise = jr->rng.LogNormalFactor(config_.runtime_noise_sd);
+  // steps/s; cluster-wide slowdown bursts scale every job equally.
+  const double speed = TrueSpeed(*jr) * noise * cluster_slow_factor_;
+  if (speed <= 0.0) {
+    return;
+  }
+
+  // The job made it through a full interval with live tasks: clear the
+  // eviction streak so the relaunch backoff starts fresh next time.
+  jr->consecutive_evictions = 0;
+  jr->backoff_until_s = -1.0;
+
+  const double steps_before = job.steps_done();
+  const double steps_after = steps_before + speed * train_time;
+  const double spe = static_cast<double>(spec.StepsPerEpoch());
+
+  // Walk epoch boundaries crossed this interval; each completed epoch
+  // yields one observed epoch-mean loss for convergence detection.
+  const int64_t first_epoch = static_cast<int64_t>(steps_before / spe) + 1;
+  const int64_t last_epoch = static_cast<int64_t>(steps_after / spe);
+  bool completed = false;
+  for (int64_t e = first_epoch; e <= last_epoch && !completed; ++e) {
+    const double epoch_loss =
+        jr->curve.TrueLossAtEpoch(static_cast<double>(e)) *
+        jr->rng.LogNormalFactor(spec.model->loss.noise_sd * 0.3);
+    if (job.RecordEpochLoss(epoch_loss)) {
+      // Converged at this epoch boundary: interpolate the wall time.
+      const double boundary_steps = static_cast<double>(e) * spe;
+      const double t_done = stalled + (boundary_steps - steps_before) / speed;
+      job.AdvanceSteps(boundary_steps - steps_before);
+      job.MarkCompleted(now_s_ + std::min(t_done, dt));
+      completed = true;
+      out->completed = true;
+      out->completed_epoch = e;
+    }
+  }
+  if (!completed) {
+    job.AdvanceSteps(steps_after - steps_before);
+  }
+
+  // Learning-rate decay (§7): once the job crosses its drop epoch, restart
+  // the convergence fitting — the old curve segment no longer predicts the
+  // new one.
+  if (spec.lr_drop.has_value() && !jr->lr_drop_handled &&
+      job.EpochsDone() >= spec.lr_drop->epoch) {
+    jr->lr_drop_handled = true;
+    if (jr->conv != nullptr) {
+      jr->conv->Reset();
+    }
+    if (jr->multi_conv != nullptr) {
+      jr->multi_conv->Reset();
+    }
+    out->lr_drop = true;
+  }
+  out->event_ps = job.num_ps();
+  out->event_workers = job.num_workers();
+
+  if (!config_.oracle_estimates) {
+    // Feed the convergence model with per-step loss observations spread
+    // over the interval, and the speed model with the measured speed.
+    const double observed_until = job.steps_done();
+    const int n = config_.conv_samples_per_interval;
+    for (int i = 1; i <= n; ++i) {
+      const double step =
+          steps_before + (observed_until - steps_before) * i / n;
+      if (step <= steps_before) {
+        continue;
+      }
+      const double sample =
+          jr->curve.SampleLossAtStep(static_cast<int64_t>(step), &jr->rng);
+      jr->conv->AddSample(step, sample);
+      if (jr->multi_conv != nullptr) {
+        jr->multi_conv->AddSample(step, sample);
+      }
+    }
+    jr->conv->Fit();
+    if (jr->multi_conv != nullptr) {
+      jr->multi_conv->Fit();
+    }
+    jr->speed->AddSample(job.num_ps(), job.num_workers(), speed);
+    jr->speed->Fit();
+  }
+
+  // Utilization snapshot (Fig 14): compute-busy share of a step on workers;
+  // update-busy share on parameter servers.
+  StepTimeInputs in;
+  in.model = spec.model;
+  in.mode = spec.mode;
+  in.num_ps = job.num_ps();
+  in.num_workers = job.num_workers();
+  in.global_batch = spec.GlobalBatch();
+  in.async_minibatch = spec.AsyncMinibatch();
+  in.load = jr->load;
+  in.load_valid = jr->load_valid;
+  in.placement_ref = &job.placement();
+  in.slowest_worker_factor = job.slowest_worker_factor();
+  const StepTimeBreakdown b = ComputeStepTime(in, config_.comm);
+  if (b.total_s > 0.0) {
+    jr->last_worker_util = 100.0 * (b.forward_s + b.backward_s) / b.total_s;
+    jr->last_ps_util = 100.0 * (b.update_s + b.overhead_s) / b.total_s;
+  }
+  out->tasks = job.num_workers() + job.num_ps();
+  out->worker_util = jr->last_worker_util;
+  out->ps_util = jr->last_ps_util;
+  out->ran = true;
+}
+
 void Simulator::AdvanceInterval() {
   const double dt = config_.interval_s;
+
+  // Fan the per-job stepping out over the pool. AdvanceJob touches only
+  // job-owned state (the job, its models, its RNG streams) and buffers every
+  // shared-state effect in its outcome slot; the serial merge below applies
+  // those effects in job order, so the run is bitwise identical to the
+  // single-threaded one for any thread count.
+  std::vector<JobRuntime*> running;
+  running.reserve(jobs_.size());
+  for (auto& jr : jobs_) {
+    if (jr->arrived && jr->job.state() == JobState::kRunning) {
+      running.push_back(jr.get());
+    }
+  }
+  std::vector<AdvanceOutcome> outcomes(running.size());
+  if (pool_ != nullptr && running.size() > 1) {
+    pool_->ParallelFor(static_cast<int64_t>(running.size()),
+                       [&](int64_t i) { AdvanceJob(running[i], &outcomes[i]); });
+  } else {
+    for (size_t i = 0; i < running.size(); ++i) {
+      AdvanceJob(running[i], &outcomes[i]);
+    }
+  }
+
   int running_tasks = 0;
   RunningStat worker_util;
   RunningStat ps_util;
-
-  for (auto& jr : jobs_) {
-    if (!jr->arrived || jr->job.state() != JobState::kRunning) {
+  for (size_t i = 0; i < running.size(); ++i) {
+    const AdvanceOutcome& out = outcomes[i];
+    JobRuntime* jr = running[i];
+    if (out.completed) {
+      ++completed_;
+      ++metrics_.completed_jobs;
+      auditor_.ClearPlacement(jr->job.id());
+      trace_.RecordEpochs(now_s_ + dt, SimEventType::kCompleted, jr->job.id(),
+                          out.event_ps, out.event_workers, out.completed_epoch);
+    }
+    if (out.lr_drop) {
+      trace_.Record(now_s_ + dt, SimEventType::kLearningRateDrop, jr->job.id(),
+                    out.event_ps, out.event_workers);
+    }
+    if (!out.ran) {
       continue;
     }
-    Job& job = jr->job;
-    const JobSpec& spec = job.spec();
-
-    // Stalls (checkpoint restore, straggler relaunch) eat into the interval.
-    const double stalled = job.ConsumeStall(dt);
-    const double train_time = dt - stalled;
-    if (train_time <= 0.0) {
-      continue;
-    }
-
-    const double noise = jr->rng.LogNormalFactor(config_.runtime_noise_sd);
-    // steps/s; cluster-wide slowdown bursts scale every job equally.
-    const double speed = TrueSpeed(*jr) * noise * cluster_slow_factor_;
-    if (speed <= 0.0) {
-      continue;
-    }
-
-    // The job made it through a full interval with live tasks: clear the
-    // eviction streak so the relaunch backoff starts fresh next time.
-    jr->consecutive_evictions = 0;
-    jr->backoff_until_s = -1.0;
-
-    const double steps_before = job.steps_done();
-    const double steps_after = steps_before + speed * train_time;
-    const double spe = static_cast<double>(spec.StepsPerEpoch());
-
-    // Walk epoch boundaries crossed this interval; each completed epoch
-    // yields one observed epoch-mean loss for convergence detection.
-    const int64_t first_epoch = static_cast<int64_t>(steps_before / spe) + 1;
-    const int64_t last_epoch = static_cast<int64_t>(steps_after / spe);
-    bool completed = false;
-    for (int64_t e = first_epoch; e <= last_epoch && !completed; ++e) {
-      const double epoch_loss =
-          jr->curve.TrueLossAtEpoch(static_cast<double>(e)) *
-          jr->rng.LogNormalFactor(spec.model->loss.noise_sd * 0.3);
-      if (job.RecordEpochLoss(epoch_loss)) {
-        // Converged at this epoch boundary: interpolate the wall time.
-        const double boundary_steps = static_cast<double>(e) * spe;
-        const double t_done = stalled + (boundary_steps - steps_before) / speed;
-        job.AdvanceSteps(boundary_steps - steps_before);
-        job.MarkCompleted(now_s_ + std::min(t_done, dt));
-        ++completed_;
-        ++metrics_.completed_jobs;
-        completed = true;
-        trace_.Record(now_s_ + dt, SimEventType::kCompleted, job.id(), job.num_ps(),
-                      job.num_workers(),
-                      "epochs=" + std::to_string(static_cast<int64_t>(e)));
-      }
-    }
-    if (!completed) {
-      job.AdvanceSteps(steps_after - steps_before);
-    }
-
-    // Learning-rate decay (§7): once the job crosses its drop epoch, restart
-    // the convergence fitting — the old curve segment no longer predicts the
-    // new one.
-    if (spec.lr_drop.has_value() && !jr->lr_drop_handled &&
-        job.EpochsDone() >= spec.lr_drop->epoch) {
-      jr->lr_drop_handled = true;
-      if (jr->conv != nullptr) {
-        jr->conv->Reset();
-      }
-      if (jr->multi_conv != nullptr) {
-        jr->multi_conv->Reset();
-      }
-      trace_.Record(now_s_ + dt, SimEventType::kLearningRateDrop, job.id(),
-                    job.num_ps(), job.num_workers());
-    }
-
-    if (!config_.oracle_estimates) {
-      // Feed the convergence model with per-step loss observations spread
-      // over the interval, and the speed model with the measured speed.
-      const double observed_until = job.steps_done();
-      const int n = config_.conv_samples_per_interval;
-      for (int i = 1; i <= n; ++i) {
-        const double step =
-            steps_before + (observed_until - steps_before) * i / n;
-        if (step <= steps_before) {
-          continue;
-        }
-        const double sample =
-            jr->curve.SampleLossAtStep(static_cast<int64_t>(step), &jr->rng);
-        jr->conv->AddSample(step, sample);
-        if (jr->multi_conv != nullptr) {
-          jr->multi_conv->AddSample(step, sample);
-        }
-      }
-      jr->conv->Fit();
-      if (jr->multi_conv != nullptr) {
-        jr->multi_conv->Fit();
-      }
-      jr->speed->AddSample(job.num_ps(), job.num_workers(), speed);
-      jr->speed->Fit();
-    }
-
-    // Utilization snapshot (Fig 14): compute-busy share of a step on workers;
-    // update-busy share on parameter servers.
-    StepTimeInputs in;
-    in.model = spec.model;
-    in.mode = spec.mode;
-    in.num_ps = job.num_ps();
-    in.num_workers = job.num_workers();
-    in.global_batch = spec.GlobalBatch();
-    in.async_minibatch = spec.AsyncMinibatch();
-    in.load = jr->load;
-    in.load_valid = jr->load_valid;
-    in.placement = job.placement();
-    in.slowest_worker_factor = job.slowest_worker_factor();
-    const StepTimeBreakdown b = ComputeStepTime(in, config_.comm);
-    if (b.total_s > 0.0) {
-      jr->last_worker_util = 100.0 * (b.forward_s + b.backward_s) / b.total_s;
-      jr->last_ps_util = 100.0 * (b.update_s + b.overhead_s) / b.total_s;
-    }
-    running_tasks += job.num_workers() + job.num_ps();
-    worker_util.Add(jr->last_worker_util);
-    ps_util.Add(jr->last_ps_util);
+    running_tasks += out.tasks;
+    worker_util.Add(out.worker_util);
+    ps_util.Add(out.ps_util);
   }
 
   if (config_.record_timeline) {
@@ -768,12 +875,27 @@ bool Simulator::StepInterval() {
     ActivateArrivals();
   }
 
+  // Per-phase wall-clock accounting (profiling only; never feeds back into
+  // simulated time or decisions, so determinism is unaffected).
+  using Clock = std::chrono::steady_clock;
+  const auto wall = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  const auto t0 = Clock::now();
   ApplyFaults();
+  const auto t1 = Clock::now();
   ScheduleActiveJobs();
+  const auto t2 = Clock::now();
   AdvanceInterval();
+  const auto t3 = Clock::now();
   if (config_.audit) {
     RunAudit();
   }
+  const auto t4 = Clock::now();
+  metrics_.wall_faults_s += wall(t0, t1);
+  metrics_.wall_schedule_s += wall(t1, t2);
+  metrics_.wall_advance_s += wall(t2, t3);
+  metrics_.wall_audit_s += wall(t3, t4);
   now_s_ += config_.interval_s;
   return completed_ < static_cast<int>(jobs_.size()) &&
          now_s_ < config_.max_sim_time_s;
@@ -800,8 +922,11 @@ RunMetrics Simulator::Run() {
     }
   }
   metrics_.avg_jct_s = Mean(metrics_.jcts);
-  metrics_.makespan_s =
-      metrics_.jcts.empty() ? 0.0 : last_completion - first_arrival;
+  // Guard the empty-jobs case too: with no jobs, first_arrival stays +inf and
+  // the subtraction would poison the makespan with -inf.
+  metrics_.makespan_s = metrics_.jcts.empty() || !std::isfinite(first_arrival)
+                            ? 0.0
+                            : last_completion - first_arrival;
   metrics_.scaling_overhead_fraction =
       overhead_count > 0 ? overhead_sum / overhead_count : 0.0;
   metrics_.straggler_replacements = straggler_.replacements();

@@ -71,6 +71,11 @@ struct SimulatorConfig {
   double runtime_noise_sd = 0.03;
   // Convergence-model feeding: loss samples per interval.
   int conv_samples_per_interval = 20;
+  // Convergence-fit fidelity: cap on the points handed to the NNLS solver
+  // after downsampling (0 = the model's default, 512). Higher values fit the
+  // full loss history — affordable with the Gram-cached refits, linearly
+  // costly on the from-scratch path.
+  int conv_fit_points = 0;
   // Marginal-gain damping for young jobs (§4.1; 1.0 = off, 0.95 = paper's
   // suggested factor) applied while progress < young_job_progress_cutoff.
   double young_job_priority_factor = 1.0;
@@ -89,11 +94,13 @@ struct SimulatorConfig {
   // estimates with `error` injected instead of online fitting.
   bool oracle_estimates = false;
   ErrorInjection error;
-  // Worker threads for per-arrival speed-model pre-run sampling: jobs that
-  // arrive in the same interval are initialized concurrently. Each job owns
-  // its RNG stream, so results are bitwise identical for any thread count.
-  // 0 defers to the OPTIMUS_THREADS environment variable (1 = serial).
-  int init_threads = 1;
+  // Worker threads for the per-job phases of an interval: arrival-time
+  // speed-model pre-run sampling, scheduler-input construction, and interval
+  // advancement all fan out over jobs. Each job owns its RNG streams and all
+  // cross-job effects (trace events, aggregate stats) are buffered per job
+  // and merged in job order, so results are bitwise identical for any thread
+  // count. 0 defers to the OPTIMUS_THREADS environment variable (1 = serial).
+  int threads = 1;
   // Data serving (§5.1): seconds to hand one 128 MB chunk to a new owner
   // when elastic scaling rebalances the per-worker data assignment. The
   // resulting stall is tiny next to the checkpoint cost, as in the paper.
@@ -116,6 +123,25 @@ struct SimulatorConfig {
   // audit_fatal, any violation aborts the run loudly instead.
   bool audit = true;
   bool audit_fatal = false;
+  // Incremental auditing: per-server load is maintained by deltas at
+  // placement/eviction/completion time and checked in O(changed); every
+  // full_audit_period-th check re-derives everything from first principles
+  // and cross-checks the incremental tracker against it. Both paths enforce
+  // the same invariants; incremental_audit = false re-derives every interval
+  // (the pre-optimization behavior).
+  bool incremental_audit = true;
+  int full_audit_period = 16;
+  // Model-fitting caches (Gram-cached NNLS refits, dirty-flag fit skipping,
+  // memoized epoch walks). The cached paths are bit-identical to the
+  // from-scratch ones; false forces the from-scratch paths (baseline mode
+  // for benchmarks).
+  bool model_caching = true;
+  // Sparse placement iteration: jobs carry the sorted list of servers they
+  // occupy (JobPlacement::used_servers), so speed evaluation, eviction scans
+  // and audit updates walk O(tasks) entries instead of the dense O(servers)
+  // vectors. Outputs are bit-identical either way; false restores the dense
+  // scans (baseline mode for benchmarks).
+  bool sparse_placement = true;
 };
 
 class Simulator {
@@ -131,6 +157,9 @@ class Simulator {
   bool StepInterval();
   double now_s() const { return now_s_; }
   const Job& job(int id) const;
+  // Metrics accumulated so far (Run() returns the final aggregate; this view
+  // lets interval-stepping callers read counters without running to the end).
+  const RunMetrics& metrics() const { return metrics_; }
   // Lifecycle event log of the run so far.
   const EventTrace& trace() const { return trace_; }
   // Invariant-audit results of the run so far (empty when audit is off).
@@ -174,6 +203,23 @@ class Simulator {
     double last_checkpoint_time_s = 0.0;
   };
 
+  // Buffered side effects of advancing one job through one interval; the
+  // mutations of shared state they describe (trace events, running stats,
+  // counters, auditor updates) are applied serially, in job order, after the
+  // parallel per-job phase — the source of thread-count-independent output.
+  struct AdvanceOutcome {
+    bool ran = false;        // job trained this interval
+    bool completed = false;  // converged at an epoch boundary
+    int64_t completed_epoch = 0;
+    bool lr_drop = false;  // learning-rate drop crossed this interval
+    // Allocation at event-record time (completion / lr-drop).
+    int event_ps = 0;
+    int event_workers = 0;
+    double worker_util = 0.0;
+    double ps_util = 0.0;
+    int tasks = 0;
+  };
+
   void ActivateArrivals();
   // Scheduler view of a job (estimates only).
   SchedJob MakeSchedJob(JobRuntime* jr) const;
@@ -183,6 +229,10 @@ class Simulator {
   double TrueSpeed(const JobRuntime& jr) const;
   void ScheduleActiveJobs();
   void AdvanceInterval();
+  // Per-job interval step: trains the job, feeds its models, and records the
+  // shared-state effects into `out`. Touches only jr-owned state, so calls
+  // for distinct jobs are safe to run concurrently.
+  void AdvanceJob(JobRuntime* jr, AdvanceOutcome* out);
   // Fault pipeline, run before each scheduling round: periodic checkpoints,
   // scripted server crashes/recoveries (evicting affected jobs), task
   // failures, and the cluster-wide slowdown factor for this interval.
@@ -201,7 +251,7 @@ class Simulator {
   std::vector<Server> servers_;
   std::vector<std::unique_ptr<JobRuntime>> jobs_;
   std::map<int, size_t> job_index_;  // job id -> index in jobs_
-  std::unique_ptr<ThreadPool> init_pool_;  // parallel pre-run sampling
+  std::unique_ptr<ThreadPool> pool_;  // per-job parallelism (see threads)
   std::unique_ptr<Allocator> allocator_;
   StragglerModel straggler_;
   std::unique_ptr<FaultInjector> faults_;

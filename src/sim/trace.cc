@@ -38,14 +38,78 @@ const char* SimEventTypeName(SimEventType type) {
   return "unknown";
 }
 
+void EventTrace::Reserve(size_t n) { records_.reserve(records_.size() + n); }
+
+EventTrace::RawRecord& EventTrace::Push(double time_s, SimEventType type,
+                                        int job_id, int num_ps, int num_workers) {
+  OPTIMUS_CHECK(records_.empty() || time_s >= records_.back().time_s - 1e-9)
+      << "events must be recorded in time order";
+  records_.push_back({time_s, type, job_id, num_ps, num_workers});
+  return records_.back();
+}
+
 void EventTrace::Record(double time_s, SimEventType type, int job_id, int num_ps,
                         int num_workers, std::string detail) {
-  OPTIMUS_CHECK(events_.empty() || time_s >= events_.back().time_s - 1e-9)
-      << "events must be recorded in time order";
-  events_.push_back({time_s, type, job_id, num_ps, num_workers, std::move(detail)});
+  RawRecord& r = Push(time_s, type, job_id, num_ps, num_workers);
+  if (!detail.empty()) {
+    r.detail_kind = DetailKind::kString;
+    r.int_arg = static_cast<int64_t>(strings_.size());
+    strings_.push_back(std::move(detail));
+  }
+}
+
+void EventTrace::RecordEpochs(double time_s, SimEventType type, int job_id,
+                              int num_ps, int num_workers, int64_t epochs) {
+  RawRecord& r = Push(time_s, type, job_id, num_ps, num_workers);
+  r.detail_kind = DetailKind::kEpochs;
+  r.int_arg = epochs;
+}
+
+void EventTrace::RecordServer(double time_s, SimEventType type, int job_id,
+                              int server_id) {
+  RawRecord& r = Push(time_s, type, job_id, 0, 0);
+  r.detail_kind = DetailKind::kServer;
+  r.int_arg = server_id;
+}
+
+void EventTrace::RecordFactor(double time_s, SimEventType type, int job_id,
+                              double factor) {
+  RawRecord& r = Push(time_s, type, job_id, 0, 0);
+  r.detail_kind = DetailKind::kFactor;
+  r.num_arg = factor;
+}
+
+void EventTrace::Materialize() const {
+  for (; materialized_ < records_.size(); ++materialized_) {
+    const RawRecord& r = records_[materialized_];
+    SimEvent e{r.time_s, r.type, r.job_id, r.num_ps, r.num_workers, ""};
+    switch (r.detail_kind) {
+      case DetailKind::kNone:
+        break;
+      case DetailKind::kString:
+        e.detail = strings_[static_cast<size_t>(r.int_arg)];
+        break;
+      case DetailKind::kEpochs:
+        e.detail = "epochs=" + std::to_string(r.int_arg);
+        break;
+      case DetailKind::kServer:
+        e.detail = "server=" + std::to_string(r.int_arg);
+        break;
+      case DetailKind::kFactor:
+        e.detail = "factor=" + std::to_string(r.num_arg);
+        break;
+    }
+    events_.push_back(std::move(e));
+  }
+}
+
+const std::vector<SimEvent>& EventTrace::events() const {
+  Materialize();
+  return events_;
 }
 
 std::vector<SimEvent> EventTrace::ForJob(int job_id) const {
+  Materialize();
   std::vector<SimEvent> out;
   for (const SimEvent& e : events_) {
     if (e.job_id == job_id) {
@@ -56,14 +120,16 @@ std::vector<SimEvent> EventTrace::ForJob(int job_id) const {
 }
 
 std::map<SimEventType, int64_t> EventTrace::CountByType() const {
+  // Counting needs no detail strings; read the raw records directly.
   std::map<SimEventType, int64_t> counts;
-  for (const SimEvent& e : events_) {
-    ++counts[e.type];
+  for (const RawRecord& r : records_) {
+    ++counts[r.type];
   }
   return counts;
 }
 
 void EventTrace::WriteCsv(std::ostream& os) const {
+  Materialize();
   os << "time_s,event,job,ps,workers,detail\n";
   for (const SimEvent& e : events_) {
     os << e.time_s << "," << SimEventTypeName(e.type) << "," << e.job_id << ","

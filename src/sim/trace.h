@@ -4,10 +4,18 @@
 // elastic rescaling, pauses, straggler replacements, learning-rate drops,
 // completion) so that runs can be inspected, diffed, and exported to CSV —
 // the simulator-side analogue of a production scheduler's audit log.
+//
+// Recording is a hot path (the simulator emits several events per job per
+// interval at cluster scale), so events are buffered as compact raw records:
+// the typed Record* overloads store a numeric argument instead of building a
+// "key=value" string per event, and free-form detail strings are pooled. The
+// familiar SimEvent view (with its detail string) is materialized lazily, on
+// first read, in one pass.
 
 #ifndef SRC_SIM_TRACE_H_
 #define SRC_SIM_TRACE_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -50,11 +58,23 @@ struct SimEvent {
 
 class EventTrace {
  public:
+  // Pre-sizes the raw event buffer (one reservation per run beats repeated
+  // regrowth at cluster scale).
+  void Reserve(size_t n);
+
   void Record(double time_s, SimEventType type, int job_id, int num_ps = 0,
               int num_workers = 0, std::string detail = "");
+  // Hot-path variants: defer the detail-string construction to read time.
+  // Materialized details are "epochs=<n>", "server=<n>" and
+  // "factor=<std::to_string(factor)>" respectively — byte-identical to what
+  // the equivalent Record(..., string) call would have produced.
+  void RecordEpochs(double time_s, SimEventType type, int job_id, int num_ps,
+                    int num_workers, int64_t epochs);
+  void RecordServer(double time_s, SimEventType type, int job_id, int server_id);
+  void RecordFactor(double time_s, SimEventType type, int job_id, double factor);
 
-  const std::vector<SimEvent>& events() const { return events_; }
-  size_t size() const { return events_.size(); }
+  const std::vector<SimEvent>& events() const;
+  size_t size() const { return records_.size(); }
 
   // Events of one job, in time order.
   std::vector<SimEvent> ForJob(int job_id) const;
@@ -66,7 +86,29 @@ class EventTrace {
   void WriteCsv(std::ostream& os) const;
 
  private:
-  std::vector<SimEvent> events_;
+  enum class DetailKind : uint8_t { kNone, kString, kEpochs, kServer, kFactor };
+
+  struct RawRecord {
+    double time_s = 0.0;
+    SimEventType type = SimEventType::kArrival;
+    int job_id = 0;
+    int num_ps = 0;
+    int num_workers = 0;
+    DetailKind detail_kind = DetailKind::kNone;
+    // kString: index into strings_. kEpochs/kServer: the integer argument.
+    int64_t int_arg = 0;
+    double num_arg = 0.0;  // kFactor
+  };
+
+  RawRecord& Push(double time_s, SimEventType type, int job_id, int num_ps,
+                  int num_workers);
+  // Converts raw records [materialized_, records_.size()) into SimEvents.
+  void Materialize() const;
+
+  std::vector<RawRecord> records_;
+  std::vector<std::string> strings_;  // pooled free-form detail strings
+  mutable std::vector<SimEvent> events_;
+  mutable size_t materialized_ = 0;
 };
 
 }  // namespace optimus

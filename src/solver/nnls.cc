@@ -8,19 +8,50 @@
 
 namespace optimus {
 
+void GramSystem::Add(const Vector& features, double target) {
+  OPTIMUS_CHECK_EQ(features.size(), dims_);
+  for (size_t i = 0; i < dims_; ++i) {
+    for (size_t j = i; j < dims_; ++j) {
+      const double v = ata_(i, j) + features[i] * features[j];
+      ata_(i, j) = v;
+      ata_(j, i) = v;
+    }
+    atb_[i] += features[i] * target;
+  }
+  btb_ += target * target;
+  ++rows_;
+}
+
+void GramSystem::Reset() {
+  ata_ = Matrix(dims_, dims_);
+  atb_.assign(dims_, 0.0);
+  btb_ = 0.0;
+  rows_ = 0;
+}
+
 namespace {
 
-// Least squares on the passive column subset; entries outside the subset are
-// zero in the returned full-length vector.
-bool SolveOnSubset(const Matrix& a, const Vector& b, const std::vector<size_t>& passive,
-                   Vector* full) {
-  const Matrix sub = a.SelectColumns(passive);
+// Least squares on the passive subset of the normal equations; entries outside
+// the subset are zero in the returned full-length vector. The subset system is
+// exactly what SelectColumns + Gram of a dense A would produce (same sums in
+// the same order), so solutions match the dense path bit for bit.
+bool SolveOnGramSubset(const Matrix& ata, const Vector& atb,
+                       const std::vector<size_t>& passive, Vector* full) {
+  const size_t k = passive.size();
+  Matrix sub(k, k);
+  Vector rhs(k);
+  for (size_t i = 0; i < k; ++i) {
+    rhs[i] = atb[passive[i]];
+    for (size_t j = 0; j < k; ++j) {
+      sub(i, j) = ata(passive[i], passive[j]);
+    }
+  }
   Vector z;
-  if (!SolveLeastSquares(sub, b, &z)) {
+  if (!SolveSpd(sub, rhs, &z)) {
     return false;
   }
-  full->assign(a.cols(), 0.0);
-  for (size_t i = 0; i < passive.size(); ++i) {
+  full->assign(atb.size(), 0.0);
+  for (size_t i = 0; i < k; ++i) {
     (*full)[passive[i]] = z[i];
   }
   return true;
@@ -28,9 +59,10 @@ bool SolveOnSubset(const Matrix& a, const Vector& b, const std::vector<size_t>& 
 
 }  // namespace
 
-NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
-  OPTIMUS_CHECK_EQ(b.size(), a.rows());
-  const size_t n = a.cols();
+NnlsResult SolveNnlsGram(const GramSystem& gram, const NnlsOptions& options) {
+  const size_t n = gram.dims();
+  const Matrix& ata = gram.ata();
+  const Vector& atb = gram.atb();
 
   NnlsResult result;
   result.x.assign(n, 0.0);
@@ -38,10 +70,10 @@ NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& option
   std::vector<bool> in_passive(n, false);
   std::vector<size_t> passive;
 
-  // Gradient scale for the relative dual tolerance.
-  Vector grad0 = a.TransposeTimes(b);
+  // Gradient scale for the relative dual tolerance (the gradient at x = 0 is
+  // A^T b).
   double grad_scale = 0.0;
-  for (double g : grad0) {
+  for (double g : atb) {
     grad_scale = std::max(grad_scale, std::abs(g));
   }
   const double tol = options.tolerance * std::max(grad_scale, 1.0);
@@ -49,13 +81,15 @@ NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& option
   Vector x(n, 0.0);
   int iter = 0;
   while (iter < options.max_iterations) {
-    // Dual vector w = A^T (b - A x).
-    Vector residual = b;
-    const Vector ax = a.Times(x);
-    for (size_t r = 0; r < residual.size(); ++r) {
-      residual[r] -= ax[r];
+    // Dual vector w = A^T b - A^T A x (== A^T (b - A x)).
+    Vector w(n);
+    for (size_t i = 0; i < n; ++i) {
+      double dot = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        dot += ata(i, j) * x[j];
+      }
+      w[i] = atb[i] - dot;
     }
-    const Vector w = a.TransposeTimes(residual);
 
     // Pick the most violated (largest-gradient) zero variable.
     double best_w = tol;
@@ -77,7 +111,7 @@ NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& option
     while (true) {
       ++iter;
       Vector z;
-      if (!SolveOnSubset(a, b, passive, &z)) {
+      if (!SolveOnGramSubset(ata, atb, passive, &z)) {
         // Numerically singular subset: drop the most recently added column.
         in_passive[passive.back()] = false;
         passive.pop_back();
@@ -142,7 +176,34 @@ NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& option
   }
   result.x = x;
   result.iterations = iter;
-  result.residual_sum_of_squares = ResidualSumOfSquares(a, x, b);
+  // ||Ax - b||^2 = b^T b - 2 x^T A^T b + x^T A^T A x; the Gram identity can
+  // dip below zero by rounding on near-perfect fits, so clamp.
+  double quad = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      row += ata(i, j) * x[j];
+    }
+    quad += x[i] * row;
+  }
+  result.residual_sum_of_squares =
+      std::max(0.0, gram.btb() - 2.0 * Dot(atb, x) + quad);
+  return result;
+}
+
+NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& options) {
+  OPTIMUS_CHECK_EQ(b.size(), a.rows());
+  GramSystem gram(a.cols());
+  Vector features(a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) {
+      features[c] = a(r, c);
+    }
+    gram.Add(features, b[r]);
+  }
+  NnlsResult result = SolveNnlsGram(gram, options);
+  // With the dense A at hand, report the exact residual.
+  result.residual_sum_of_squares = ResidualSumOfSquares(a, result.x, b);
   return result;
 }
 

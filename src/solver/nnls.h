@@ -5,6 +5,12 @@
 // the active-set algorithm of Lawson & Hanson ("Solving Least Squares
 // Problems", 1974, ch. 23). This is a from-scratch implementation of the same
 // algorithm: minimize ||A x - b||_2 subject to x >= 0.
+//
+// The solver operates on the normal equations (A^T A, A^T b): the inner
+// subset solves were always normal-equation based (SolveLeastSquares), so the
+// Gram form produces bit-identical solutions while letting callers accumulate
+// A^T A / A^T b incrementally as samples arrive (GramSystem) — a refit is then
+// O(k^2 * iterations) instead of O(n * k^2) in the sample count n.
 
 #ifndef SRC_SOLVER_NNLS_H_
 #define SRC_SOLVER_NNLS_H_
@@ -20,7 +26,10 @@ struct NnlsResult {
   // The non-negative solution; all entries are >= 0 even on non-convergence
   // (the best iterate found is returned).
   Vector x;
-  // ||A x - b||_2^2 at the returned solution.
+  // ||A x - b||_2^2 at the returned solution. Exact when solving from a
+  // dense A (SolveNnls); computed from the Gram identity
+  // b^T b - 2 x^T A^T b + x^T A^T A x (clamped at 0) when solving from an
+  // accumulated GramSystem.
   double residual_sum_of_squares = 0.0;
   // Number of outer active-set iterations performed.
   int iterations = 0;
@@ -33,8 +42,47 @@ struct NnlsOptions {
   double tolerance = 1e-10;
 };
 
+// Incrementally accumulated normal equations for a least-squares system.
+// Adding rows one at a time in sample order reproduces Matrix::Gram() /
+// Matrix::TransposeTimes() bit for bit (both sum products over rows in
+// ascending order), so a GramSystem grown sample-by-sample solves identically
+// to a fresh dense build over the same samples.
+class GramSystem {
+ public:
+  explicit GramSystem(size_t dims)
+      : ata_(dims, dims), atb_(dims, 0.0), dims_(dims) {}
+  // Direct injection for callers that precompute the moments themselves
+  // (e.g. the convergence model shares one A^T A across many right-hand
+  // sides).
+  GramSystem(Matrix ata, Vector atb, double btb, size_t rows)
+      : ata_(std::move(ata)), atb_(std::move(atb)), btb_(btb), rows_(rows),
+        dims_(atb_.size()) {}
+
+  // Accumulates one observation row: features f and target y.
+  void Add(const Vector& features, double target);
+  void Reset();
+
+  size_t dims() const { return dims_; }
+  size_t rows() const { return rows_; }
+  const Matrix& ata() const { return ata_; }
+  const Vector& atb() const { return atb_; }
+  double btb() const { return btb_; }
+
+ private:
+  Matrix ata_;
+  Vector atb_;
+  double btb_ = 0.0;
+  size_t rows_ = 0;
+  size_t dims_ = 0;
+};
+
 // Solves min ||A x - b|| s.t. x >= 0.
 NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& options = {});
+
+// Same active-set algorithm on pre-accumulated normal equations. Produces the
+// same solution as SolveNnls over the samples the GramSystem was built from
+// (see GramSystem); residual_sum_of_squares uses the Gram identity.
+NnlsResult SolveNnlsGram(const GramSystem& gram, const NnlsOptions& options = {});
 
 }  // namespace optimus
 

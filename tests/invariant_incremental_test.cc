@@ -1,0 +1,216 @@
+// Incremental-auditor tests: the O(changed) check must enforce the same
+// invariants as the full re-derivation, the tracker cross-check must catch
+// corrupted incremental state that the cheap path cannot see, and switching
+// audit modes must never perturb the simulation itself.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/server.h"
+#include "src/common/rng.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/invariant_auditor.h"
+#include "src/sim/simulator.h"
+#include "src/sim/workload.h"
+
+namespace optimus {
+namespace {
+
+struct Fixture {
+  std::vector<Server> servers;
+  JobPlacement placement;
+  InvariantAuditor::JobView view;
+  InvariantAuditor::Counts counts;
+
+  Fixture() {
+    servers.push_back(Server(0, Resources(16, 64, 0, 1)));
+    servers.push_back(Server(1, Resources(16, 64, 0, 1)));
+    placement.workers_per_server = {2, 0};
+    placement.ps_per_server = {1, 0};
+    view.job_id = 0;
+    view.state = JobState::kRunning;
+    view.steps_done = 10.0;
+    view.num_ps = 1;
+    view.num_workers = 2;
+    view.worker_demand = Resources(2.5, 10, 0, 0.15);
+    view.ps_demand = Resources(2.5, 10, 0, 0.15);
+    view.placement = &placement;
+    counts.submitted = 1;
+    counts.completed_metric = 0;
+  }
+
+  // Registers the fixture's job with the tracker, as the simulator does at
+  // decision-application time.
+  void Track(InvariantAuditor* auditor) const {
+    auditor->SetClusterSize(servers.size());
+    auditor->SetPlacement(view.job_id, view.worker_demand, view.ps_demand,
+                          placement);
+  }
+};
+
+TEST(IncrementalAuditorTest, ConsistentStatePassesBothModes) {
+  Fixture f;
+  InvariantAuditor auditor;
+  f.Track(&auditor);
+  auditor.CheckIncremental(600.0, f.servers, {f.view}, f.counts);
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+  EXPECT_EQ(auditor.checks_run(), 1);
+  // Periodic full pass with tracker cross-check: still clean, and the
+  // cross-check does not count as an extra check.
+  auditor.Check(1200.0, f.servers, {f.view}, f.counts);
+  auditor.CheckTrackerAgainstViews(1200.0, {f.view});
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+  EXPECT_EQ(auditor.checks_run(), 2);
+}
+
+TEST(IncrementalAuditorTest, CatchesDeadServerIncrementally) {
+  Fixture f;
+  InvariantAuditor auditor;
+  f.Track(&auditor);
+  f.servers[0].SetAvailable(false);
+  auditor.CheckIncremental(600.0, f.servers, {f.view}, f.counts);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].invariant, "dead-server");
+}
+
+TEST(IncrementalAuditorTest, CatchesOvercommitIncrementally) {
+  Fixture f;
+  // 8 workers at 10 GB each overflow the server's 64 GB.
+  f.placement.workers_per_server = {8, 0};
+  f.view.num_workers = 8;
+  InvariantAuditor auditor;
+  f.Track(&auditor);
+  auditor.CheckIncremental(600.0, f.servers, {f.view}, f.counts);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].invariant, "capacity");
+}
+
+TEST(IncrementalAuditorTest, CatchesAllocationTotalsMismatchIncrementally) {
+  Fixture f;
+  InvariantAuditor auditor;
+  f.Track(&auditor);
+  f.view.num_workers = 3;  // allocation says 3, tracked placement holds 2
+  auditor.CheckIncremental(600.0, f.servers, {f.view}, f.counts);
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].invariant, "capacity");
+}
+
+TEST(IncrementalAuditorTest, OnlyDirtyServersAreRecheckedForCapacity) {
+  Fixture f;
+  InvariantAuditor auditor;
+  f.Track(&auditor);
+  auditor.CheckIncremental(600.0, f.servers, {f.view}, f.counts);
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+  // No occupancy change since the last check: a second incremental pass is
+  // clean too (and exercises the empty-dirty-set path).
+  auditor.CheckIncremental(1200.0, f.servers, {f.view}, f.counts);
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+  EXPECT_EQ(auditor.checks_run(), 2);
+}
+
+TEST(IncrementalAuditorTest, FullCrossCheckCatchesCorruptedTracker) {
+  Fixture f;
+  InvariantAuditor auditor;
+  auditor.SetClusterSize(f.servers.size());
+  // Corrupt the incremental state: track a placement with the same totals as
+  // the truth but different servers. The cheap incremental check only
+  // compares totals, so it passes...
+  JobPlacement corrupted;
+  corrupted.workers_per_server = {1, 1};
+  corrupted.ps_per_server = {0, 1};
+  auditor.SetPlacement(f.view.job_id, f.view.worker_demand, f.view.ps_demand,
+                       corrupted);
+  auditor.CheckIncremental(600.0, f.servers, {f.view}, f.counts);
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+  // ...which is exactly why the periodic full re-derivation cross-checks the
+  // tracker against the true views and flags the drift.
+  auditor.CheckTrackerAgainstViews(1200.0, {f.view});
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].invariant, "audit-divergence");
+}
+
+TEST(IncrementalAuditorTest, CrossCheckCatchesStaleTrackerEntry) {
+  Fixture f;
+  InvariantAuditor auditor;
+  f.Track(&auditor);
+  // The job pauses and releases everything, but the tracker is (wrongly) not
+  // cleared — the cross-check must notice the stale contribution.
+  f.view.state = JobState::kPaused;
+  f.view.num_ps = 0;
+  f.view.num_workers = 0;
+  f.view.placement = nullptr;
+  auditor.CheckTrackerAgainstViews(600.0, {f.view});
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations()[0].invariant, "audit-divergence");
+}
+
+TEST(IncrementalAuditorTest, ClearPlacementRemovesContribution) {
+  Fixture f;
+  InvariantAuditor auditor;
+  f.Track(&auditor);
+  auditor.ClearPlacement(f.view.job_id);
+  f.view.state = JobState::kPaused;
+  f.view.num_ps = 0;
+  f.view.num_workers = 0;
+  f.view.placement = nullptr;
+  auditor.CheckIncremental(600.0, f.servers, {f.view}, f.counts);
+  auditor.CheckTrackerAgainstViews(600.0, {f.view});
+  EXPECT_TRUE(auditor.ok()) << auditor.Summary();
+}
+
+// ---------------------------------------------------------------------------
+// Simulator-level equivalence: incremental vs. full-every-interval auditing
+// must observe the identical simulation (auditing is read-only) and both
+// find a healthy faulted run clean.
+// ---------------------------------------------------------------------------
+
+RunMetrics RunFaultedSimulator(bool incremental_audit, int full_audit_period) {
+  SimulatorConfig sim;
+  sim.seed = 11;
+  sim.max_sim_time_s = 2e5;
+  sim.audit = true;
+  sim.incremental_audit = incremental_audit;
+  sim.full_audit_period = full_audit_period;
+  std::string error;
+  EXPECT_TRUE(ParseFaultPlan(
+      "crash@1800:server=2,recover=9000;slow@2400:factor=0.7,duration=1800",
+      &sim.fault.plan, &error))
+      << error;
+  sim.fault.task_failure_prob = 0.03;
+  sim.fault.checkpoint_period_s = 1800.0;
+
+  WorkloadConfig workload;
+  workload.num_jobs = 8;
+  workload.arrival_window_s = 1200.0;
+
+  Rng workload_rng(sim.seed ^ 0x5eedULL);
+  std::vector<JobSpec> specs = GenerateWorkload(workload, &workload_rng);
+  Simulator simulator(sim, BuildTestbed(), std::move(specs));
+  return simulator.Run();
+}
+
+TEST(IncrementalAuditorTest, SimulationIsIdenticalUnderAllAuditModes) {
+  const RunMetrics full = RunFaultedSimulator(/*incremental_audit=*/false, 16);
+  const RunMetrics incremental = RunFaultedSimulator(/*incremental_audit=*/true, 16);
+  // Forced cross-check every interval (the strictest mode): every check is a
+  // full re-derivation plus a tracker-divergence pass.
+  const RunMetrics forced = RunFaultedSimulator(/*incremental_audit=*/true, 1);
+
+  for (const RunMetrics* m : {&full, &incremental, &forced}) {
+    EXPECT_GT(m->audit_checks, 0);
+    EXPECT_EQ(m->audit_violations, 0);
+  }
+  for (const RunMetrics* m : {&incremental, &forced}) {
+    EXPECT_EQ(full.completed_jobs, m->completed_jobs);
+    EXPECT_EQ(full.avg_jct_s, m->avg_jct_s);          // bitwise
+    EXPECT_EQ(full.makespan_s, m->makespan_s);        // bitwise
+    EXPECT_EQ(full.rolled_back_steps, m->rolled_back_steps);
+    EXPECT_EQ(full.job_evictions, m->job_evictions);
+    EXPECT_EQ(full.task_failures, m->task_failures);
+    EXPECT_EQ(full.audit_checks, m->audit_checks);
+  }
+}
+
+}  // namespace
+}  // namespace optimus

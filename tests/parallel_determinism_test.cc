@@ -1,7 +1,12 @@
 // Determinism regression tests for the parallel fast paths: the experiment
-// runner and per-arrival speed-model sampling must produce bitwise-identical
-// metrics for any thread count (each repeat / job owns an independent split
-// RNG and results commit into index-owned slots).
+// runner, per-arrival speed-model sampling, and the parallel interval engine
+// (per-job stepping, scheduler-input construction) must produce
+// bitwise-identical metrics AND event traces for any thread count (each
+// repeat / job owns an independent split RNG, results commit into index-owned
+// slots, and shared-state effects merge serially in job order).
+//
+// Wall-time profiling fields (RunMetrics::wall_*) are intentionally excluded
+// from the comparisons — they are host measurements, not simulation outputs.
 
 #include <vector>
 
@@ -12,6 +17,7 @@
 #include "src/sim/experiment.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/simulator.h"
+#include "src/sim/trace.h"
 #include "src/sim/workload.h"
 
 namespace optimus {
@@ -117,11 +123,11 @@ TEST(ParallelDeterminismTest, FaultedExperimentMatchesSerialBitForBit) {
   EXPECT_GT(total_faults, 0);
 }
 
-RunMetrics RunSimulatorWithInitThreads(int init_threads) {
+RunMetrics RunSimulatorWithThreads(int threads) {
   SimulatorConfig sim;
   sim.seed = 11;
   sim.max_sim_time_s = 2e5;
-  sim.init_threads = init_threads;
+  sim.threads = threads;
 
   WorkloadConfig workload;
   workload.num_jobs = 8;
@@ -136,9 +142,72 @@ RunMetrics RunSimulatorWithInitThreads(int init_threads) {
 }
 
 TEST(ParallelDeterminismTest, ParallelPreRunSamplingMatchesSerialBitForBit) {
-  const RunMetrics serial = RunSimulatorWithInitThreads(1);
-  const RunMetrics parallel = RunSimulatorWithInitThreads(4);
+  const RunMetrics serial = RunSimulatorWithThreads(1);
+  const RunMetrics parallel = RunSimulatorWithThreads(4);
   ExpectIdenticalMetrics(serial, parallel);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel interval engine: a faulted + audited run must be bitwise identical
+// — metrics and the full event trace — across thread counts.
+// ---------------------------------------------------------------------------
+
+struct SimRunOutput {
+  RunMetrics metrics;
+  std::vector<SimEvent> events;
+};
+
+SimRunOutput RunFaultedAuditedSimulator(int threads) {
+  SimulatorConfig sim;
+  sim.seed = 11;
+  sim.max_sim_time_s = 2e5;
+  sim.threads = threads;
+  sim.audit = true;
+  std::string error;
+  EXPECT_TRUE(ParseFaultPlan(
+      "crash@1800:server=2,recover=9000;"
+      "rack@4200:servers=6-8,recover=12000;"
+      "slow@2400:factor=0.7,duration=1800",
+      &sim.fault.plan, &error))
+      << error;
+  sim.fault.task_failure_prob = 0.03;
+  sim.fault.checkpoint_period_s = 1800.0;
+
+  WorkloadConfig workload;
+  workload.num_jobs = 8;
+  workload.arrival_window_s = 1200.0;
+
+  Rng workload_rng(sim.seed ^ 0x5eedULL);
+  std::vector<JobSpec> specs = GenerateWorkload(workload, &workload_rng);
+  Simulator simulator(sim, BuildTestbed(), std::move(specs));
+  SimRunOutput out;
+  out.metrics = simulator.Run();
+  out.events = simulator.trace().events();
+  return out;
+}
+
+TEST(ParallelDeterminismTest, FaultedAuditedIntervalEngineMatchesAcrossThreads) {
+  const SimRunOutput base = RunFaultedAuditedSimulator(1);
+  // The run must actually exercise faults and auditing, or this pins nothing.
+  EXPECT_GT(base.metrics.server_crashes + base.metrics.task_failures, 0);
+  EXPECT_GT(base.metrics.audit_checks, 0);
+  EXPECT_EQ(base.metrics.audit_violations, 0);
+  ASSERT_FALSE(base.events.empty());
+
+  for (const int threads : {2, 8}) {
+    const SimRunOutput other = RunFaultedAuditedSimulator(threads);
+    ExpectIdenticalMetrics(base.metrics, other.metrics);
+    ASSERT_EQ(base.events.size(), other.events.size()) << threads << " threads";
+    for (size_t i = 0; i < base.events.size(); ++i) {
+      EXPECT_EQ(base.events[i].time_s, other.events[i].time_s) << "event " << i;
+      EXPECT_EQ(base.events[i].type, other.events[i].type) << "event " << i;
+      EXPECT_EQ(base.events[i].job_id, other.events[i].job_id) << "event " << i;
+      EXPECT_EQ(base.events[i].num_ps, other.events[i].num_ps) << "event " << i;
+      EXPECT_EQ(base.events[i].num_workers, other.events[i].num_workers)
+          << "event " << i;
+      EXPECT_EQ(base.events[i].detail, other.events[i].detail) << "event " << i;
+    }
+  }
 }
 
 }  // namespace

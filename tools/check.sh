@@ -24,4 +24,10 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 # surface; writes/updates BENCH_sched.json in the working directory.
 "${build_dir}/bench/bench_fig12_scalability" --smoke
 
+# Interval-engine smoke: baseline vs parallel incremental engine; exits
+# nonzero if any row's metrics diverge from the baseline's. Under
+# OPTIMUS_SANITIZE this runs the parallel stepping + incremental auditing
+# paths under the sanitizer on top of the ctest determinism arms.
+"${build_dir}/bench/bench_interval" --smoke
+
 echo "check.sh: OK"

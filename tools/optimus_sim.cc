@@ -159,7 +159,7 @@ int main(int argc, char** argv) {
   config.sim.audit = audit;
   config.sim.background_share = background_share;
   config.sim.oracle_estimates = oracle;
-  config.sim.init_threads = threads;
+  config.sim.threads = threads;
   config.threads = threads;
   config.workload.num_jobs = num_jobs;
   config.workload.arrivals = ParseArrivals(arrivals);
