@@ -65,6 +65,44 @@ double Percentile(std::vector<double> values, double p) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+double HistogramQuantile(const std::vector<double>& upper_bounds,
+                         const std::vector<int64_t>& bucket_counts, double q) {
+  OPTIMUS_CHECK_GE(q, 0.0);
+  OPTIMUS_CHECK_LE(q, 1.0);
+  OPTIMUS_CHECK_EQ(bucket_counts.size(), upper_bounds.size() + 1)
+      << "bucket_counts must carry one +Inf overflow entry";
+  int64_t total = 0;
+  for (int64_t c : bucket_counts) {
+    total += c;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  // Target rank within the cumulative distribution.
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    const int64_t before = cumulative;
+    cumulative += bucket_counts[b];
+    if (static_cast<double>(cumulative) < rank) {
+      continue;
+    }
+    if (b == upper_bounds.size()) {
+      return upper_bounds.back();  // overflow bucket: clamp to the last bound
+    }
+    const double hi = upper_bounds[b];
+    const double lo =
+        b > 0 ? upper_bounds[b - 1] : std::min(0.0, hi);
+    if (bucket_counts[b] == 0) {
+      return hi;
+    }
+    const double frac =
+        (rank - static_cast<double>(before)) / static_cast<double>(bucket_counts[b]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return upper_bounds.back();
+}
+
 double Sum(const std::vector<double>& values) {
   double sum = 0.0;
   for (double v : values) {

@@ -5,6 +5,7 @@
 #define SRC_COMMON_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -44,6 +45,16 @@ double Median(std::vector<double> values);
 
 // p-th percentile (p in [0, 100]) with linear interpolation; values copied.
 double Percentile(std::vector<double> values, double p);
+
+// Estimated q-quantile (q in [0, 1]) of a fixed-bucket histogram with
+// ascending upper-inclusive `upper_bounds` and per-bucket `bucket_counts`
+// (one extra trailing entry for the +Inf overflow bucket). The estimate
+// interpolates linearly inside the owning bucket, taking the first bucket's
+// lower edge as 0 (or its bound, when that bound is negative); quantiles that
+// land in the overflow bucket return the last finite bound — Prometheus
+// histogram_quantile conventions. Returns 0 for an empty histogram.
+double HistogramQuantile(const std::vector<double>& upper_bounds,
+                         const std::vector<int64_t>& bucket_counts, double q);
 
 // Sum of a vector; 0 for an empty vector.
 double Sum(const std::vector<double>& values);

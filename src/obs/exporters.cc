@@ -1,0 +1,188 @@
+#include "src/obs/exporters.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/obs/text_format.h"
+
+namespace optimus {
+
+using obs_internal::EscapeJson;
+using obs_internal::FormatDouble17;
+
+void MetricsSeries::Sample(double time_s, const MetricsRegistry& registry) {
+  if (columns_.empty()) {
+    for (size_t i = 0; i < registry.size(); ++i) {
+      const Metric& m = registry.metric(i);
+      if (m.profiling()) {
+        continue;
+      }
+      if (m.kind() == MetricKind::kHistogram) {
+        columns_.push_back(m.name() + "_count");
+        columns_.push_back(m.name() + "_sum");
+      } else {
+        columns_.push_back(m.name());
+      }
+    }
+  }
+  std::vector<double> row;
+  row.reserve(columns_.size());
+  for (size_t i = 0; i < registry.size(); ++i) {
+    const Metric& m = registry.metric(i);
+    if (m.profiling()) {
+      continue;
+    }
+    switch (m.kind()) {
+      case MetricKind::kCounter:
+        row.push_back(static_cast<const Counter&>(m).value());
+        break;
+      case MetricKind::kGauge:
+        row.push_back(static_cast<const Gauge&>(m).value());
+        break;
+      case MetricKind::kHistogram: {
+        const auto& h = static_cast<const Histogram&>(m);
+        row.push_back(static_cast<double>(h.count()));
+        row.push_back(h.sum());
+        break;
+      }
+    }
+  }
+  OPTIMUS_CHECK_EQ(row.size(), columns_.size())
+      << "metrics were registered after the first Sample()";
+  times_.push_back(time_s);
+  rows_.push_back(std::move(row));
+}
+
+void ExportPrometheus(const MetricsRegistry& registry, std::ostream& os,
+                      const ExportOptions& options) {
+  for (size_t i = 0; i < registry.size(); ++i) {
+    const Metric& m = registry.metric(i);
+    if (m.profiling() && !options.include_profiling) {
+      continue;
+    }
+    os << "# HELP " << m.name() << " " << m.help() << "\n";
+    os << "# TYPE " << m.name() << " " << MetricKindName(m.kind()) << "\n";
+    switch (m.kind()) {
+      case MetricKind::kCounter:
+        os << m.name() << " " << FormatDouble17(static_cast<const Counter&>(m).value())
+           << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << m.name() << " " << FormatDouble17(static_cast<const Gauge&>(m).value())
+           << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const auto& h = static_cast<const Histogram&>(m);
+        int64_t cumulative = 0;
+        for (size_t b = 0; b < h.bounds().size(); ++b) {
+          cumulative += h.buckets()[b];
+          os << m.name() << "_bucket{le=\"" << FormatDouble17(h.bounds()[b]) << "\"} "
+             << cumulative << "\n";
+        }
+        os << m.name() << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+        os << m.name() << "_sum " << FormatDouble17(h.sum()) << "\n";
+        os << m.name() << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+std::string ExportPrometheusString(const MetricsRegistry& registry,
+                                   const ExportOptions& options) {
+  std::ostringstream os;
+  ExportPrometheus(registry, os, options);
+  return os.str();
+}
+
+void ExportJsonReport(const MetricsRegistry& registry, const MetricsSeries* series,
+                      const FlightRecorder* flight, std::ostream& os,
+                      const ExportOptions& options) {
+  os << "{\n";
+  os << "  \"format\": \"optimus-run-report-v1\",\n";
+
+  // Final registry snapshot.
+  os << "  \"metrics\": {";
+  bool first = true;
+  for (size_t i = 0; i < registry.size(); ++i) {
+    const Metric& m = registry.metric(i);
+    if (m.profiling() && !options.include_profiling) {
+      continue;
+    }
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    \"" << m.name() << "\": {\"type\": \"" << MetricKindName(m.kind())
+       << "\"";
+    if (m.profiling()) {
+      os << ", \"profiling\": true";
+    }
+    switch (m.kind()) {
+      case MetricKind::kCounter:
+        os << ", \"value\": " << FormatDouble17(static_cast<const Counter&>(m).value());
+        break;
+      case MetricKind::kGauge:
+        os << ", \"value\": " << FormatDouble17(static_cast<const Gauge&>(m).value());
+        break;
+      case MetricKind::kHistogram: {
+        const auto& h = static_cast<const Histogram&>(m);
+        os << ", \"count\": " << h.count() << ", \"sum\": " << FormatDouble17(h.sum());
+        os << ", \"bounds\": [";
+        for (size_t b = 0; b < h.bounds().size(); ++b) {
+          os << (b == 0 ? "" : ", ") << FormatDouble17(h.bounds()[b]);
+        }
+        os << "], \"buckets\": [";
+        for (size_t b = 0; b < h.buckets().size(); ++b) {
+          os << (b == 0 ? "" : ", ") << h.buckets()[b];
+        }
+        os << "]";
+        os << ", \"p50\": " << FormatDouble17(h.Quantile(0.50));
+        os << ", \"p95\": " << FormatDouble17(h.Quantile(0.95));
+        os << ", \"p99\": " << FormatDouble17(h.Quantile(0.99));
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  // Per-interval time series.
+  os << "  \"series\": {";
+  if (series != nullptr && series->num_rows() > 0) {
+    os << "\n    \"columns\": [\"time_s\"";
+    for (const std::string& c : series->columns()) {
+      os << ", \"" << c << "\"";
+    }
+    os << "],\n    \"rows\": [";
+    for (size_t r = 0; r < series->num_rows(); ++r) {
+      os << (r == 0 ? "\n" : ",\n") << "      ["
+         << FormatDouble17(series->times()[r]);
+      for (double v : series->row(r)) {
+        os << ", " << FormatDouble17(v);
+      }
+      os << "]";
+    }
+    os << "\n    ]\n  ";
+  }
+  os << "},\n";
+
+  // Flight-recorder tail.
+  os << "  \"flight_recorder\": ";
+  if (flight != nullptr && flight->enabled()) {
+    flight->WriteJson(os, 1);
+  } else {
+    os << "[]";
+  }
+  os << "\n}\n";
+}
+
+std::string ExportJsonReportString(const MetricsRegistry& registry,
+                                   const MetricsSeries* series,
+                                   const FlightRecorder* flight,
+                                   const ExportOptions& options) {
+  std::ostringstream os;
+  ExportJsonReport(registry, series, flight, os, options);
+  return os.str();
+}
+
+}  // namespace optimus

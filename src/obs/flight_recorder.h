@@ -1,0 +1,87 @@
+// Flight recorder: a fixed-capacity ring buffer of recent structured events.
+//
+// When the invariant auditor flags a violation — or a faulted run dies — the
+// question is always "what just happened?": which allocations moved, who got
+// evicted, which servers flapped, what the auditor saw. The flight recorder
+// keeps the last `depth` structured events (allocation decisions, evictions,
+// checkpoints, fault transitions, audit results) at O(1) cost per event and
+// dumps them on demand for post-mortem debugging.
+//
+// Determinism: events carry simulated time and simulated state only, and all
+// record sites sit in the simulator's serial phases, so the full event
+// sequence (including sequence numbers) is bitwise identical for any
+// --threads value, with or without a fault plan.
+
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace optimus {
+
+enum class FlightEventKind {
+  kScheduled,       // first allocation decision for a job
+  kScaled,          // (p, w) changed for a running job
+  kPaused,          // active job received no placeable resources
+  kResumed,         // previously paused job running again
+  kEvicted,         // job lost its tasks to a crashed server
+  kCheckpoint,      // durable checkpoint taken (periodic or on scaling)
+  kTaskFailed,      // container death; restored from checkpoint in place
+  kServerCrash,
+  kServerRecovered,
+  kSlowdown,        // cluster-wide speed factor changed
+  kCompleted,
+  kAuditCheck,      // one auditor pass (value = violations so far)
+  kAuditViolation,  // one reported violation (detail = invariant: ...)
+};
+
+const char* FlightEventKindName(FlightEventKind kind);
+
+struct FlightEvent {
+  uint64_t seq = 0;      // monotone record index since construction
+  double time_s = 0.0;   // simulated time
+  FlightEventKind kind = FlightEventKind::kScheduled;
+  int job_id = 0;        // -1 for cluster-scoped events
+  int num_ps = 0;        // kind-specific integer args (allocation, server id)
+  int num_workers = 0;
+  double value = 0.0;    // kind-specific scalar (factor, violation count)
+  std::string detail;
+};
+
+class FlightRecorder {
+ public:
+  // depth <= 0 constructs a disabled recorder: Record() is a no-op.
+  explicit FlightRecorder(int depth);
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+  // Events currently held (<= capacity).
+  size_t size() const;
+  // Total events ever recorded (size() + overwritten).
+  uint64_t total_recorded() const { return next_seq_; }
+
+  void Record(double time_s, FlightEventKind kind, int job_id, int num_ps = 0,
+              int num_workers = 0, double value = 0.0, std::string detail = "");
+
+  // Retained events, oldest first.
+  std::vector<FlightEvent> Events() const;
+
+  // Human-readable dump (one event per line), oldest first; used for the
+  // on-violation post-mortem.
+  void Dump(std::ostream& os) const;
+
+  // JSON array of events, oldest first (deterministic field order).
+  void WriteJson(std::ostream& os, int indent = 0) const;
+
+ private:
+  size_t capacity_;
+  uint64_t next_seq_ = 0;
+  std::vector<FlightEvent> ring_;  // slot = seq % capacity
+};
+
+}  // namespace optimus
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,217 @@
+// Deterministic metrics registry: named counters, gauges, and fixed-bucket
+// histograms for the simulator's instrument panel.
+//
+// The whole control loop runs on measured signals (loss curves §3.1, sampled
+// speeds §3.2, utilization and scaling overhead §6), so telemetry must not be
+// an afterthought — but it also must not perturb the simulation or break the
+// repo's determinism contract. The registry therefore follows the same rule
+// as every other cross-thread structure in this codebase: shared state is
+// only ever mutated serially, and parallel sections record into per-work-item
+// shards that are merged in a caller-fixed (job/index) order. Under that
+// contract every exported value is bitwise identical for any thread count.
+//
+// Determinism classes:
+//   - deterministic metrics (default): derived from simulated state only;
+//     identical across --threads and repeats, compared bitwise by tests.
+//   - profiling metrics (profiling = true): host wall-clock measurements
+//     (PhaseProfiler); exported for humans, excluded from determinism
+//     comparisons and golden files (ExportOptions::include_profiling).
+//
+// Thread-safety: registration and direct mutation (Counter::Add, Gauge::Set,
+// Histogram::Record) are serial-context operations. Parallel call sites must
+// record into a MetricsShard per work item and merge the shards serially in
+// index order (MetricsRegistry::Merge). The registry never takes locks.
+
+#ifndef SRC_OBS_METRICS_REGISTRY_H_
+#define SRC_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace optimus {
+
+class MetricsRegistry;
+class MetricsShard;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+// Shared metadata of one registered metric.
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  MetricKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+  // Profiling metrics carry host wall-clock values: exported, but excluded
+  // from determinism comparisons and golden snapshots.
+  bool profiling() const { return profiling_; }
+
+ protected:
+  Metric(MetricKind kind, std::string name, std::string help, bool profiling)
+      : kind_(kind), name_(std::move(name)), help_(std::move(help)),
+        profiling_(profiling) {}
+
+ private:
+  MetricKind kind_;
+  std::string name_;
+  std::string help_;
+  bool profiling_;
+};
+
+// Monotonically non-decreasing total (Prometheus counter semantics; the value
+// is a double so step counts such as rolled-back steps fit too).
+class Counter : public Metric {
+ public:
+  // Direct increment; serial contexts only.
+  void Add(double v = 1.0) { value_ += v; }
+  // Mirrors a cumulative total maintained elsewhere (e.g. a RunMetrics field
+  // or a per-job sum walked in job order); the caller guarantees monotonicity.
+  void Set(double total) { value_ = total; }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  friend class MetricsShard;
+  Counter(std::string name, std::string help, bool profiling, size_t index)
+      : Metric(MetricKind::kCounter, std::move(name), std::move(help), profiling),
+        index_(index) {}
+
+  size_t index_;  // position among the registry's counters
+  double value_ = 0.0;
+};
+
+// Point-in-time value (last write wins).
+class Gauge : public Metric {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  friend class MetricsShard;
+  Gauge(std::string name, std::string help, bool profiling, size_t index)
+      : Metric(MetricKind::kGauge, std::move(name), std::move(help), profiling),
+        index_(index) {}
+
+  size_t index_;
+  double value_ = 0.0;
+};
+
+// Fixed-bucket histogram with Prometheus semantics: `bounds` are ascending
+// finite upper bounds, each bucket is upper-inclusive (v <= bound), and an
+// implicit +Inf bucket catches the overflow. Quantiles are estimated by
+// linear interpolation inside the owning bucket (HistogramQuantile in
+// common/stats), which is exact at bucket edges and approximate within.
+class Histogram : public Metric {
+ public:
+  void Record(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Per-bucket (non-cumulative) counts; size bounds().size() + 1, the last
+  // entry being the +Inf overflow bucket.
+  const std::vector<int64_t>& buckets() const { return buckets_; }
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+
+  // Estimated q-quantile (q in [0, 1]); 0 when the histogram is empty.
+  // Quantile(0.5) / Quantile(0.95) / Quantile(0.99) are the p50/p95/p99 the
+  // exporters report.
+  double Quantile(double q) const;
+
+ private:
+  friend class MetricsRegistry;
+  friend class MetricsShard;
+  Histogram(std::string name, std::string help, std::vector<double> bounds,
+            bool profiling, size_t index);
+
+  size_t index_;
+  std::vector<double> bounds_;
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// Per-work-item recording buffer for parallel sections. A shard is sized to
+// the registry's layout at construction; recording into it touches only the
+// shard. Merging shards back serially, in a caller-fixed order, reproduces
+// the serial recording bit for bit:
+//   - counter adds and histogram bucket counts are order-independent sums of
+//     integers / exact doubles per shard;
+//   - double accumulations (counter values, histogram sums) are applied in
+//     the merge order the caller fixes, so one order -> one bit pattern;
+//   - gauge sets apply last-merged-wins, again fixed by the merge order.
+class MetricsShard {
+ public:
+  explicit MetricsShard(const MetricsRegistry& registry);
+
+  void Add(const Counter* counter, double v = 1.0);
+  void Set(const Gauge* gauge, double v);
+  void Record(const Histogram* histogram, double v);
+
+  // Folds `other` into this shard (hierarchical merges; same ordering caveat
+  // as MetricsRegistry::Merge). Counter adds and histogram bucket counts are
+  // exactly associative; double sums associate only along a fixed order.
+  void MergeFrom(const MetricsShard& other);
+
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+
+  struct HistogramDelta {
+    std::vector<int64_t> buckets;
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::vector<double> counter_adds_;
+  std::vector<std::pair<bool, double>> gauge_sets_;  // (written, value)
+  std::vector<HistogramDelta> histograms_;
+};
+
+// Registry of named metrics. Registration order is the export order, so the
+// export text is deterministic by construction. Names must be unique;
+// re-registering a name is fatal.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Registration (serial, up-front — before any shard is constructed).
+  Counter* AddCounter(std::string name, std::string help, bool profiling = false);
+  Gauge* AddGauge(std::string name, std::string help, bool profiling = false);
+  Histogram* AddHistogram(std::string name, std::string help,
+                          std::vector<double> bounds, bool profiling = false);
+
+  // Metrics in registration order.
+  size_t size() const { return metrics_.size(); }
+  const Metric& metric(size_t i) const { return *metrics_[i]; }
+
+  // nullptr when no metric has that name.
+  const Metric* Find(const std::string& name) const;
+
+  // Applies one shard's recorded deltas. Callers with several shards must
+  // merge them in a fixed order (index/job order) — that order is what makes
+  // double accumulation deterministic.
+  void Merge(const MetricsShard& shard);
+
+ private:
+  friend class MetricsShard;
+
+  std::vector<std::unique_ptr<Metric>> metrics_;  // registration order
+  std::map<std::string, size_t> by_name_;
+  std::vector<Counter*> counters_;
+  std::vector<Gauge*> gauges_;
+  std::vector<Histogram*> histograms_;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_OBS_METRICS_REGISTRY_H_

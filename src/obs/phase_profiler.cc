@@ -1,0 +1,36 @@
+#include "src/obs/phase_profiler.h"
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+void PhaseProfiler::AttachRegistry(MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  OPTIMUS_CHECK(phases_.empty()) << "attach the registry before registering phases";
+  registry_ = registry;
+  prefix_ = prefix;
+}
+
+int PhaseProfiler::RegisterPhase(const std::string& name) {
+  Phase phase;
+  phase.name = name;
+  if (registry_ != nullptr) {
+    phase.gauge = registry_->AddGauge(
+        prefix_ + name + "_seconds",
+        "Accumulated host wall-clock seconds in the " + name +
+            " phase (profiling only; nondeterministic).",
+        /*profiling=*/true);
+  }
+  phases_.push_back(std::move(phase));
+  return static_cast<int>(phases_.size()) - 1;
+}
+
+void PhaseProfiler::Add(int phase, double seconds) {
+  Phase& p = phases_[static_cast<size_t>(phase)];
+  p.seconds += seconds;
+  if (p.gauge != nullptr) {
+    p.gauge->Set(p.seconds);
+  }
+}
+
+}  // namespace optimus

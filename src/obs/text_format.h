@@ -1,0 +1,62 @@
+// Shared text-formatting helpers for the observability exporters.
+//
+// All exported numbers go through FormatDouble17 (up to 17 significant
+// digits, default float format), which round-trips doubles exactly — the
+// property the bitwise-determinism tests and golden files rely on. Integral
+// values print without a trailing ".0" ("42", not "42.0").
+
+#ifndef SRC_OBS_TEXT_FORMAT_H_
+#define SRC_OBS_TEXT_FORMAT_H_
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace optimus {
+namespace obs_internal {
+
+inline std::string FormatDouble17(double v) {
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+// Minimal JSON string escaping (quotes, backslashes, control characters).
+inline std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs_internal
+}  // namespace optimus
+
+#endif  // SRC_OBS_TEXT_FORMAT_H_

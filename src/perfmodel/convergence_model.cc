@@ -56,7 +56,7 @@ double LossSpaceRss(const std::vector<LossSample>& samples, double beta0,
 // the residual in loss space (infinity when the transform is infeasible).
 // From-scratch reference path: builds the dense system per candidate.
 double FitForBeta2(const std::vector<LossSample>& samples, double beta2, double* beta0,
-                   double* beta1) {
+                   double* beta1, int64_t* nnls_iterations) {
   Matrix a(samples.size(), 2);
   Vector b(samples.size());
   for (size_t i = 0; i < samples.size(); ++i) {
@@ -69,6 +69,7 @@ double FitForBeta2(const std::vector<LossSample>& samples, double beta2, double*
     b[i] = 1.0 / gap;
   }
   const NnlsResult fit = SolveNnls(a, b);
+  *nnls_iterations += fit.iterations;
   *beta0 = fit.x[0];
   *beta1 = fit.x[1];
   return LossSpaceRss(samples, *beta0, *beta1, beta2);
@@ -100,7 +101,8 @@ ConvGram AccumulateConvGram(const std::vector<LossSample>& samples) {
 }
 
 double FitForBeta2Gram(const std::vector<LossSample>& samples, const ConvGram& g,
-                       double beta2, double* beta0, double* beta1) {
+                       double beta2, double* beta0, double* beta1,
+                       int64_t* nnls_iterations) {
   double atb0 = 0.0;
   double atb1 = 0.0;
   double btb = 0.0;
@@ -121,6 +123,7 @@ double FitForBeta2Gram(const std::vector<LossSample>& samples, const ConvGram& g
   ata(1, 1) = g.one_one;
   const GramSystem gram(std::move(ata), {atb0, atb1}, btb, samples.size());
   const NnlsResult fit = SolveNnlsGram(gram);
+  *nnls_iterations += fit.iterations;
   *beta0 = fit.x[0];
   *beta1 = fit.x[1];
   return LossSpaceRss(samples, *beta0, *beta1, beta2);
@@ -133,9 +136,11 @@ bool ConvergenceModel::Fit() {
     return fitted_;
   }
   if (caching_ && !dirty_) {
+    ++fit_stats_.fit_cache_hits;
     return fitted_;  // no new samples since the last attempt
   }
   dirty_ = false;
+  ++fit_stats_.fits;
 
   // Preprocess: outliers -> normalize -> downsample. The normalization factor
   // applies immediately (even if this attempt ends up degenerate and keeps
@@ -166,8 +171,11 @@ bool ConvergenceModel::Fit() {
       const double beta2 = lo + (hi - lo) * g / grid;
       double b0 = 0.0;
       double b1 = 0.0;
-      const double rss = caching_ ? FitForBeta2Gram(pts, gram, beta2, &b0, &b1)
-                                  : FitForBeta2(pts, beta2, &b0, &b1);
+      const double rss =
+          caching_
+              ? FitForBeta2Gram(pts, gram, beta2, &b0, &b1,
+                                &fit_stats_.nnls_iterations)
+              : FitForBeta2(pts, beta2, &b0, &b1, &fit_stats_.nnls_iterations);
       if (rss < best_rss) {
         best_rss = rss;
         best_b0 = b0;

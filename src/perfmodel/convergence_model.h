@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/perfmodel/fit_stats.h"
 #include "src/perfmodel/preprocess.h"
 
 namespace optimus {
@@ -72,6 +73,10 @@ class ConvergenceModel {
   // Residual sum of squares of the last fit (normalized space).
   double residual() const { return residual_; }
 
+  // Fit accounting (solve attempts, dirty-flag cache hits, NNLS iterations);
+  // fed into the observability registry by the simulator.
+  const ModelFitStats& fit_stats() const { return fit_stats_; }
+
   // Predicted raw (denormalized) loss at a step.
   double PredictLoss(double step) const;
 
@@ -97,6 +102,7 @@ class ConvergenceModel {
   double beta2_ = 0.0;
   double norm_factor_ = 1.0;
   double residual_ = 0.0;
+  ModelFitStats fit_stats_;
 
   // Memoized PredictTotalEpochs walk, keyed by its arguments; invalidated
   // whenever the fitted curve changes.

@@ -59,8 +59,10 @@ bool SpeedModel::Fit() {
     return fitted_;
   }
   if (caching_ && !dirty_) {
+    ++fit_stats_.fit_cache_hits;
     return fitted_;  // no new samples since the last solve
   }
+  ++fit_stats_.fits;
 
   NnlsResult fit;
   if (caching_) {
@@ -79,6 +81,7 @@ bool SpeedModel::Fit() {
     }
     fit = SolveNnls(a, b);
   }
+  fit_stats_.nnls_iterations += fit.iterations;
   dirty_ = false;
 
   double sum = 0.0;

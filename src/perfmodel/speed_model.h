@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/models/model_zoo.h"
+#include "src/perfmodel/fit_stats.h"
 #include "src/solver/nnls.h"
 
 namespace optimus {
@@ -64,6 +65,10 @@ class SpeedModel {
   // Residual sum of squares in inverse-speed space at the last fit.
   double residual() const { return residual_; }
 
+  // Fit accounting (solve attempts, dirty-flag cache hits, NNLS iterations);
+  // fed into the observability registry by the simulator.
+  const ModelFitStats& fit_stats() const { return fit_stats_; }
+
   // Estimated job-level training speed (steps/s); requires fitted().
   double Estimate(int num_ps, int num_workers) const;
 
@@ -81,6 +86,7 @@ class SpeedModel {
   std::vector<double> theta_;
   bool fitted_ = false;
   double residual_ = 0.0;
+  ModelFitStats fit_stats_;
 };
 
 }  // namespace optimus

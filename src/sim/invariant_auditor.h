@@ -43,6 +43,7 @@
 
 #include "src/cluster/job.h"
 #include "src/cluster/server.h"
+#include "src/obs/flight_recorder.h"
 #include "src/pserver/comm_model.h"
 
 namespace optimus {
@@ -114,6 +115,13 @@ class InvariantAuditor {
   const std::vector<AuditViolation>& violations() const { return violations_; }
   int64_t checks_run() const { return checks_run_; }
 
+  // When set, every reported violation is also recorded into the flight
+  // recorder (kind kAuditViolation, detail "invariant: detail"), so the
+  // post-mortem dump carries the violations interleaved with the allocation
+  // and fault events that led up to them. The recorder must outlive the
+  // auditor's checks.
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
+
   // Human-readable digest of up to `max_items` violations.
   std::string Summary(size_t max_items = 5) const;
 
@@ -157,6 +165,7 @@ class InvariantAuditor {
   std::set<int> rollback_ok_;
   std::vector<AuditViolation> violations_;
   int64_t checks_run_ = 0;
+  FlightRecorder* flight_ = nullptr;
 
   // Incremental tracker state.
   std::map<int, TrackedJob> tracked_;

@@ -1,8 +1,8 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <iostream>
 #include <limits>
 
 #include "src/common/logging.h"
@@ -10,6 +10,7 @@
 #include "src/perfmodel/sampler.h"
 #include "src/sched/baseline_allocators.h"
 #include "src/sched/optimus_allocator.h"
+#include "src/sched/speed_surface.h"
 
 namespace optimus {
 
@@ -37,10 +38,14 @@ uint64_t MixSignature(uint64_t h, uint64_t v) {
   return h ^ (h >> 27);
 }
 
-std::unique_ptr<Allocator> MakeAllocator(AllocatorPolicy policy) {
+std::unique_ptr<Allocator> MakeAllocator(AllocatorPolicy policy,
+                                         OptimusAllocRoundStats* stats) {
   switch (policy) {
-    case AllocatorPolicy::kOptimus:
-      return std::make_unique<OptimusAllocator>();
+    case AllocatorPolicy::kOptimus: {
+      OptimusAllocatorOptions options;
+      options.stats = stats;  // greedy-round counters for the metrics registry
+      return std::make_unique<OptimusAllocator>(options);
+    }
     case AllocatorPolicy::kDrf:
       return std::make_unique<DrfAllocator>();
     case AllocatorPolicy::kTetris:
@@ -57,9 +62,10 @@ Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
                      std::vector<JobSpec> specs)
     : config_(config),
       servers_(std::move(servers)),
-      allocator_(MakeAllocator(config.allocator)),
+      allocator_(MakeAllocator(config.allocator, &alloc_stats_)),
       straggler_(config.straggler),
-      rng_(config.seed) {
+      rng_(config.seed),
+      flight_(config.obs.enabled ? config.obs.flight_recorder_depth : 0) {
   OPTIMUS_CHECK(!servers_.empty());
   metrics_.total_jobs = static_cast<int>(specs.size());
   jobs_.reserve(specs.size());
@@ -86,6 +92,150 @@ Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
   auditor_.SetClusterSize(servers_.size());
   // Rough per-run event budget: a handful of lifecycle events per job.
   trace_.Reserve(jobs_.size() * 8 + 64);
+  SetupObservability();
+}
+
+void Simulator::SetupObservability() {
+  // The auditor records its violations into the recorder (no-op at depth 0),
+  // so the post-mortem dump interleaves them with the decisions around them.
+  auditor_.set_flight_recorder(&flight_);
+  if (config_.obs.enabled) {
+    auto c = [this](const char* name, const char* help) {
+      return registry_.AddCounter(name, help);
+    };
+    m_.intervals = c("optimus_intervals_total", "Scheduling intervals simulated.");
+    m_.jobs_submitted = c("optimus_jobs_submitted_total", "Jobs that have arrived.");
+    m_.jobs_completed =
+        c("optimus_jobs_completed_total", "Jobs converged and completed.");
+    m_.scalings = c("optimus_scalings_total",
+                    "Checkpoint-restart resource adjustments applied.");
+    m_.straggler_replacements = c("optimus_straggler_replacements_total",
+                                  "Straggling workers detected and replaced.");
+    m_.checkpoints = c("optimus_checkpoints_total",
+                       "Periodic durable checkpoints taken (fault plan).");
+    m_.evictions = c("optimus_job_evictions_total",
+                     "Jobs evicted after losing tasks to a down server.");
+    m_.task_failures = c("optimus_task_failures_total",
+                         "Container deaths restored from checkpoint in place.");
+    m_.server_crashes = c("optimus_server_crashes_total", "Scripted server crashes.");
+    m_.server_recoveries =
+        c("optimus_server_recoveries_total", "Crashed servers brought back up.");
+    m_.backoff_deferrals = c("optimus_backoff_deferrals_total",
+                             "Relaunch-backoff deferrals after repeated evictions.");
+    m_.rolled_back_steps = c("optimus_rolled_back_steps_total",
+                             "Training steps lost to checkpoint rollbacks.");
+    m_.audit_checks = c("optimus_audit_checks_total", "Invariant-auditor passes.");
+    m_.audit_violations =
+        c("optimus_audit_violations_total", "Invariant violations reported.");
+    m_.speed_probes = c("optimus_speed_probes_total",
+                        "Speed-surface probes across scheduling rounds.");
+    m_.speed_evals = c("optimus_speed_evals_total",
+                       "Underlying speed-function evaluations (probes minus "
+                       "memo hits).");
+    m_.speed_surfaces = c("optimus_speed_surfaces_total",
+                          "Distinct speed surfaces built across rounds.");
+    m_.alloc_pops =
+        c("optimus_alloc_pops_total", "Greedy-heap candidates popped (Optimus).");
+    m_.alloc_grants =
+        c("optimus_alloc_grants_total", "Tasks granted by the greedy allocator.");
+    m_.alloc_stale_drops = c("optimus_alloc_stale_drops_total",
+                             "Heap candidates discarded as stale snapshots.");
+    m_.alloc_unfittable_drops =
+        c("optimus_alloc_unfittable_drops_total",
+          "Heap candidates dropped because their task kind no longer fits.");
+    m_.conv_fits =
+        c("optimus_conv_fits_total", "Convergence-model solve attempts.");
+    m_.conv_fit_cache_hits = c("optimus_conv_fit_cache_hits_total",
+                               "Convergence fits answered by the dirty-flag cache.");
+    m_.conv_nnls_iterations = c("optimus_conv_nnls_iterations_total",
+                                "NNLS iterations spent in convergence fits.");
+    m_.speedmodel_fits =
+        c("optimus_speedmodel_fits_total", "Speed-model solve attempts.");
+    m_.speedmodel_fit_cache_hits =
+        c("optimus_speedmodel_fit_cache_hits_total",
+          "Speed-model fits answered by the dirty-flag cache.");
+    m_.speedmodel_nnls_iterations = c("optimus_speedmodel_nnls_iterations_total",
+                                      "NNLS iterations spent in speed-model fits.");
+    m_.sim_time = registry_.AddGauge("optimus_sim_time_seconds", "Simulated time.");
+    m_.running_tasks = registry_.AddGauge(
+        "optimus_running_tasks", "Tasks (workers + PS) running last interval.");
+    m_.jct_seconds = registry_.AddHistogram(
+        "optimus_jct_seconds", "Job completion times (arrival to convergence).",
+        {1800.0, 3600.0, 7200.0, 14400.0, 28800.0, 57600.0, 115200.0, 230400.0});
+    m_.completed_epochs = registry_.AddHistogram(
+        "optimus_completed_epochs", "Epochs at convergence for completed jobs.",
+        {5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0});
+    // Profiling gauges (optimus_wall_*_seconds) register last so the
+    // deterministic catalog is a stable prefix of the export.
+    profiler_.AttachRegistry(&registry_, "optimus_wall_");
+  }
+  phase_faults_ = profiler_.RegisterPhase("faults");
+  phase_schedule_ = profiler_.RegisterPhase("schedule");
+  phase_advance_ = profiler_.RegisterPhase("advance");
+  phase_audit_ = profiler_.RegisterPhase("audit");
+}
+
+void Simulator::SampleObservability() {
+  if (!config_.obs.enabled) {
+    return;
+  }
+  m_.intervals->Add(1.0);
+
+  // Cumulative per-job model-fit totals, summed in job order (integer sums,
+  // so the order matters only for consistency, not correctness).
+  int submitted = 0;
+  ModelFitStats conv;
+  ModelFitStats speedm;
+  for (const auto& jr : jobs_) {
+    if (!jr->arrived) {
+      continue;
+    }
+    ++submitted;
+    if (jr->conv != nullptr) {
+      const ModelFitStats& s = jr->conv->fit_stats();
+      conv.fits += s.fits;
+      conv.fit_cache_hits += s.fit_cache_hits;
+      conv.nnls_iterations += s.nnls_iterations;
+    }
+    if (jr->speed != nullptr) {
+      const ModelFitStats& s = jr->speed->fit_stats();
+      speedm.fits += s.fits;
+      speedm.fit_cache_hits += s.fit_cache_hits;
+      speedm.nnls_iterations += s.nnls_iterations;
+    }
+  }
+
+  m_.jobs_submitted->Set(static_cast<double>(submitted));
+  m_.jobs_completed->Set(static_cast<double>(metrics_.completed_jobs));
+  m_.scalings->Set(static_cast<double>(metrics_.total_scalings));
+  m_.straggler_replacements->Set(static_cast<double>(straggler_.replacements()));
+  m_.checkpoints->Set(static_cast<double>(metrics_.checkpoints_taken));
+  m_.evictions->Set(static_cast<double>(metrics_.job_evictions));
+  m_.task_failures->Set(static_cast<double>(metrics_.task_failures));
+  m_.server_crashes->Set(static_cast<double>(metrics_.server_crashes));
+  m_.server_recoveries->Set(static_cast<double>(metrics_.server_recoveries));
+  m_.backoff_deferrals->Set(static_cast<double>(metrics_.backoff_deferrals));
+  m_.rolled_back_steps->Set(metrics_.rolled_back_steps);
+  m_.audit_checks->Set(static_cast<double>(metrics_.audit_checks));
+  m_.audit_violations->Set(static_cast<double>(metrics_.audit_violations));
+  m_.speed_probes->Set(static_cast<double>(surface_probes_));
+  m_.speed_evals->Set(static_cast<double>(surface_evals_));
+  m_.speed_surfaces->Set(static_cast<double>(surface_count_));
+  m_.alloc_pops->Set(static_cast<double>(alloc_stats_.pops));
+  m_.alloc_grants->Set(static_cast<double>(alloc_stats_.grants));
+  m_.alloc_stale_drops->Set(static_cast<double>(alloc_stats_.stale_drops));
+  m_.alloc_unfittable_drops->Set(static_cast<double>(alloc_stats_.unfittable_drops));
+  m_.conv_fits->Set(static_cast<double>(conv.fits));
+  m_.conv_fit_cache_hits->Set(static_cast<double>(conv.fit_cache_hits));
+  m_.conv_nnls_iterations->Set(static_cast<double>(conv.nnls_iterations));
+  m_.speedmodel_fits->Set(static_cast<double>(speedm.fits));
+  m_.speedmodel_fit_cache_hits->Set(static_cast<double>(speedm.fit_cache_hits));
+  m_.speedmodel_nnls_iterations->Set(static_cast<double>(speedm.nnls_iterations));
+  m_.sim_time->Set(now_s_);
+
+  if (config_.obs.per_interval_series) {
+    series_.Sample(now_s_, registry_);
+  }
 }
 
 const Job& Simulator::job(int id) const {
@@ -334,6 +484,7 @@ void Simulator::EvictJob(JobRuntime* jr, const std::string& reason) {
     ++metrics_.backoff_deferrals;
   }
   trace_.Record(now_s_, SimEventType::kEvicted, job.id(), 0, 0, reason);
+  flight_.Record(now_s_, FlightEventKind::kEvicted, job.id(), 0, 0, 0.0, reason);
 }
 
 void Simulator::ApplyFaults() {
@@ -353,6 +504,8 @@ void Simulator::ApplyFaults() {
             fc.checkpoint_save_fraction *
             CheckpointStallSeconds(*jr->job.spec().model, config_.checkpoint));
         ++metrics_.checkpoints_taken;
+        flight_.Record(now_s_, FlightEventKind::kCheckpoint, jr->job.id(),
+                       jr->job.num_ps(), jr->job.num_workers(), 0.0, "periodic");
       }
     }
   }
@@ -362,18 +515,22 @@ void Simulator::ApplyFaults() {
     cluster_slow_factor_ = faults.slow_factor;
     trace_.RecordFactor(now_s_, SimEventType::kSlowdown, kClusterEventJobId,
                         cluster_slow_factor_);
+    flight_.Record(now_s_, FlightEventKind::kSlowdown, -1, 0, 0,
+                   cluster_slow_factor_);
   }
   for (int sid : faults.recovered) {
     servers_[static_cast<size_t>(sid)].SetAvailable(true);
     ++metrics_.server_recoveries;
     trace_.RecordServer(now_s_, SimEventType::kServerRecovered,
                         kClusterEventJobId, sid);
+    flight_.Record(now_s_, FlightEventKind::kServerRecovered, -1, sid);
   }
   for (int sid : faults.crashed) {
     servers_[static_cast<size_t>(sid)].SetAvailable(false);
     ++metrics_.server_crashes;
     trace_.RecordServer(now_s_, SimEventType::kServerCrash, kClusterEventJobId,
                         sid);
+    flight_.Record(now_s_, FlightEventKind::kServerCrash, -1, sid);
   }
 
   // Evict every job with a task on a currently-down server (not just the
@@ -424,6 +581,8 @@ void Simulator::ApplyFaults() {
         ++metrics_.task_failures;
         trace_.Record(now_s_, SimEventType::kTaskFailed, jr->job.id(),
                       jr->job.num_ps(), jr->job.num_workers());
+        flight_.Record(now_s_, FlightEventKind::kTaskFailed, jr->job.id(),
+                       jr->job.num_ps(), jr->job.num_workers());
       }
     }
   }
@@ -461,6 +620,18 @@ void Simulator::RunAudit() {
   }
   metrics_.audit_checks = auditor_.checks_run();
   metrics_.audit_violations = static_cast<int64_t>(auditor_.violations().size());
+  flight_.Record(check_time, FlightEventKind::kAuditCheck, -1, 0, 0,
+                 static_cast<double>(metrics_.audit_violations),
+                 full ? "full" : "incremental");
+  if (metrics_.audit_violations > 0 && flight_.enabled() && !flight_dumped_) {
+    // Post-mortem: dump the recent-event tail once, at the first violation,
+    // while the decisions that led up to it are still in the ring.
+    flight_dumped_ = true;
+    OPTIMUS_LOG(Error) << "invariant violation detected at t=" << check_time
+                       << "s; dumping flight recorder (" << flight_.size()
+                       << " recent events)";
+    flight_.Dump(std::cerr);
+  }
 }
 
 void Simulator::ScheduleActiveJobs() {
@@ -524,7 +695,14 @@ void Simulator::ScheduleActiveJobs() {
       sched_jobs[i] = MakeSchedJob(schedulable[i]);
     }
   }
-  AllocationMap alloc = allocator_->Allocate(sched_jobs, capacity);
+  // One memoized-surface set per round, owned here (instead of the 2-arg
+  // Allocate convenience overload building a hidden one) so its probe/eval
+  // counters can feed the metrics registry. Decisions are identical.
+  SpeedSurfaceSet surfaces;
+  AllocationMap alloc = allocator_->Allocate(sched_jobs, capacity, &surfaces);
+  surface_probes_ += surfaces.probes();
+  surface_evals_ += surfaces.evals();
+  surface_count_ += static_cast<int64_t>(surfaces.num_surfaces());
 
   // Scaling hysteresis: switching (p, w) costs a checkpoint-restart, so keep
   // the old allocation when the estimated completion-time saving does not
@@ -626,10 +804,16 @@ void Simulator::ScheduleActiveJobs() {
       jr->job.set_state(JobState::kRunning);
       if (first_schedule) {
         trace_.Record(now_s_, SimEventType::kScheduled, id, a.num_ps, a.num_workers);
+        flight_.Record(now_s_, FlightEventKind::kScheduled, id, a.num_ps,
+                       a.num_workers);
       } else if (old_state == JobState::kPaused) {
         trace_.Record(now_s_, SimEventType::kResumed, id, a.num_ps, a.num_workers);
+        flight_.Record(now_s_, FlightEventKind::kResumed, id, a.num_ps,
+                       a.num_workers);
       } else if (scaled) {
         trace_.Record(now_s_, SimEventType::kScaled, id, a.num_ps, a.num_workers);
+        flight_.Record(now_s_, FlightEventKind::kScaled, id, a.num_ps,
+                       a.num_workers);
       }
     } else {
       jr->job.SetAllocation(0, 0, {});
@@ -638,6 +822,7 @@ void Simulator::ScheduleActiveJobs() {
                                                  : JobState::kPending);
       if (old_state == JobState::kRunning) {
         trace_.Record(now_s_, SimEventType::kPaused, id);
+        flight_.Record(now_s_, FlightEventKind::kPaused, id);
       }
     }
     if (scaled) {
@@ -647,6 +832,8 @@ void Simulator::ScheduleActiveJobs() {
       jr->job.TakeCheckpoint();
       jr->last_checkpoint_time_s = now_s_;
       ++metrics_.total_scalings;
+      flight_.Record(now_s_, FlightEventKind::kCheckpoint, id, jr->job.num_ps(),
+                     jr->job.num_workers(), 0.0, "scaling");
     }
     // Data serving (§5.1): rebalance training chunks whenever the worker
     // count changes; moved chunks stall the job briefly.
@@ -824,6 +1011,13 @@ void Simulator::AdvanceInterval() {
       auditor_.ClearPlacement(jr->job.id());
       trace_.RecordEpochs(now_s_ + dt, SimEventType::kCompleted, jr->job.id(),
                           out.event_ps, out.event_workers, out.completed_epoch);
+      flight_.Record(now_s_ + dt, FlightEventKind::kCompleted, jr->job.id(),
+                     out.event_ps, out.event_workers,
+                     static_cast<double>(out.completed_epoch));
+      if (m_.jct_seconds != nullptr) {
+        m_.jct_seconds->Record(jr->job.Jct());
+        m_.completed_epochs->Record(static_cast<double>(out.completed_epoch));
+      }
     }
     if (out.lr_drop) {
       trace_.Record(now_s_ + dt, SimEventType::kLearningRateDrop, jr->job.id(),
@@ -841,6 +1035,9 @@ void Simulator::AdvanceInterval() {
     metrics_.timeline.push_back({now_s_ + dt, running_tasks,
                                  worker_util.count() > 0 ? worker_util.mean() : 0.0,
                                  ps_util.count() > 0 ? ps_util.mean() : 0.0});
+  }
+  if (m_.running_tasks != nullptr) {
+    m_.running_tasks->Set(static_cast<double>(running_tasks));
   }
 }
 
@@ -875,28 +1072,32 @@ bool Simulator::StepInterval() {
     ActivateArrivals();
   }
 
-  // Per-phase wall-clock accounting (profiling only; never feeds back into
-  // simulated time or decisions, so determinism is unaffected).
-  using Clock = std::chrono::steady_clock;
-  const auto wall = [](Clock::time_point a, Clock::time_point b) {
-    return std::chrono::duration<double>(b - a).count();
-  };
-  const auto t0 = Clock::now();
-  ApplyFaults();
-  const auto t1 = Clock::now();
-  ScheduleActiveJobs();
-  const auto t2 = Clock::now();
-  AdvanceInterval();
-  const auto t3 = Clock::now();
+  // Per-phase wall-clock accounting via the profiler (profiling only; never
+  // feeds back into simulated time or decisions, so determinism is
+  // unaffected). The RunMetrics wall_* fields mirror the accumulated phase
+  // totals so interval-stepping callers keep seeing cumulative values.
+  {
+    ScopedTimer timer(&profiler_, phase_faults_);
+    ApplyFaults();
+  }
+  {
+    ScopedTimer timer(&profiler_, phase_schedule_);
+    ScheduleActiveJobs();
+  }
+  {
+    ScopedTimer timer(&profiler_, phase_advance_);
+    AdvanceInterval();
+  }
   if (config_.audit) {
+    ScopedTimer timer(&profiler_, phase_audit_);
     RunAudit();
   }
-  const auto t4 = Clock::now();
-  metrics_.wall_faults_s += wall(t0, t1);
-  metrics_.wall_schedule_s += wall(t1, t2);
-  metrics_.wall_advance_s += wall(t2, t3);
-  metrics_.wall_audit_s += wall(t3, t4);
+  metrics_.wall_faults_s = profiler_.seconds(phase_faults_);
+  metrics_.wall_schedule_s = profiler_.seconds(phase_schedule_);
+  metrics_.wall_advance_s = profiler_.seconds(phase_advance_);
+  metrics_.wall_audit_s = profiler_.seconds(phase_audit_);
   now_s_ += config_.interval_s;
+  SampleObservability();
   return completed_ < static_cast<int>(jobs_.size()) &&
          now_s_ < config_.max_sim_time_s;
 }

@@ -25,10 +25,13 @@
 #include "src/common/rng.h"
 #include "src/models/loss_curve.h"
 #include "src/models/param_blocks.h"
+#include "src/obs/exporters.h"
+#include "src/obs/phase_profiler.h"
 #include "src/perfmodel/convergence_model.h"
 #include "src/perfmodel/curve_families.h"
 #include "src/perfmodel/speed_model.h"
 #include "src/pserver/block_assignment.h"
+#include "src/sched/optimus_allocator.h"
 #include "src/sched/placement.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/fault_injector.h"
@@ -52,6 +55,23 @@ const char* AllocatorPolicyName(AllocatorPolicy policy);
 struct ErrorInjection {
   double convergence_error = 0.0;
   double speed_error = 0.0;
+};
+
+// Observability subsystem (src/obs): metrics registry, flight recorder, and
+// per-interval series sampling. All of it is derived from simulated state in
+// serial phases, never draws from any RNG stream, and never feeds back into
+// decisions — enabling or disabling it leaves every simulation output
+// bitwise unchanged.
+struct ObservabilityConfig {
+  // Master switch: when false no metrics are registered, no flight events
+  // are recorded, and no per-interval sampling happens. (The phase profiler
+  // still accumulates the wall_* fields of RunMetrics.)
+  bool enabled = true;
+  // Flight-recorder ring depth in events; 0 disables the recorder.
+  int flight_recorder_depth = 256;
+  // Snapshot every deterministic scalar metric once per interval into the
+  // run report's time series. Off by default (O(metrics) memory/interval).
+  bool per_interval_series = false;
 };
 
 struct SimulatorConfig {
@@ -136,6 +156,8 @@ struct SimulatorConfig {
   // from-scratch ones; false forces the from-scratch paths (baseline mode
   // for benchmarks).
   bool model_caching = true;
+  // Observability: metrics registry, flight recorder, series sampling.
+  ObservabilityConfig obs;
   // Sparse placement iteration: jobs carry the sorted list of servers they
   // occupy (JobPlacement::used_servers), so speed evaluation, eviction scans
   // and audit updates walk O(tasks) entries instead of the dense O(servers)
@@ -164,6 +186,13 @@ class Simulator {
   const EventTrace& trace() const { return trace_; }
   // Invariant-audit results of the run so far (empty when audit is off).
   const InvariantAuditor& auditor() const { return auditor_; }
+  // Observability views. The registry holds the named metric catalog (empty
+  // when config.obs.enabled is false); the flight recorder holds the recent
+  // structured-event tail (disabled at depth 0); the series holds the
+  // per-interval snapshots (empty unless config.obs.per_interval_series).
+  const MetricsRegistry& registry() const { return registry_; }
+  const FlightRecorder& flight_recorder() const { return flight_; }
+  const MetricsSeries& series() const { return series_; }
   // Whether `server_index` (index into the constructor's server list) is up.
   bool server_available(size_t server_index) const {
     return servers_[server_index].available();
@@ -246,12 +275,22 @@ class Simulator {
   double BackgroundShare(double t) const;
   void RecomputeLoad(JobRuntime* jr);
   void InitSpeedModel(JobRuntime* jr);
+  // Registers the metric catalog and profiler phases (constructor tail).
+  void SetupObservability();
+  // End-of-interval registry refresh: mirrors the cumulative totals (the
+  // RunMetrics fields, the per-job model-fit stats walked in job order, the
+  // speed-surface and allocator counters) into the named metrics, and samples
+  // the per-interval series. Serial; runs after the interval's phases.
+  void SampleObservability();
 
   SimulatorConfig config_;
   std::vector<Server> servers_;
   std::vector<std::unique_ptr<JobRuntime>> jobs_;
   std::map<int, size_t> job_index_;  // job id -> index in jobs_
   std::unique_ptr<ThreadPool> pool_;  // per-job parallelism (see threads)
+  // Greedy-round counters the Optimus allocator accumulates across rounds;
+  // declared before allocator_, which captures a pointer to it.
+  OptimusAllocRoundStats alloc_stats_;
   std::unique_ptr<Allocator> allocator_;
   StragglerModel straggler_;
   std::unique_ptr<FaultInjector> faults_;
@@ -262,6 +301,57 @@ class Simulator {
   int completed_ = 0;
   RunMetrics metrics_;
   EventTrace trace_;
+
+  // --- Observability -------------------------------------------------------
+  MetricsRegistry registry_;  // empty when config_.obs.enabled is false
+  FlightRecorder flight_;     // depth 0 (no-op) when observability is off
+  MetricsSeries series_;      // sampled only with obs.per_interval_series
+  PhaseProfiler profiler_;    // wall-clock phase accounting (always on)
+  int phase_faults_ = 0;
+  int phase_schedule_ = 0;
+  int phase_advance_ = 0;
+  int phase_audit_ = 0;
+  // Speed-surface totals harvested from each scheduling round's surface set.
+  int64_t surface_probes_ = 0;
+  int64_t surface_evals_ = 0;
+  int64_t surface_count_ = 0;
+  bool flight_dumped_ = false;  // post-mortem dump emitted once per run
+
+  // Handles into registry_ (null when observability is off).
+  struct ObsHandles {
+    Counter* intervals = nullptr;
+    Counter* jobs_submitted = nullptr;
+    Counter* jobs_completed = nullptr;
+    Counter* scalings = nullptr;
+    Counter* straggler_replacements = nullptr;
+    Counter* checkpoints = nullptr;
+    Counter* evictions = nullptr;
+    Counter* task_failures = nullptr;
+    Counter* server_crashes = nullptr;
+    Counter* server_recoveries = nullptr;
+    Counter* backoff_deferrals = nullptr;
+    Counter* rolled_back_steps = nullptr;
+    Counter* audit_checks = nullptr;
+    Counter* audit_violations = nullptr;
+    Counter* speed_probes = nullptr;
+    Counter* speed_evals = nullptr;
+    Counter* speed_surfaces = nullptr;
+    Counter* alloc_pops = nullptr;
+    Counter* alloc_grants = nullptr;
+    Counter* alloc_stale_drops = nullptr;
+    Counter* alloc_unfittable_drops = nullptr;
+    Counter* conv_fits = nullptr;
+    Counter* conv_fit_cache_hits = nullptr;
+    Counter* conv_nnls_iterations = nullptr;
+    Counter* speedmodel_fits = nullptr;
+    Counter* speedmodel_fit_cache_hits = nullptr;
+    Counter* speedmodel_nnls_iterations = nullptr;
+    Gauge* sim_time = nullptr;
+    Gauge* running_tasks = nullptr;
+    Histogram* jct_seconds = nullptr;
+    Histogram* completed_epochs = nullptr;
+  };
+  ObsHandles m_;
 };
 
 }  // namespace optimus

@@ -1,0 +1,573 @@
+// Observability subsystem tests: registry semantics, shard-merge determinism
+// across thread counts, histogram bucket edges, flight-recorder wraparound and
+// dump-on-violation, exporter golden files, and the end-to-end acceptance
+// criterion — the exported registry contents and flight-recorder sequence of
+// a simulator run are bitwise identical for --threads {1, 2, 8}, with and
+// without a fault plan.
+//
+// Regenerating the exporter goldens after an INTENDED format change:
+//
+//   OPTIMUS_REGEN_GOLDEN=1 ./build/tests/obs_test
+//
+// then commit tests/golden/metrics.prom and tests/golden/run_report.json.
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/server.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/threadpool.h"
+#include "src/obs/exporters.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/phase_profiler.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/invariant_auditor.h"
+#include "src/sim/simulator.h"
+#include "src/sim/workload.h"
+
+#ifndef OPTIMUS_SOURCE_DIR
+#error "OPTIMUS_SOURCE_DIR must be defined to locate the golden files"
+#endif
+
+namespace optimus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry basics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, RegistersAndFindsMetrics) {
+  MetricsRegistry registry;
+  Counter* c = registry.AddCounter("jobs_total", "Jobs.");
+  Gauge* g = registry.AddGauge("clock_s", "Sim time.");
+  Histogram* h = registry.AddHistogram("jct_s", "JCTs.", {10.0, 100.0});
+
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.Find("jobs_total"), c);
+  EXPECT_EQ(registry.Find("clock_s"), g);
+  EXPECT_EQ(registry.Find("jct_s"), h);
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+  // Registration order is export order.
+  EXPECT_EQ(registry.metric(0).name(), "jobs_total");
+  EXPECT_EQ(registry.metric(2).kind(), MetricKind::kHistogram);
+
+  c->Add();
+  c->Add(2.5);
+  EXPECT_DOUBLE_EQ(c->value(), 3.5);
+  c->Set(10.0);
+  EXPECT_DOUBLE_EQ(c->value(), 10.0);
+  g->Set(-4.0);
+  EXPECT_DOUBLE_EQ(g->value(), -4.0);
+}
+
+TEST(MetricsRegistryTest, ProfilingFlagIsPerMetric) {
+  MetricsRegistry registry;
+  registry.AddCounter("det_total", "Deterministic.");
+  Gauge* wall = registry.AddGauge("wall_s", "Wall clock.", /*profiling=*/true);
+  EXPECT_FALSE(registry.Find("det_total")->profiling());
+  EXPECT_TRUE(wall->profiling());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket edges and quantiles
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketEdgesAreUpperInclusive) {
+  MetricsRegistry registry;
+  Histogram* h = registry.AddHistogram("h", "H.", {1.0, 2.0, 4.0});
+  // Exactly on a bound lands in that bucket (Prometheus `le` semantics).
+  h->Record(1.0);   // bucket 0 (<= 1)
+  h->Record(1.5);   // bucket 1 (<= 2)
+  h->Record(2.0);   // bucket 1
+  h->Record(4.0);   // bucket 2 (<= 4)
+  h->Record(4.01);  // overflow (+Inf)
+  h->Record(-1.0);  // bucket 0
+
+  ASSERT_EQ(h->buckets().size(), 4u);  // 3 finite + overflow
+  EXPECT_EQ(h->buckets()[0], 2);
+  EXPECT_EQ(h->buckets()[1], 2);
+  EXPECT_EQ(h->buckets()[2], 1);
+  EXPECT_EQ(h->buckets()[3], 1);
+  EXPECT_EQ(h->count(), 6);
+  EXPECT_DOUBLE_EQ(h->sum(), 1.0 + 1.5 + 2.0 + 4.0 + 4.01 - 1.0);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.AddHistogram("h", "H.", {10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 10; ++i) {
+    h->Record(5.0);   // bucket 0
+  }
+  for (int i = 0; i < 10; ++i) {
+    h->Record(15.0);  // bucket 1
+  }
+  // p50 sits exactly at the edge between buckets 0 and 1.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 10.0);
+  // p75 is halfway through bucket 1: 10 + 0.5 * (20 - 10).
+  EXPECT_DOUBLE_EQ(h->Quantile(0.75), 15.0);
+  // Quantiles landing in the overflow bucket clamp to the last finite bound.
+  h->Record(1000.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 40.0);
+}
+
+TEST(HistogramQuantileTest, MatchesHandComputedValues) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  // 4 in (…, 1], 4 in (1, 2], 2 overflow.
+  const std::vector<int64_t> counts = {4, 4, 2};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.4), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.6), 1.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.95), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile({}, {0}, 0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Shard merges: determinism across thread counts, associativity
+// ---------------------------------------------------------------------------
+
+struct ShardFixture {
+  MetricsRegistry registry;
+  Counter* work = nullptr;
+  Counter* frac = nullptr;
+  Gauge* last = nullptr;
+  Histogram* h = nullptr;
+
+  ShardFixture() {
+    work = registry.AddCounter("work_total", "Items processed.");
+    frac = registry.AddCounter("frac_total", "Fractional sums.");
+    last = registry.AddGauge("last_item", "Last item value.");
+    h = registry.AddHistogram("item_hist", "Item values.", {8.0, 64.0, 512.0});
+  }
+
+  // What work item i records (deliberately non-associative double values).
+  void RecordItem(MetricsShard* shard, int64_t i) const {
+    shard->Add(work);
+    shard->Add(frac, 0.1 * static_cast<double>(i + 1) / 3.0);
+    shard->Set(last, static_cast<double>(i));
+    shard->Record(h, static_cast<double>(i * i) / 7.0);
+  }
+};
+
+std::string ExportAfterShardedRun(int threads, int64_t items) {
+  ShardFixture f;
+  std::vector<MetricsShard> shards;
+  shards.reserve(static_cast<size_t>(items));
+  for (int64_t i = 0; i < items; ++i) {
+    shards.emplace_back(f.registry);
+  }
+  ThreadPool pool(threads);
+  pool.ParallelFor(items,
+                   [&](int64_t i) { f.RecordItem(&shards[static_cast<size_t>(i)], i); });
+  // Serial merge in index order — the determinism contract.
+  for (const MetricsShard& s : shards) {
+    f.registry.Merge(s);
+  }
+  return ExportPrometheusString(f.registry);
+}
+
+TEST(MetricsShardTest, MergeInIndexOrderIsThreadCountInvariant) {
+  const std::string serial = ExportAfterShardedRun(1, 97);
+  EXPECT_EQ(ExportAfterShardedRun(2, 97), serial);
+  EXPECT_EQ(ExportAfterShardedRun(8, 97), serial);
+}
+
+TEST(MetricsShardTest, ShardedRunMatchesDirectSerialRecording) {
+  // Direct serial recording into the registry.
+  ShardFixture direct;
+  for (int64_t i = 0; i < 41; ++i) {
+    direct.work->Add();
+    direct.frac->Add(0.1 * static_cast<double>(i + 1) / 3.0);
+    direct.last->Set(static_cast<double>(i));
+    direct.h->Record(static_cast<double>(i * i) / 7.0);
+  }
+  EXPECT_EQ(ExportAfterShardedRun(4, 41), ExportPrometheusString(direct.registry));
+}
+
+TEST(MetricsShardTest, IntegerMergesAreAssociative) {
+  // Integer counter adds and histogram bucket counts are exactly associative:
+  // a pairwise merge tree gives the same result as the flat index-order merge.
+  ShardFixture flat;
+  ShardFixture tree;
+  constexpr int64_t kItems = 16;
+  std::vector<MetricsShard> flat_shards;
+  std::vector<MetricsShard> tree_shards;
+  for (int64_t i = 0; i < kItems; ++i) {
+    flat_shards.emplace_back(flat.registry);
+    tree_shards.emplace_back(tree.registry);
+  }
+  for (int64_t i = 0; i < kItems; ++i) {
+    // Integer-valued doubles only, so even the double sums are exact.
+    flat_shards[static_cast<size_t>(i)].Add(flat.work, static_cast<double>(i));
+    flat_shards[static_cast<size_t>(i)].Record(flat.h, static_cast<double>(i));
+    tree_shards[static_cast<size_t>(i)].Add(tree.work, static_cast<double>(i));
+    tree_shards[static_cast<size_t>(i)].Record(tree.h, static_cast<double>(i));
+  }
+  for (const MetricsShard& s : flat_shards) {
+    flat.registry.Merge(s);
+  }
+  // Pairwise tree: fold shard 2k+1 into 2k, then merge survivors in order.
+  for (size_t k = 0; k + 1 < tree_shards.size(); k += 2) {
+    tree_shards[k].MergeFrom(tree_shards[k + 1]);
+  }
+  for (size_t k = 0; k < tree_shards.size(); k += 2) {
+    tree.registry.Merge(tree_shards[k]);
+  }
+  EXPECT_EQ(ExportPrometheusString(tree.registry),
+            ExportPrometheusString(flat.registry));
+}
+
+// ---------------------------------------------------------------------------
+// Phase profiler
+// ---------------------------------------------------------------------------
+
+TEST(PhaseProfilerTest, AccumulatesAndMirrorsProfilingGauges) {
+  MetricsRegistry registry;
+  PhaseProfiler profiler;
+  profiler.AttachRegistry(&registry, "wall_");
+  const int a = profiler.RegisterPhase("alpha");
+  const int b = profiler.RegisterPhase("beta");
+  profiler.Add(a, 1.25);
+  profiler.Add(a, 0.25);
+  profiler.Add(b, 3.0);
+  EXPECT_DOUBLE_EQ(profiler.seconds(a), 1.5);
+  EXPECT_DOUBLE_EQ(profiler.seconds(b), 3.0);
+  EXPECT_EQ(profiler.name(a), "alpha");
+
+  const Metric* ga = registry.Find("wall_alpha_seconds");
+  ASSERT_NE(ga, nullptr);
+  EXPECT_TRUE(ga->profiling());
+  EXPECT_DOUBLE_EQ(static_cast<const Gauge*>(ga)->value(), 1.5);
+
+  {
+    ScopedTimer timer(&profiler, b);
+  }
+  EXPECT_GE(profiler.seconds(b), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, WrapsAroundKeepingTheNewestEvents) {
+  FlightRecorder recorder(4);
+  ASSERT_TRUE(recorder.enabled());
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(100.0 * i, FlightEventKind::kScheduled, i, i + 1, 2 * i);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  EXPECT_EQ(recorder.size(), 4u);
+  const std::vector<FlightEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: sequence numbers 6..9 survive.
+  for (size_t k = 0; k < events.size(); ++k) {
+    EXPECT_EQ(events[k].seq, 6 + k);
+    EXPECT_EQ(events[k].job_id, static_cast<int>(6 + k));
+    EXPECT_DOUBLE_EQ(events[k].time_s, 100.0 * static_cast<double>(6 + k));
+  }
+}
+
+TEST(FlightRecorderTest, DepthZeroIsDisabledNoOp) {
+  FlightRecorder recorder(0);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.Record(1.0, FlightEventKind::kEvicted, 3);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+  EXPECT_TRUE(recorder.Events().empty());
+}
+
+TEST(FlightRecorderTest, DumpAndJsonCarryTheEventFields) {
+  FlightRecorder recorder(8);
+  recorder.Record(600.0, FlightEventKind::kScaled, 4, 2, 6);
+  recorder.Record(1200.0, FlightEventKind::kSlowdown, -1, 0, 0, 0.7);
+  std::ostringstream dump;
+  recorder.Dump(dump);
+  EXPECT_NE(dump.str().find("scaled"), std::string::npos);
+  EXPECT_NE(dump.str().find("slowdown"), std::string::npos);
+  std::ostringstream json;
+  recorder.WriteJson(json);
+  EXPECT_NE(json.str().find("\"kind\": \"scaled\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"job\": 4"), std::string::npos);
+}
+
+// The auditor's violation reports land in the flight recorder, so the
+// post-mortem dump names the failed invariant.
+TEST(FlightRecorderTest, AuditorRecordsViolationsIntoTheRecorder) {
+  FlightRecorder recorder(16);
+  InvariantAuditor auditor;
+  auditor.set_flight_recorder(&recorder);
+
+  std::vector<Server> servers = BuildTestbed();
+  // Corrupted view: a "running" job with no allocation at all.
+  InvariantAuditor::JobView bad;
+  bad.job_id = 42;
+  bad.state = JobState::kRunning;
+  bad.num_ps = 0;
+  bad.num_workers = 0;
+  InvariantAuditor::Counts counts;
+  counts.submitted = 1;
+  auditor.Check(600.0, servers, {bad}, counts);
+
+  ASSERT_FALSE(auditor.ok());
+  const std::vector<FlightEvent> events = recorder.Events();
+  ASSERT_FALSE(events.empty());
+  bool found = false;
+  for (const FlightEvent& e : events) {
+    if (e.kind == FlightEventKind::kAuditViolation &&
+        e.detail.find("state:") != std::string::npos &&
+        e.detail.find("42") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "no kAuditViolation event naming job 42";
+}
+
+// ---------------------------------------------------------------------------
+// Exporter golden files
+// ---------------------------------------------------------------------------
+
+// A small fixed registry + series + flight recorder exercising every metric
+// kind, special characters, and the profiling flag.
+struct GoldenFixture {
+  MetricsRegistry registry;
+  MetricsSeries series;
+  FlightRecorder flight{4};
+
+  GoldenFixture() {
+    Counter* jobs = registry.AddCounter("demo_jobs_total", "Jobs \"done\".");
+    Gauge* temp = registry.AddGauge("demo_temp", "Signed gauge.");
+    Histogram* lat =
+        registry.AddHistogram("demo_latency_seconds", "Latency.", {0.5, 2.0});
+    Gauge* wall = registry.AddGauge("demo_wall_seconds", "Wall clock.",
+                                    /*profiling=*/true);
+    jobs->Add(3.0);
+    temp->Set(-1.5);
+    lat->Record(0.25);
+    lat->Record(1.0);
+    lat->Record(10.0);
+    wall->Set(0.125);
+    series.Sample(600.0, registry);
+    jobs->Add(1.0);
+    temp->Set(2.25);
+    series.Sample(1200.0, registry);
+    flight.Record(600.0, FlightEventKind::kScheduled, 1, 2, 4);
+    flight.Record(900.0, FlightEventKind::kEvicted, 1, 0, 0, 0.0,
+                  "server=3 \"down\"");
+    flight.Record(1200.0, FlightEventKind::kAuditCheck, -1, 0, 0, 0.0, "full");
+  }
+};
+
+void CompareToGolden(const std::string& actual, const std::string& filename) {
+  const std::string path =
+      std::string(OPTIMUS_SOURCE_DIR) + "/tests/golden/" + filename;
+  if (std::getenv("OPTIMUS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(path);
+    ASSERT_TRUE(os.good()) << "cannot write " << path;
+    os << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " — run with OPTIMUS_REGEN_GOLDEN=1 to create it";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(actual, golden.str())
+      << "exporter output drifted from " << filename
+      << "; if intended, regenerate with OPTIMUS_REGEN_GOLDEN=1 and commit";
+}
+
+TEST(ExporterGoldenTest, PrometheusTextMatchesGolden) {
+  GoldenFixture f;
+  CompareToGolden(ExportPrometheusString(f.registry), "metrics.prom");
+}
+
+TEST(ExporterGoldenTest, JsonRunReportMatchesGolden) {
+  GoldenFixture f;
+  CompareToGolden(
+      ExportJsonReportString(f.registry, &f.series, &f.flight), "run_report.json");
+}
+
+TEST(ExporterTest, IncludeProfilingFalseDropsWallMetrics) {
+  GoldenFixture f;
+  ExportOptions options;
+  options.include_profiling = false;
+  const std::string prom = ExportPrometheusString(f.registry, options);
+  EXPECT_EQ(prom.find("demo_wall_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("demo_jobs_total"), std::string::npos);
+  const std::string json =
+      ExportJsonReportString(f.registry, nullptr, nullptr, options);
+  EXPECT_EQ(json.find("demo_wall_seconds"), std::string::npos);
+}
+
+TEST(MetricsSeriesTest, ColumnsFreezeAtFirstSampleAndRowsAccumulate) {
+  GoldenFixture f;
+  ASSERT_EQ(f.series.num_rows(), 2u);
+  // Times are tracked separately (the JSON exporter prepends a time_s
+  // column); profiling metrics are excluded; histograms contribute _count
+  // and _sum columns.
+  ASSERT_FALSE(f.series.columns().empty());
+  EXPECT_EQ(f.series.columns()[0], "demo_jobs_total");
+  bool has_wall = false;
+  bool has_hist_count = false;
+  for (const std::string& c : f.series.columns()) {
+    if (c == "demo_wall_seconds") {
+      has_wall = true;
+    }
+    if (c == "demo_latency_seconds_count") {
+      has_hist_count = true;
+    }
+  }
+  EXPECT_FALSE(has_wall);
+  EXPECT_TRUE(has_hist_count);
+  EXPECT_DOUBLE_EQ(f.series.times()[0], 600.0);
+  EXPECT_DOUBLE_EQ(f.series.times()[1], 1200.0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: simulator exports are bitwise thread-count invariant
+// ---------------------------------------------------------------------------
+
+// The golden-trace pinned scenario, parameterized over threads / faults / obs.
+std::unique_ptr<Simulator> MakeScenario(int threads, bool faulted, bool obs_on) {
+  SimulatorConfig config;
+  config.seed = 7;
+  config.max_sim_time_s = 2e5;
+  config.threads = threads;
+  config.obs.enabled = obs_on;
+  config.obs.per_interval_series = obs_on;
+  if (faulted) {
+    std::string error;
+    const bool ok = ParseFaultPlan(
+        "crash@1800:server=2,recover=5400;"
+        "rack@4200:servers=6-8,recover=6600;"
+        "slow@2400:factor=0.7,duration=1800",
+        &config.fault.plan, &error);
+    EXPECT_TRUE(ok) << error;
+    config.fault.task_failure_prob = 0.02;
+    config.fault.checkpoint_period_s = 3600.0;
+  }
+  WorkloadConfig workload;
+  workload.num_jobs = 6;
+  workload.arrival_window_s = 2400.0;
+  Rng rng(config.seed ^ 0x5eedULL);
+  return std::make_unique<Simulator>(config, BuildTestbed(),
+                                     GenerateWorkload(workload, &rng));
+}
+
+// Deterministic fingerprint of a finished run's observability output: the
+// profiling-free registry export, the full flight-recorder JSON (sequence
+// numbers included), and the series row count.
+std::string ObservabilityFingerprint(Simulator* sim) {
+  ExportOptions options;
+  options.include_profiling = false;
+  std::ostringstream os;
+  os << ExportPrometheusString(sim->registry(), options);
+  sim->flight_recorder().WriteJson(os);
+  os << "\nrows=" << sim->series().num_rows() << "\n";
+  return os.str();
+}
+
+TEST(SimObservabilityTest, ExportsAreBitwiseIdenticalAcrossThreadsAndFaults) {
+  for (const bool faulted : {false, true}) {
+    std::unique_ptr<Simulator> base = MakeScenario(1, faulted, true);
+    base->Run();
+    const std::string want = ObservabilityFingerprint(base.get());
+    EXPECT_NE(want.find("optimus_jobs_completed_total"), std::string::npos);
+    for (const int threads : {2, 8}) {
+      std::unique_ptr<Simulator> sim = MakeScenario(threads, faulted, true);
+      sim->Run();
+      EXPECT_EQ(ObservabilityFingerprint(sim.get()), want)
+          << "observability diverged at threads=" << threads
+          << " faulted=" << faulted;
+    }
+  }
+}
+
+TEST(SimObservabilityTest, DisablingObservabilityLeavesSimulationUnchanged) {
+  std::unique_ptr<Simulator> on = MakeScenario(1, true, true);
+  std::unique_ptr<Simulator> off = MakeScenario(1, true, false);
+  const RunMetrics a = on->Run();
+  const RunMetrics b = off->Run();
+  EXPECT_EQ(a.completed_jobs, b.completed_jobs);
+  EXPECT_EQ(a.jcts, b.jcts);
+  EXPECT_EQ(a.total_scalings, b.total_scalings);
+  EXPECT_EQ(a.job_evictions, b.job_evictions);
+  EXPECT_EQ(a.task_failures, b.task_failures);
+  EXPECT_DOUBLE_EQ(a.rolled_back_steps, b.rolled_back_steps);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  // Off really is off.
+  EXPECT_EQ(off->registry().size(), 0u);
+  EXPECT_FALSE(off->flight_recorder().enabled());
+  EXPECT_EQ(off->series().num_rows(), 0u);
+}
+
+TEST(SimObservabilityTest, RegistryMirrorsRunMetricsAndWallPhases) {
+  std::unique_ptr<Simulator> sim = MakeScenario(1, true, true);
+  const RunMetrics metrics = sim->Run();
+  const MetricsRegistry& reg = sim->registry();
+
+  auto counter = [&reg](const char* name) {
+    const Metric* m = reg.Find(name);
+    EXPECT_NE(m, nullptr) << name;
+    return static_cast<const Counter*>(m)->value();
+  };
+  EXPECT_DOUBLE_EQ(counter("optimus_jobs_completed_total"), metrics.completed_jobs);
+  EXPECT_DOUBLE_EQ(counter("optimus_scalings_total"), metrics.total_scalings);
+  EXPECT_DOUBLE_EQ(counter("optimus_server_crashes_total"), metrics.server_crashes);
+  EXPECT_DOUBLE_EQ(counter("optimus_job_evictions_total"), metrics.job_evictions);
+  EXPECT_DOUBLE_EQ(counter("optimus_task_failures_total"), metrics.task_failures);
+  EXPECT_DOUBLE_EQ(counter("optimus_checkpoints_total"), metrics.checkpoints_taken);
+  EXPECT_DOUBLE_EQ(counter("optimus_rolled_back_steps_total"),
+                   metrics.rolled_back_steps);
+  EXPECT_DOUBLE_EQ(counter("optimus_audit_checks_total"), metrics.audit_checks);
+  EXPECT_DOUBLE_EQ(counter("optimus_audit_violations_total"),
+                   metrics.audit_violations);
+  EXPECT_DOUBLE_EQ(counter("optimus_straggler_replacements_total"),
+                   metrics.straggler_replacements);
+  EXPECT_GT(counter("optimus_speed_probes_total"), 0.0);
+  EXPECT_GE(counter("optimus_speed_probes_total"),
+            counter("optimus_speed_evals_total"));
+  EXPECT_GT(counter("optimus_alloc_grants_total"), 0.0);
+  EXPECT_GT(counter("optimus_conv_fits_total"), 0.0);
+  EXPECT_GT(counter("optimus_speedmodel_fits_total"), 0.0);
+
+  // JCT histogram count equals completed jobs; its sum equals the JCT sum.
+  const Metric* jct = reg.Find("optimus_jct_seconds");
+  ASSERT_NE(jct, nullptr);
+  const Histogram* h = static_cast<const Histogram*>(jct);
+  EXPECT_EQ(h->count(), metrics.completed_jobs);
+  double jct_sum = 0.0;
+  for (double v : metrics.jcts) {
+    jct_sum += v;
+  }
+  EXPECT_NEAR(h->sum(), jct_sum, 1e-6);
+
+  // Wall phases: profiling gauges exist and mirror the RunMetrics fields.
+  const Metric* wall = reg.Find("optimus_wall_schedule_seconds");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_TRUE(wall->profiling());
+  EXPECT_DOUBLE_EQ(static_cast<const Gauge*>(wall)->value(),
+                   metrics.wall_schedule_s);
+
+  // Flight recorder saw the run's lifecycle.
+  EXPECT_GT(sim->flight_recorder().total_recorded(), 0u);
+  bool saw_crash = false;
+  bool saw_audit = false;
+  for (const FlightEvent& e : sim->flight_recorder().Events()) {
+    saw_crash |= e.kind == FlightEventKind::kServerCrash;
+    saw_audit |= e.kind == FlightEventKind::kAuditCheck;
+  }
+  EXPECT_TRUE(saw_audit);
+  (void)saw_crash;  // the tail may have rotated past the early crashes
+}
+
+}  // namespace
+}  // namespace optimus

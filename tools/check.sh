@@ -28,6 +28,28 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 # nonzero if any row's metrics diverge from the baseline's. Under
 # OPTIMUS_SANITIZE this runs the parallel stepping + incremental auditing
 # paths under the sanitizer on top of the ctest determinism arms.
-"${build_dir}/bench/bench_interval" --smoke
+# (--json routed away from the committed full-scale BENCH_*.json files.)
+"${build_dir}/bench/bench_interval" --smoke --json=BENCH_interval_smoke.json
+
+# Observability smoke: registry/flight recorder on vs off; exits nonzero
+# if observability perturbs the simulation or exports diverge across
+# thread counts.
+"${build_dir}/bench/bench_obs" --smoke --json=BENCH_obs_smoke.json
+
+# Metrics-export smoke: a short instrumented run must produce the core
+# metric keys in Prometheus text format.
+metrics_tmp="$(mktemp)"
+trap 'rm -f "${metrics_tmp}"' EXIT
+"${build_dir}/tools/optimus_sim" --jobs=10 --seed=7 \
+  --metrics-out="${metrics_tmp}" --metrics-format=prom > /dev/null
+for key in optimus_intervals_total optimus_jobs_completed_total \
+           optimus_scalings_total optimus_audit_checks_total \
+           optimus_speed_evals_total optimus_alloc_grants_total \
+           optimus_conv_fits_total optimus_jct_seconds_count \
+           optimus_sim_time_seconds optimus_wall_schedule_seconds; do
+  grep -q "^${key}" "${metrics_tmp}" || {
+    echo "metrics export is missing ${key}" >&2; exit 1;
+  }
+done
 
 echo "check.sh: OK"

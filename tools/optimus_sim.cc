@@ -57,6 +57,12 @@ Flags:
                                         then 1 (default 0)
   --trace-csv=PATH                      write the event trace (repeats=1 only)
   --timeline-csv=PATH                   write the interval timeline (repeats=1)
+  --metrics-out=PATH                    export the metrics registry after the
+                                        run (repeats=1 only; docs/OBSERVABILITY.md)
+  --metrics-format=prom|json            export format (default prom); json also
+                                        samples the per-interval series
+  --flight-recorder-depth=N             recent-event ring depth, dumped on
+                                        invariant violations (default 256; 0 off)
   --workload-csv=PATH                   replay a workload trace instead of
                                         generating one (repeats=1 only)
   --dump-workload-csv=PATH              write the generated workload as CSV
@@ -127,6 +133,10 @@ int main(int argc, char** argv) {
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
   const std::string trace_csv = flags.GetString("trace-csv", "");
   const std::string timeline_csv = flags.GetString("timeline-csv", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string metrics_format = flags.GetString("metrics-format", "prom");
+  const int flight_recorder_depth =
+      static_cast<int>(flags.GetInt("flight-recorder-depth", 256));
   const std::string workload_csv = flags.GetString("workload-csv", "");
   const std::string dump_workload_csv = flags.GetString("dump-workload-csv", "");
 
@@ -168,6 +178,14 @@ int main(int argc, char** argv) {
   config.repeats = repeats;
   config.base_seed = seed;
   config.label = scheduler_name;
+  if (metrics_format != "prom" && metrics_format != "json") {
+    std::cerr << "unknown --metrics-format '" << metrics_format
+              << "' (expected prom|json)\n";
+    return 2;
+  }
+  config.sim.obs.flight_recorder_depth = flight_recorder_depth;
+  // The JSON run report carries a per-interval time series; sample it.
+  config.sim.obs.per_interval_series = metrics_format == "json";
 
   auto cluster = [num_servers]() {
     return num_servers > 0
@@ -177,7 +195,7 @@ int main(int argc, char** argv) {
 
   if (repeats == 1 &&
       (!trace_csv.empty() || !timeline_csv.empty() || !workload_csv.empty() ||
-       !dump_workload_csv.empty())) {
+       !dump_workload_csv.empty() || !metrics_out.empty())) {
     // Single instrumented run.
     SimulatorConfig sim_config = config.sim;
     sim_config.seed = seed;
@@ -219,6 +237,18 @@ int main(int argc, char** argv) {
       std::cout << "wrote " << metrics.timeline.size() << " timeline points to "
                 << timeline_csv << "\n";
     }
+    if (!metrics_out.empty()) {
+      std::ofstream os(metrics_out);
+      OPTIMUS_CHECK(os.good()) << "cannot write " << metrics_out;
+      if (metrics_format == "json") {
+        ExportJsonReport(sim.registry(), &sim.series(), &sim.flight_recorder(),
+                         os);
+      } else {
+        ExportPrometheus(sim.registry(), os);
+      }
+      std::cout << "wrote " << sim.registry().size() << " metrics ("
+                << metrics_format << ") to " << metrics_out << "\n";
+    }
     std::cout << "scheduler " << scheduler_name << ": completed "
               << metrics.completed_jobs << "/" << metrics.total_jobs << ", avg JCT "
               << TablePrinter::FormatDouble(metrics.avg_jct_s, 0) << " s, makespan "
@@ -233,6 +263,11 @@ int main(int argc, char** argv) {
     }
     if (metrics.audit_violations > 0) {
       std::cerr << "invariant audit FAILED: " << sim.auditor().Summary() << "\n";
+      if (sim.flight_recorder().enabled()) {
+        std::cerr << "flight recorder tail (" << sim.flight_recorder().size()
+                  << " events):\n";
+        sim.flight_recorder().Dump(std::cerr);
+      }
       return 3;
     }
     return metrics.completed_jobs == metrics.total_jobs ? 0 : 1;
