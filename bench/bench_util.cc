@@ -1,14 +1,8 @@
 #include "bench/bench_util.h"
 
-#include <cctype>
-#include <cmath>
-#include <cstdio>
-#include <fstream>
-#include <sstream>
-#include <utility>
-
 #include "src/cluster/server.h"
 #include "src/common/logging.h"
+#include "src/sched/scheduler_registry.h"
 
 namespace optimus {
 
@@ -20,18 +14,23 @@ void PrintExperimentHeader(const std::string& id, const std::string& title,
             << "================================================================\n";
 }
 
-std::vector<ExperimentResult> RunSchedulerComparison(const ExperimentConfig& base,
-                                                     const std::string& caption) {
+std::vector<ExperimentResult> RunPolicyComparison(
+    const ExperimentConfig& base, const std::vector<std::string>& policies,
+    const std::string& caption) {
+  OPTIMUS_CHECK(!policies.empty());
   std::vector<ExperimentResult> results;
-  for (SchedulerPreset preset :
-       {SchedulerPreset::kOptimus, SchedulerPreset::kDrf, SchedulerPreset::kTetris}) {
+  for (const std::string& policy : policies) {
+    const SchedulerPolicyInfo* info = SchedulerRegistry::Global().Find(policy);
+    OPTIMUS_CHECK(info != nullptr)
+        << SchedulerRegistry::Global().UnknownPolicyMessage(policy);
     ExperimentConfig config = base;
-    ApplySchedulerPreset(preset, &config.sim);
-    config.label = SchedulerPresetName(preset);
+    std::string error;
+    OPTIMUS_CHECK(ApplySchedulerPolicy(policy, &config.sim, &error)) << error;
+    config.label = info->display_name;
     results.push_back(RunExperiment(config, [] { return BuildTestbed(); }));
   }
 
-  const ExperimentResult& optimus = results[0];
+  const ExperimentResult& baseline = results[0];
   PrintBanner(std::cout, caption);
   TablePrinter table({"scheduler", "avg JCT (s)", "JCT stddev", "JCT (norm)",
                       "makespan (s)", "makespan stddev", "makespan (norm)",
@@ -40,291 +39,20 @@ std::vector<ExperimentResult> RunSchedulerComparison(const ExperimentConfig& bas
     table.AddRow({r.label, TablePrinter::FormatDouble(r.avg_jct_mean, 0),
                   TablePrinter::FormatDouble(r.avg_jct_stddev, 0),
                   TablePrinter::FormatDouble(
-                      NormalizedTo(r.avg_jct_mean, optimus.avg_jct_mean), 2),
+                      NormalizedTo(r.avg_jct_mean, baseline.avg_jct_mean), 2),
                   TablePrinter::FormatDouble(r.makespan_mean, 0),
                   TablePrinter::FormatDouble(r.makespan_stddev, 0),
                   TablePrinter::FormatDouble(
-                      NormalizedTo(r.makespan_mean, optimus.makespan_mean), 2),
+                      NormalizedTo(r.makespan_mean, baseline.makespan_mean), 2),
                   TablePrinter::FormatDouble(r.scaling_overhead_mean * 100.0, 2)});
   }
   table.Print(std::cout);
   return results;
 }
 
-// ---------------------------------------------------------------------------
-// JSON emission
-// ---------------------------------------------------------------------------
-
-namespace {
-
-std::string EncodeJsonString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-std::string EncodeJsonDouble(double value) {
-  if (!std::isfinite(value)) {
-    return "null";  // JSON has no NaN/Inf
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
-}
-
-// Re-indents an encoded value by `indent` levels: every newline in the
-// encoding gets 2 * indent extra leading spaces. Encoded values are produced
-// at depth 0, so this is what nests them under a deeper key.
-std::string Reindent(const std::string& encoded, int indent) {
-  if (indent <= 0) {
-    return encoded;
-  }
-  const std::string pad(2 * static_cast<size_t>(indent), ' ');
-  std::string out;
-  for (char c : encoded) {
-    out += c;
-    if (c == '\n') {
-      out += pad;
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-void JsonObject::SetRaw(const std::string& key, std::string encoded) {
-  for (auto& entry : entries_) {
-    if (entry.first == key) {
-      entry.second = std::move(encoded);
-      return;
-    }
-  }
-  entries_.emplace_back(key, std::move(encoded));
-}
-
-void JsonObject::Set(const std::string& key, double value) {
-  SetRaw(key, EncodeJsonDouble(value));
-}
-
-void JsonObject::Set(const std::string& key, int64_t value) {
-  SetRaw(key, std::to_string(value));
-}
-
-void JsonObject::Set(const std::string& key, bool value) {
-  SetRaw(key, value ? "true" : "false");
-}
-
-void JsonObject::Set(const std::string& key, const std::string& value) {
-  SetRaw(key, EncodeJsonString(value));
-}
-
-void JsonObject::Set(const std::string& key, const char* value) {
-  SetRaw(key, EncodeJsonString(value));
-}
-
-void JsonObject::Set(const std::string& key, const JsonObject& value) {
-  SetRaw(key, value.ToString(0));
-}
-
-void JsonObject::Set(const std::string& key, const std::vector<JsonObject>& values) {
-  if (values.empty()) {
-    SetRaw(key, "[]");
-    return;
-  }
-  std::string out = "[\n";
-  for (size_t i = 0; i < values.size(); ++i) {
-    out += "  " + Reindent(values[i].ToString(0), 1);
-    out += i + 1 < values.size() ? ",\n" : "\n";
-  }
-  out += "]";
-  SetRaw(key, std::move(out));
-}
-
-void JsonObject::Set(const std::string& key, const std::vector<double>& values) {
-  std::string out = "[";
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (i > 0) {
-      out += ", ";
-    }
-    out += EncodeJsonDouble(values[i]);
-  }
-  out += "]";
-  SetRaw(key, std::move(out));
-}
-
-std::string JsonObject::ToString(int indent) const {
-  if (entries_.empty()) {
-    return "{}";
-  }
-  const std::string pad(2 * static_cast<size_t>(indent) + 2, ' ');
-  std::string out = "{\n";
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    out += pad + EncodeJsonString(entries_[i].first) + ": " +
-           Reindent(entries_[i].second, indent + 1);
-    out += i + 1 < entries_.size() ? ",\n" : "\n";
-  }
-  out += std::string(2 * static_cast<size_t>(indent), ' ') + "}";
-  return out;
-}
-
-namespace {
-
-// Splits the text of a flat JSON object into ordered (key, raw value text)
-// pairs with a string- and nesting-aware scanner. Returns false when the text
-// is not a single top-level object (callers then overwrite the file).
-bool ScanTopLevelSections(const std::string& text,
-                          std::vector<std::pair<std::string, std::string>>* out) {
-  size_t i = 0;
-  const auto skip_ws = [&] {
-    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
-      ++i;
-    }
-  };
-  skip_ws();
-  if (i >= text.size() || text[i] != '{') {
-    return false;
-  }
-  ++i;
-  skip_ws();
-  if (i < text.size() && text[i] == '}') {
-    return true;  // empty object
-  }
-  while (i < text.size()) {
-    // Key.
-    if (text[i] != '"') {
-      return false;
-    }
-    std::string key;
-    ++i;
-    while (i < text.size() && text[i] != '"') {
-      if (text[i] == '\\' && i + 1 < text.size()) {
-        key += text[i + 1];  // good enough for section names
-        i += 2;
-      } else {
-        key += text[i++];
-      }
-    }
-    if (i >= text.size()) {
-      return false;
-    }
-    ++i;  // closing quote
-    skip_ws();
-    if (i >= text.size() || text[i] != ':') {
-      return false;
-    }
-    ++i;
-    skip_ws();
-    // Value: scan to the comma or brace that closes it at depth 0.
-    const size_t value_start = i;
-    int depth = 0;
-    bool in_string = false;
-    for (; i < text.size(); ++i) {
-      const char c = text[i];
-      if (in_string) {
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          in_string = false;
-        }
-        continue;
-      }
-      if (c == '"') {
-        in_string = true;
-      } else if (c == '{' || c == '[') {
-        ++depth;
-      } else if (c == '}' || c == ']') {
-        if (depth == 0) {
-          break;  // the object's closing brace
-        }
-        --depth;
-      } else if (c == ',' && depth == 0) {
-        break;
-      }
-    }
-    if (i >= text.size()) {
-      return false;
-    }
-    std::string value = text.substr(value_start, i - value_start);
-    while (!value.empty() && std::isspace(static_cast<unsigned char>(value.back()))) {
-      value.pop_back();
-    }
-    out->emplace_back(std::move(key), std::move(value));
-    if (text[i] == '}') {
-      return true;
-    }
-    ++i;  // comma
-    skip_ws();
-  }
-  return false;
-}
-
-}  // namespace
-
-bool WriteBenchJsonSection(const std::string& path, const std::string& section,
-                           const JsonObject& value) {
-  std::vector<std::pair<std::string, std::string>> sections;
-  {
-    std::ifstream in(path);
-    if (in) {
-      std::ostringstream buffer;
-      buffer << in.rdbuf();
-      const std::string text = buffer.str();
-      if (!text.empty() && !ScanTopLevelSections(text, &sections)) {
-        OPTIMUS_LOG(Warning) << path << " is not a flat JSON object; overwriting";
-        sections.clear();
-      }
-    }
-  }
-
-  const std::string encoded = value.ToString(1);
-  bool replaced = false;
-  for (auto& entry : sections) {
-    if (entry.first == section) {
-      entry.second = encoded;
-      replaced = true;
-      break;
-    }
-  }
-  if (!replaced) {
-    sections.emplace_back(section, encoded);
-  }
-
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    OPTIMUS_LOG(Warning) << "cannot write " << path;
-    return false;
-  }
-  out << "{\n";
-  for (size_t i = 0; i < sections.size(); ++i) {
-    out << "  " << EncodeJsonString(sections[i].first) << ": " << sections[i].second;
-    out << (i + 1 < sections.size() ? ",\n" : "\n");
-  }
-  out << "}\n";
-  return out.good();
+std::vector<ExperimentResult> RunSchedulerComparison(const ExperimentConfig& base,
+                                                     const std::string& caption) {
+  return RunPolicyComparison(base, {"optimus", "drf", "tetris"}, caption);
 }
 
 }  // namespace optimus

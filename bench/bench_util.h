@@ -12,6 +12,10 @@
 #include <string>
 #include <vector>
 
+// Machine-readable bench output (BENCH_sched.json and friends) goes through
+// the shared deterministic JSON writer; JsonObject and WriteBenchJsonSection
+// live there and are re-exported here for the bench binaries.
+#include "src/common/json_writer.h"
 #include "src/common/table.h"
 #include "src/sim/experiment.h"
 
@@ -23,47 +27,17 @@ void PrintExperimentHeader(const std::string& id, const std::string& title,
 
 // Runs the canonical three-scheduler comparison (Optimus, DRF, Tetris) under
 // the given base config and prints absolute + normalized JCT / makespan.
-// Returns the three results in preset order.
+// Returns the three results in preset order. Policies are constructed through
+// the SchedulerRegistry (src/sched/scheduler_registry.h).
 std::vector<ExperimentResult> RunSchedulerComparison(const ExperimentConfig& base,
                                                      const std::string& caption);
 
-// ---------------------------------------------------------------------------
-// Machine-readable bench output (BENCH_sched.json and friends).
-// ---------------------------------------------------------------------------
-
-// A minimal ordered JSON object builder: keys are emitted in insertion order,
-// setting an existing key replaces its value in place. Values are encoded on
-// Set, so nested objects/arrays are copied by value. Non-finite doubles are
-// emitted as null (JSON has no NaN/Inf).
-class JsonObject {
- public:
-  void Set(const std::string& key, double value);
-  void Set(const std::string& key, int64_t value);
-  void Set(const std::string& key, int value) { Set(key, static_cast<int64_t>(value)); }
-  void Set(const std::string& key, bool value);
-  void Set(const std::string& key, const std::string& value);
-  void Set(const std::string& key, const char* value);
-  void Set(const std::string& key, const JsonObject& value);
-  void Set(const std::string& key, const std::vector<JsonObject>& values);
-  void Set(const std::string& key, const std::vector<double>& values);
-
-  // Serializes with two-space indentation; `indent` is the starting depth.
-  std::string ToString(int indent = 0) const;
-
- private:
-  void SetRaw(const std::string& key, std::string encoded);
-
-  std::vector<std::pair<std::string, std::string>> entries_;  // key -> encoded
-};
-
-// Merges `value` into the JSON file at `path` as the top-level key `section`:
-// other top-level sections already in the file are preserved verbatim, an
-// existing `section` is replaced, and a missing file is created. A file that
-// does not scan as a flat JSON object is overwritten (with a warning) so a
-// corrupt file never wedges the benches. Returns false if the file could not
-// be written.
-bool WriteBenchJsonSection(const std::string& path, const std::string& section,
-                           const JsonObject& value);
+// Same comparison over an explicit list of registry policy names (e.g. adding
+// "fifo" or "srtf" to the canonical trio). Rows are labeled with each
+// policy's display name; normalization is against the first entry.
+std::vector<ExperimentResult> RunPolicyComparison(
+    const ExperimentConfig& base, const std::vector<std::string>& policies,
+    const std::string& caption);
 
 }  // namespace optimus
 

@@ -1,0 +1,62 @@
+// Minimal deterministic JSON emission, shared by the bench harnesses and the
+// scenario sweep runner.
+//
+// JsonObject is an ordered object builder: keys are emitted in insertion
+// order, setting an existing key replaces its value in place, and doubles are
+// formatted with 17 significant digits — for a fixed input the emitted bytes
+// are fixed too, which is what the sweep determinism tests compare bitwise.
+
+#ifndef SRC_COMMON_JSON_WRITER_H_
+#define SRC_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace optimus {
+
+// JSON-escapes `s` and wraps it in double quotes.
+std::string EncodeJsonString(const std::string& s);
+
+// Shortest-round-trip 17-significant-digit encoding; non-finite values are
+// emitted as null (JSON has no NaN/Inf).
+std::string EncodeJsonDouble(double value);
+
+// A minimal ordered JSON object builder: keys are emitted in insertion order,
+// setting an existing key replaces its value in place. Values are encoded on
+// Set, so nested objects/arrays are copied by value.
+class JsonObject {
+ public:
+  void Set(const std::string& key, double value);
+  void Set(const std::string& key, int64_t value);
+  void Set(const std::string& key, int value) { Set(key, static_cast<int64_t>(value)); }
+  void Set(const std::string& key, bool value);
+  void Set(const std::string& key, const std::string& value);
+  void Set(const std::string& key, const char* value);
+  void Set(const std::string& key, const JsonObject& value);
+  void Set(const std::string& key, const std::vector<JsonObject>& values);
+  void Set(const std::string& key, const std::vector<double>& values);
+  void Set(const std::string& key, const std::vector<std::string>& values);
+
+  // Serializes with two-space indentation; `indent` is the starting depth.
+  std::string ToString(int indent = 0) const;
+
+ private:
+  void SetRaw(const std::string& key, std::string encoded);
+
+  std::vector<std::pair<std::string, std::string>> entries_;  // key -> encoded
+};
+
+// Merges `value` into the JSON file at `path` as the top-level key `section`:
+// other top-level sections already in the file are preserved verbatim, an
+// existing `section` is replaced, and a missing file is created. A file that
+// does not scan as a flat JSON object is overwritten (with a warning) so a
+// corrupt file never wedges the writers. Returns false if the file could not
+// be written.
+bool WriteBenchJsonSection(const std::string& path, const std::string& section,
+                           const JsonObject& value);
+
+}  // namespace optimus
+
+#endif  // SRC_COMMON_JSON_WRITER_H_

@@ -1,0 +1,160 @@
+#include "src/sched/scheduler_registry.h"
+
+#include "src/sched/baseline_allocators.h"
+
+namespace optimus {
+
+const char* AllocatorPolicyName(AllocatorPolicy policy) {
+  switch (policy) {
+    case AllocatorPolicy::kOptimus:
+      return "optimus";
+    case AllocatorPolicy::kDrf:
+      return "drf";
+    case AllocatorPolicy::kTetris:
+      return "tetris";
+    case AllocatorPolicy::kFifo:
+      return "fifo";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void RegisterBuiltins(SchedulerRegistry* registry) {
+  {
+    SchedulerPolicyInfo info;
+    info.name = "optimus";
+    info.display_name = "Optimus";
+    info.description =
+        "marginal-gain allocation (Sec 4.1), packed placement, PAA, "
+        "straggler handling, 0.95 young-job damping";
+    info.allocator_family = AllocatorPolicy::kOptimus;
+    info.placement = PlacementPolicy::kOptimusPack;
+    info.use_paa = true;
+    info.straggler_handling = true;
+    info.young_job_priority_factor = 0.95;
+    info.factory = [](OptimusAllocRoundStats* stats) -> std::unique_ptr<Allocator> {
+      OptimusAllocatorOptions options;
+      options.stats = stats;  // greedy-round counters for the metrics registry
+      return std::make_unique<OptimusAllocator>(options);
+    };
+    registry->Register(std::move(info));
+  }
+  {
+    SchedulerPolicyInfo info;
+    info.name = "drf";
+    info.display_name = "DRF";
+    info.description =
+        "Dominant Resource Fairness (Mesos/YARN-style progressive filling), "
+        "load-balanced placement, stock MXNet block assignment";
+    info.allocator_family = AllocatorPolicy::kDrf;
+    info.placement = PlacementPolicy::kLoadBalance;
+    info.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+      return std::make_unique<DrfAllocator>();
+    };
+    registry->Register(std::move(info));
+  }
+  {
+    SchedulerPolicyInfo info;
+    info.name = "tetris";
+    info.display_name = "Tetris";
+    info.description =
+        "Tetris-like: SRTF + packing-friendliness score, best-fit placement";
+    info.allocator_family = AllocatorPolicy::kTetris;
+    info.placement = PlacementPolicy::kTetrisPack;
+    info.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+      return std::make_unique<TetrisAllocator>();
+    };
+    registry->Register(std::move(info));
+  }
+  {
+    SchedulerPolicyInfo info;
+    info.name = "fifo";
+    info.display_name = "FIFO";
+    info.description =
+        "strict arrival order, each job filled to its speed knee before the "
+        "next (Sec 2.3's head-of-line baseline), load-balanced placement";
+    info.allocator_family = AllocatorPolicy::kFifo;
+    info.placement = PlacementPolicy::kLoadBalance;
+    info.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+      return std::make_unique<FifoAllocator>();
+    };
+    registry->Register(std::move(info));
+  }
+  {
+    SchedulerPolicyInfo info;
+    info.name = "srtf";
+    info.display_name = "SRTF";
+    info.description =
+        "pure shortest-remaining-time-first (Tetris score with the packing "
+        "term zeroed), load-balanced placement";
+    info.allocator_family = AllocatorPolicy::kTetris;
+    info.placement = PlacementPolicy::kLoadBalance;
+    info.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+      TetrisAllocatorOptions options;
+      options.srtf_weight = 1.0;
+      return std::make_unique<TetrisAllocator>(options);
+    };
+    registry->Register(std::move(info));
+  }
+}
+
+}  // namespace
+
+SchedulerRegistry& SchedulerRegistry::Global() {
+  static SchedulerRegistry* registry = [] {
+    auto* r = new SchedulerRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool SchedulerRegistry::Register(SchedulerPolicyInfo info) {
+  if (info.name.empty() || info.factory == nullptr || Find(info.name) != nullptr) {
+    return false;
+  }
+  if (info.display_name.empty()) {
+    info.display_name = info.name;
+  }
+  policies_.push_back(std::move(info));
+  return true;
+}
+
+const SchedulerPolicyInfo* SchedulerRegistry::Find(const std::string& name) const {
+  for (const SchedulerPolicyInfo& info : policies_) {
+    if (info.name == name) {
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SchedulerRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(policies_.size());
+  for (const SchedulerPolicyInfo& info : policies_) {
+    names.push_back(info.name);
+  }
+  return names;
+}
+
+std::unique_ptr<Allocator> SchedulerRegistry::Create(
+    const std::string& name, OptimusAllocRoundStats* stats) const {
+  const SchedulerPolicyInfo* info = Find(name);
+  if (info == nullptr) {
+    return nullptr;
+  }
+  return info->factory(stats);
+}
+
+std::string SchedulerRegistry::UnknownPolicyMessage(const std::string& name) const {
+  std::string msg = "unknown policy '" + name + "' (registered:";
+  for (const SchedulerPolicyInfo& info : policies_) {
+    msg += " " + info.name;
+  }
+  msg += ")";
+  return msg;
+}
+
+}  // namespace optimus

@@ -1,0 +1,102 @@
+// SchedulerRegistry: the single catalog of scheduling policies.
+//
+// Every place that used to hard-code a policy switch — the optimus_sim CLI,
+// the experiment presets, the comparison benches — resolves a policy *name*
+// here instead. A policy bundles everything a SimulatorConfig needs to run
+// it: the allocator factory (over the common Allocator interface in
+// scheduler.h), the placement scheme, and the Optimus-specific feature
+// toggles (PAA block assignment, straggler handling, young-job damping) that
+// the paper's §6.1 comparisons switch off for the baselines.
+//
+// Built-in policies (registered in scheduler_registry.cc):
+//   optimus  marginal-gain allocation (§4.1), packed placement, PAA,
+//            straggler handling, 0.95 young-job damping
+//   drf      Dominant Resource Fairness, load-balanced placement
+//   tetris   SRTF + packing score, best-fit placement
+//   fifo     strict arrival order (§2.3's head-of-line baseline)
+//   srtf     pure shortest-remaining-time-first (Tetris score with the
+//            packing term zeroed), load-balanced placement
+//
+// New policies register with SchedulerRegistry::Global().Register(...); the
+// CLI's `--policy list`, the scenario DSL's policy validation, and the sweep
+// tool pick them up with no further wiring.
+
+#ifndef SRC_SCHED_SCHEDULER_REGISTRY_H_
+#define SRC_SCHED_SCHEDULER_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sched/optimus_allocator.h"
+#include "src/sched/placement.h"
+#include "src/sched/scheduler.h"
+
+namespace optimus {
+
+// Allocator families the simulator branches on for baseline-faithful
+// behavior (e.g. DRF stays work-conserving and skips scaling hysteresis).
+// Policies map onto the nearest family; the factory below decides the actual
+// allocator instance.
+enum class AllocatorPolicy {
+  kOptimus,
+  kDrf,
+  kTetris,
+  kFifo,
+};
+
+const char* AllocatorPolicyName(AllocatorPolicy policy);
+
+struct SchedulerPolicyInfo {
+  // Registry key, as accepted by --policy and the scenario DSL.
+  std::string name;
+  // Row label for comparison tables ("Optimus", "DRF", ...).
+  std::string display_name;
+  // One-line summary for `--policy list` / --help.
+  std::string description;
+  // Family for the simulator's behavioral branches.
+  AllocatorPolicy allocator_family = AllocatorPolicy::kOptimus;
+  PlacementPolicy placement = PlacementPolicy::kLoadBalance;
+  bool use_paa = false;
+  bool straggler_handling = false;
+  double young_job_priority_factor = 1.0;
+  // Constructs the allocator. `stats` carries the greedy-round counters the
+  // metrics registry harvests; factories that do not use them ignore it.
+  std::function<std::unique_ptr<Allocator>(OptimusAllocRoundStats* stats)> factory;
+};
+
+class SchedulerRegistry {
+ public:
+  // The process-wide registry, with the built-in policies pre-registered in
+  // canonical order (optimus, drf, tetris, fifo, srtf).
+  static SchedulerRegistry& Global();
+
+  // Registers a policy; returns false (and changes nothing) when the name is
+  // already taken or the info is incomplete (empty name / null factory).
+  bool Register(SchedulerPolicyInfo info);
+
+  // Looks up a policy; null when unknown.
+  const SchedulerPolicyInfo* Find(const std::string& name) const;
+  bool Has(const std::string& name) const { return Find(name) != nullptr; }
+
+  // Policy names in registration order (built-ins first).
+  std::vector<std::string> Names() const;
+
+  // Constructs the named policy's allocator; null on an unknown name.
+  std::unique_ptr<Allocator> Create(const std::string& name,
+                                    OptimusAllocRoundStats* stats) const;
+
+  // "unknown policy 'x' (registered: optimus, drf, ...)" — the canonical
+  // error message, so every frontend names the available set.
+  std::string UnknownPolicyMessage(const std::string& name) const;
+
+ private:
+  SchedulerRegistry() = default;
+
+  std::vector<SchedulerPolicyInfo> policies_;  // registration order
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SCHED_SCHEDULER_REGISTRY_H_

@@ -67,6 +67,25 @@ double NormalizedTo(double value, double baseline) {
   return value / baseline;
 }
 
+bool ApplySchedulerPolicy(const std::string& policy, SimulatorConfig* config,
+                          std::string* error) {
+  OPTIMUS_CHECK(config != nullptr);
+  const SchedulerPolicyInfo* info = SchedulerRegistry::Global().Find(policy);
+  if (info == nullptr) {
+    if (error != nullptr) {
+      *error = SchedulerRegistry::Global().UnknownPolicyMessage(policy);
+    }
+    return false;
+  }
+  config->policy = info->name;
+  config->allocator = info->allocator_family;
+  config->placement = info->placement;
+  config->use_paa = info->use_paa;
+  config->straggler.handling_enabled = info->straggler_handling;
+  config->young_job_priority_factor = info->young_job_priority_factor;
+  return true;
+}
+
 const char* SchedulerPresetName(SchedulerPreset preset) {
   switch (preset) {
     case SchedulerPreset::kOptimus:
@@ -81,27 +100,20 @@ const char* SchedulerPresetName(SchedulerPreset preset) {
 
 void ApplySchedulerPreset(SchedulerPreset preset, SimulatorConfig* config) {
   OPTIMUS_CHECK(config != nullptr);
+  const char* name = "optimus";
   switch (preset) {
     case SchedulerPreset::kOptimus:
-      config->allocator = AllocatorPolicy::kOptimus;
-      config->placement = PlacementPolicy::kOptimusPack;
-      config->use_paa = true;
-      config->straggler.handling_enabled = true;
-      config->young_job_priority_factor = 0.95;
+      name = "optimus";
       break;
     case SchedulerPreset::kDrf:
-      config->allocator = AllocatorPolicy::kDrf;
-      config->placement = PlacementPolicy::kLoadBalance;
-      config->use_paa = false;
-      config->straggler.handling_enabled = false;
+      name = "drf";
       break;
     case SchedulerPreset::kTetris:
-      config->allocator = AllocatorPolicy::kTetris;
-      config->placement = PlacementPolicy::kTetrisPack;
-      config->use_paa = false;
-      config->straggler.handling_enabled = false;
+      name = "tetris";
       break;
   }
+  std::string error;
+  OPTIMUS_CHECK(ApplySchedulerPolicy(name, config, &error)) << error;
 }
 
 void ApplyTestbedConditions(SimulatorConfig* config) {

@@ -14,20 +14,6 @@
 
 namespace optimus {
 
-const char* AllocatorPolicyName(AllocatorPolicy policy) {
-  switch (policy) {
-    case AllocatorPolicy::kOptimus:
-      return "optimus";
-    case AllocatorPolicy::kDrf:
-      return "drf";
-    case AllocatorPolicy::kTetris:
-      return "tetris";
-    case AllocatorPolicy::kFifo:
-      return "fifo";
-  }
-  return "unknown";
-}
-
 namespace {
 
 // SplitMix64-style combiner for speed-surface signatures.
@@ -38,31 +24,157 @@ uint64_t MixSignature(uint64_t h, uint64_t v) {
   return h ^ (h >> 27);
 }
 
-std::unique_ptr<Allocator> MakeAllocator(AllocatorPolicy policy,
+// All policy construction goes through the SchedulerRegistry. The `policy`
+// name is authoritative as long as its registered family still matches the
+// `allocator` enum; a caller that sets `allocator` directly after applying a
+// policy (the pre-registry override idiom) has explicitly changed families,
+// so the enum's builtin name wins. Configs that never set a policy resolve to
+// the family's builtin name too.
+std::unique_ptr<Allocator> MakeAllocator(const SimulatorConfig& config,
                                          OptimusAllocRoundStats* stats) {
-  switch (policy) {
-    case AllocatorPolicy::kOptimus: {
-      OptimusAllocatorOptions options;
-      options.stats = stats;  // greedy-round counters for the metrics registry
-      return std::make_unique<OptimusAllocator>(options);
+  std::string name = AllocatorPolicyName(config.allocator);
+  if (!config.policy.empty()) {
+    const SchedulerPolicyInfo* info =
+        SchedulerRegistry::Global().Find(config.policy);
+    if (info != nullptr && info->allocator_family == config.allocator) {
+      name = config.policy;
     }
-    case AllocatorPolicy::kDrf:
-      return std::make_unique<DrfAllocator>();
-    case AllocatorPolicy::kTetris:
-      return std::make_unique<TetrisAllocator>();
-    case AllocatorPolicy::kFifo:
-      return std::make_unique<FifoAllocator>();
   }
-  return nullptr;
+  std::unique_ptr<Allocator> allocator =
+      SchedulerRegistry::Global().Create(name, stats);
+  OPTIMUS_CHECK(allocator != nullptr)
+      << SchedulerRegistry::Global().UnknownPolicyMessage(name);
+  return allocator;
 }
 
 }  // namespace
 
+bool SimulatorConfig::Validate(std::vector<std::string>* errors) const {
+  std::vector<std::string> local;
+  const auto bad = [&](const std::string& field, const std::string& problem) {
+    local.push_back(field + ": " + problem);
+  };
+  const auto require_finite_ge = [&](const std::string& field, double v, double lo) {
+    if (!std::isfinite(v) || v < lo) {
+      bad(field, "must be a finite value >= " + std::to_string(lo) + " (got " +
+                     std::to_string(v) + ")");
+    }
+  };
+  const auto require_prob = [&](const std::string& field, double v) {
+    if (!std::isfinite(v) || v < 0.0 || v > 1.0) {
+      bad(field, "must be a probability in [0, 1] (got " + std::to_string(v) + ")");
+    }
+  };
+
+  if (!policy.empty() && !SchedulerRegistry::Global().Has(policy)) {
+    bad("policy", SchedulerRegistry::Global().UnknownPolicyMessage(policy));
+  }
+  if (!(std::isfinite(interval_s) && interval_s > 0.0)) {
+    bad("interval_s", "must be > 0 (got " + std::to_string(interval_s) + ")");
+  }
+  if (pre_run_samples < 0) {
+    bad("pre_run_samples", "must be >= 0 (got " + std::to_string(pre_run_samples) + ")");
+  }
+  require_finite_ge("speed_measure_noise_sd", speed_measure_noise_sd, 0.0);
+  require_finite_ge("runtime_noise_sd", runtime_noise_sd, 0.0);
+  if (conv_samples_per_interval < 1) {
+    bad("conv_samples_per_interval",
+        "must be >= 1 (got " + std::to_string(conv_samples_per_interval) + ")");
+  }
+  if (conv_fit_points < 0) {
+    bad("conv_fit_points", "must be >= 0 (got " + std::to_string(conv_fit_points) + ")");
+  }
+  if (!(std::isfinite(young_job_priority_factor) && young_job_priority_factor > 0.0 &&
+        young_job_priority_factor <= 1.0)) {
+    bad("young_job_priority_factor",
+        "must be in (0, 1] (got " + std::to_string(young_job_priority_factor) + ")");
+  }
+  require_prob("young_job_progress_cutoff", young_job_progress_cutoff);
+  if (!(std::isfinite(default_remaining_epochs) && default_remaining_epochs > 0.0)) {
+    bad("default_remaining_epochs",
+        "must be > 0 (got " + std::to_string(default_remaining_epochs) + ")");
+  }
+  require_prob("error.convergence_error", error.convergence_error);
+  require_prob("error.speed_error", error.speed_error);
+  if (threads < 0) {
+    bad("threads", "must be >= 0 (0 = OPTIMUS_THREADS; got " +
+                       std::to_string(threads) + ")");
+  }
+  require_finite_ge("chunk_move_s", chunk_move_s, 0.0);
+  if (!(std::isfinite(background_share) && background_share >= 0.0 &&
+        background_share < 1.0)) {
+    bad("background_share",
+        "must be in [0, 1) (got " + std::to_string(background_share) + ")");
+  }
+  require_finite_ge("background_period_s", background_period_s, 0.0);
+  if (!(std::isfinite(max_sim_time_s) && max_sim_time_s > 0.0)) {
+    bad("max_sim_time_s", "must be > 0 (got " + std::to_string(max_sim_time_s) + ")");
+  }
+  if (full_audit_period < 1) {
+    bad("full_audit_period",
+        "must be >= 1 (got " + std::to_string(full_audit_period) + ")");
+  }
+  if (obs.flight_recorder_depth < 0) {
+    bad("obs.flight_recorder_depth",
+        "must be >= 0 (got " + std::to_string(obs.flight_recorder_depth) + ")");
+  }
+  require_prob("straggler.injection_prob_per_interval",
+               straggler.injection_prob_per_interval);
+  require_prob("fault.task_failure_prob", fault.task_failure_prob);
+  require_finite_ge("fault.checkpoint_period_s", fault.checkpoint_period_s, 0.0);
+  require_prob("fault.checkpoint_save_fraction", fault.checkpoint_save_fraction);
+  if (fault.evictions_before_backoff < 1) {
+    bad("fault.evictions_before_backoff",
+        "must be >= 1 (got " + std::to_string(fault.evictions_before_backoff) + ")");
+  }
+  require_finite_ge("fault.backoff_base_s", fault.backoff_base_s, 0.0);
+  if (!(std::isfinite(fault.backoff_max_s) &&
+        fault.backoff_max_s >= fault.backoff_base_s)) {
+    bad("fault.backoff_max_s", "must be >= fault.backoff_base_s");
+  }
+  for (size_t i = 0; i < fault.plan.outages.size(); ++i) {
+    const ServerOutage& outage = fault.plan.outages[i];
+    if (!(outage.recover_s > outage.start_s)) {
+      bad("fault.plan.outages[" + std::to_string(i) + "]",
+          "recover_s must be > start_s");
+    }
+  }
+  for (size_t i = 0; i < fault.plan.slowdowns.size(); ++i) {
+    const SlowdownBurst& burst = fault.plan.slowdowns[i];
+    if (!(burst.factor > 0.0 && burst.factor <= 1.0)) {
+      bad("fault.plan.slowdowns[" + std::to_string(i) + "]",
+          "factor must be in (0, 1]");
+    }
+    if (!(burst.end_s > burst.start_s)) {
+      bad("fault.plan.slowdowns[" + std::to_string(i) + "]",
+          "end_s must be > start_s");
+    }
+  }
+
+  const bool ok = local.empty();
+  if (errors != nullptr) {
+    errors->insert(errors->end(), local.begin(), local.end());
+  }
+  return ok;
+}
+
+const SimulatorConfig& SimulatorConfig::CheckValid() const {
+  std::vector<std::string> errors;
+  if (!Validate(&errors)) {
+    std::string joined;
+    for (const std::string& e : errors) {
+      joined += "\n  " + e;
+    }
+    OPTIMUS_LOG(Fatal) << "invalid SimulatorConfig:" << joined;
+  }
+  return *this;
+}
+
 Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
                      std::vector<JobSpec> specs)
-    : config_(config),
+    : config_(config.CheckValid()),
       servers_(std::move(servers)),
-      allocator_(MakeAllocator(config.allocator, &alloc_stats_)),
+      allocator_(MakeAllocator(config, &alloc_stats_)),
       straggler_(config.straggler),
       rng_(config.seed),
       flight_(config.obs.enabled ? config.obs.flight_recorder_depth : 0) {

@@ -13,6 +13,7 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/common/threadpool.h"
@@ -34,21 +35,13 @@
 #include "src/sched/optimus_allocator.h"
 #include "src/sched/placement.h"
 #include "src/sched/scheduler.h"
+#include "src/sched/scheduler_registry.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/invariant_auditor.h"
 #include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 
 namespace optimus {
-
-enum class AllocatorPolicy {
-  kOptimus,
-  kDrf,
-  kTetris,
-  kFifo,
-};
-
-const char* AllocatorPolicyName(AllocatorPolicy policy);
 
 // Controlled prediction-error injection (Fig 15): estimates are multiplied by
 // (1 +/- e * (1 - progress)); the sign is drawn once per job.
@@ -76,6 +69,11 @@ struct ObservabilityConfig {
 
 struct SimulatorConfig {
   AllocatorPolicy allocator = AllocatorPolicy::kOptimus;
+  // SchedulerRegistry policy name constructing the allocator. Empty (the
+  // default) derives the name from the `allocator` family, so configs that
+  // only set the enum keep working; ApplySchedulerPolicy (experiment.h) sets
+  // both. Must name a registered policy when nonempty.
+  std::string policy;
   PlacementPolicy placement = PlacementPolicy::kOptimusPack;
   double interval_s = 600.0;
   CommConfig comm;
@@ -164,6 +162,18 @@ struct SimulatorConfig {
   // vectors. Outputs are bit-identical either way; false restores the dense
   // scans (baseline mode for benchmarks).
   bool sparse_placement = true;
+
+  // Field-by-field validation. Appends one "field: problem" message per
+  // violated constraint to `errors` (when non-null) and returns whether the
+  // config is valid. The Simulator constructor enforces this, so callers that
+  // hand-assemble configs get field-specific diagnostics instead of a crash
+  // deep inside the run; scenario loading (src/workload/scenario.h) and the
+  // CLI reuse the same path.
+  bool Validate(std::vector<std::string>* errors) const;
+
+  // Fatal (with the joined field errors) when invalid; returns *this so call
+  // sites can validate in an initializer expression.
+  const SimulatorConfig& CheckValid() const;
 };
 
 class Simulator {

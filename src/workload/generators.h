@@ -1,0 +1,112 @@
+// Workload generator suite for the scenario engine.
+//
+// Extends the §6.1 generator (src/sim/workload.h, kept intact for the golden
+// benches) with the arrival processes and size distributions the paper's
+// trace discussion motivates: Poisson and diurnal (day/night sinusoid, §6.3's
+// production-trace shape) arrivals, heavy-tailed Pareto / log-normal job
+// sizes (most jobs small, a few huge — Fig 2's completion-time spread), and
+// an explicit model mix over the Table-1 zoo.
+//
+// Determinism contract: every job i draws its attributes from its own
+// rng->Split(kJobAttributeStreamBase + i) stream and arrivals come from a
+// dedicated split stream, so adding a job or reordering attribute reads never
+// perturbs other jobs' draws. The same (seed, spec) pair yields the same jobs
+// on any platform and thread count.
+
+#ifndef SRC_WORKLOAD_GENERATORS_H_
+#define SRC_WORKLOAD_GENERATORS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/job.h"
+#include "src/common/rng.h"
+
+namespace optimus {
+
+// RNG stream ids (offsets under the workload's root Rng).
+inline constexpr uint64_t kArrivalStream = 1;
+inline constexpr uint64_t kJobAttributeStreamBase = 1000;
+
+struct ArrivalSpec {
+  enum class Kind {
+    kUniform,  // uniform over [0, window_s]
+    kPoisson,  // homogeneous Poisson at rate_per_interval / interval_s
+    kBursty,   // Google-trace-like: quiet background + spike intervals
+    kDiurnal,  // sinusoidal-rate Poisson with a peak/trough ratio
+  };
+  Kind kind = Kind::kUniform;
+  double window_s = 12000.0;
+  double rate_per_interval = 3.0;
+  double interval_s = 600.0;
+  // Bursty: fraction of intervals that spike, and the spike's rate multiple.
+  double spike_fraction = 0.15;
+  double spike_multiplier = 5.0;
+  // Diurnal: sinusoid period and peak-rate / trough-rate ratio (>= 1; 1 =
+  // plain Poisson).
+  double period_s = 86400.0;
+  double peak_to_trough = 4.0;
+};
+
+const char* ArrivalKindName(ArrivalSpec::Kind kind);
+// Parses "uniform" | "poisson" | "bursty" | "diurnal"; false on other input.
+bool ParseArrivalKind(const std::string& name, ArrivalSpec::Kind* kind);
+
+struct JobSizeSpec {
+  enum class Kind {
+    kZoo,        // model-default sizes (downscale cap only)
+    kPareto,     // multiply work by min(Pareto(alpha), cap)
+    kLognormal,  // multiply work by LogNormal(sigma), median 1
+  };
+  Kind kind = Kind::kZoo;
+  double pareto_alpha = 1.5;
+  double pareto_cap = 8.0;
+  double lognormal_sigma = 0.8;
+  // Dataset downscale cap before the size multiplier (0 = full dataset);
+  // mirrors WorkloadConfig::target_steps_per_epoch.
+  int64_t target_steps_per_epoch = 20;
+};
+
+const char* JobSizeKindName(JobSizeSpec::Kind kind);
+bool ParseJobSizeKind(const std::string& name, JobSizeSpec::Kind* kind);
+
+// Which Table-1 models jobs draw, and how often. Empty names = whole zoo.
+// Weights (when present) pair with names / the zoo order; they need not sum
+// to 1. With cycle_first, the first min(num_jobs, |mix|) jobs deterministically
+// cycle the mix (the paper's testbed runs one of each model) and only later
+// jobs sample from the weights.
+struct ModelMixSpec {
+  std::vector<std::string> names;
+  std::vector<double> weights;
+  bool cycle_first = true;
+};
+
+struct WorkloadSpec {
+  int num_jobs = 9;
+  ArrivalSpec arrivals;
+  JobSizeSpec sizes;
+  ModelMixSpec models;
+  // nullopt = each job flips a fair coin between sync and async (§6.1).
+  std::optional<TrainingMode> forced_mode;
+  // Convergence-threshold range (§6.1: 1%..5%).
+  double delta_lo = 0.01;
+  double delta_hi = 0.05;
+  int patience = 3;
+  Resources worker_demand{2.5, 10, 0, 0.15};
+  Resources ps_demand{2.5, 10, 0, 0.15};
+  int max_ps = 16;
+  int max_workers = 16;
+
+  // Structural validation ("field: problem" messages, workload.-prefixed by
+  // the scenario loader). Checks ranges and that every model name exists.
+  bool Validate(std::vector<std::string>* errors) const;
+};
+
+// Generates `spec.num_jobs` jobs with ids 0..n-1 sorted by arrival time.
+// Fatal on an invalid spec (call Validate for recoverable checking).
+std::vector<JobSpec> GenerateJobs(const WorkloadSpec& spec, Rng* rng);
+
+}  // namespace optimus
+
+#endif  // SRC_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,422 @@
+#include "src/workload/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+const char* JsonTypeName(JsonType type) {
+  switch (type) {
+    case JsonType::kNull:
+      return "null";
+    case JsonType::kBool:
+      return "bool";
+    case JsonType::kNumber:
+      return "number";
+    case JsonType::kString:
+      return "string";
+    case JsonType::kArray:
+      return "array";
+    case JsonType::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+bool JsonValue::AsBool() const {
+  OPTIMUS_CHECK(is_bool()) << "JSON value is " << JsonTypeName(type_)
+                           << ", not bool";
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  OPTIMUS_CHECK(is_number()) << "JSON value is " << JsonTypeName(type_)
+                             << ", not number";
+  return number_;
+}
+
+int64_t JsonValue::AsInt() const {
+  OPTIMUS_CHECK(is_number()) << "JSON value is " << JsonTypeName(type_)
+                             << ", not number";
+  OPTIMUS_CHECK(std::floor(number_) == number_ &&
+                std::abs(number_) < 9.2e18)
+      << "JSON number " << number_ << " is not an int64";
+  return static_cast<int64_t>(number_);
+}
+
+const std::string& JsonValue::AsString() const {
+  OPTIMUS_CHECK(is_string()) << "JSON value is " << JsonTypeName(type_)
+                             << ", not string";
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  OPTIMUS_CHECK(is_array()) << "JSON value is " << JsonTypeName(type_)
+                            << ", not array";
+  return array_;
+}
+
+std::vector<std::string> JsonValue::Keys() const {
+  OPTIMUS_CHECK(is_object()) << "JSON value is " << JsonTypeName(type_)
+                             << ", not object";
+  std::vector<std::string> keys;
+  keys.reserve(members_.size());
+  for (const auto& [key, unused] : members_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  OPTIMUS_CHECK(is_object()) << "JSON value is " << JsonTypeName(type_)
+                             << ", not object";
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& source)
+      : text_(text), source_(source) {}
+
+  bool Parse(JsonValue* value, std::string* error) {
+    SkipWhitespace();
+    if (!ParseValue(value)) {
+      *error = error_;
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      *error = Err("trailing content after JSON document");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string Err(const std::string& message) const {
+    std::ostringstream os;
+    os << source_ << ":" << line_ << ":" << column_ << ": " << message;
+    return os.str();
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = Err(message);
+    }
+    return false;
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  char Advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    Advance();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* value) {
+    if (AtEnd()) {
+      return Fail("unexpected end of input");
+    }
+    value->line_ = line_;
+    value->column_ = column_;
+    const char c = Peek();
+    switch (c) {
+      case '{':
+        return ParseObject(value);
+      case '[':
+        return ParseArray(value);
+      case '"':
+        value->type_ = JsonType::kString;
+        return ParseString(&value->string_);
+      case 't':
+      case 'f':
+        return ParseBool(value);
+      case 'n':
+        return ParseNull(value);
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return ParseNumber(value);
+        }
+        return Fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  bool ParseLiteral(const char* literal) {
+    for (const char* p = literal; *p != '\0'; ++p) {
+      if (AtEnd() || Peek() != *p) {
+        return Fail(std::string("malformed literal (expected \"") + literal +
+                    "\")");
+      }
+      Advance();
+    }
+    return true;
+  }
+
+  bool ParseNull(JsonValue* value) {
+    value->type_ = JsonType::kNull;
+    return ParseLiteral("null");
+  }
+
+  bool ParseBool(JsonValue* value) {
+    value->type_ = JsonType::kBool;
+    if (Peek() == 't') {
+      value->bool_ = true;
+      return ParseLiteral("true");
+    }
+    value->bool_ = false;
+    return ParseLiteral("false");
+  }
+
+  bool ParseNumber(JsonValue* value) {
+    value->type_ = JsonType::kNumber;
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') {
+      Advance();
+    }
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      Advance();
+    }
+    if (!AtEnd() && Peek() == '.') {
+      Advance();
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        Advance();
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      Advance();
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+        Advance();
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+        Advance();
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    value->number_ = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0' || !std::isfinite(value->number_)) {
+      return Fail("malformed number '" + token + "'");
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Expect('"')) {
+      return false;
+    }
+    out->clear();
+    while (true) {
+      if (AtEnd()) {
+        return Fail("unterminated string");
+      }
+      const char c = Advance();
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) {
+        return Fail("unterminated escape sequence");
+      }
+      const char e = Advance();
+      switch (e) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd()) {
+              return Fail("unterminated \\u escape");
+            }
+            const char h = Advance();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Fail("malformed \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+          // scenario files are config, not prose).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+  }
+
+  bool ParseArray(JsonValue* value) {
+    value->type_ = JsonType::kArray;
+    if (!Expect('[')) {
+      return false;
+    }
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      Advance();
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) {
+        return false;
+      }
+      value->array_.push_back(std::move(element));
+      SkipWhitespace();
+      if (AtEnd()) {
+        return Fail("unterminated array");
+      }
+      const char c = Advance();
+      if (c == ']') {
+        return true;
+      }
+      if (c != ',') {
+        return Fail("expected ',' or ']' in array");
+      }
+      SkipWhitespace();
+    }
+  }
+
+  bool ParseObject(JsonValue* value) {
+    value->type_ = JsonType::kObject;
+    if (!Expect('{')) {
+      return false;
+    }
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      Advance();
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Fail("expected string key in object");
+      }
+      const int key_line = line_;
+      const int key_column = column_;
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      for (const auto& [existing, unused] : value->members_) {
+        if (existing == key) {
+          line_ = key_line;
+          column_ = key_column;
+          return Fail("duplicate key \"" + key + "\"");
+        }
+      }
+      SkipWhitespace();
+      if (!Expect(':')) {
+        return false;
+      }
+      SkipWhitespace();
+      JsonValue member;
+      if (!ParseValue(&member)) {
+        return false;
+      }
+      value->members_.emplace_back(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (AtEnd()) {
+        return Fail("unterminated object");
+      }
+      const char c = Advance();
+      if (c == '}') {
+        return true;
+      }
+      if (c != ',') {
+        return Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  const std::string source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  std::string error_;
+};
+
+bool ParseJson(const std::string& text, const std::string& source_name,
+               JsonValue* value, std::string* error) {
+  OPTIMUS_CHECK(value != nullptr);
+  OPTIMUS_CHECK(error != nullptr);
+  JsonParser parser(text, source_name.empty() ? "<json>" : source_name);
+  return parser.Parse(value, error);
+}
+
+}  // namespace optimus

@@ -1,0 +1,91 @@
+// Minimal JSON parser for the scenario DSL.
+//
+// Parses the JSON subset the scenario files use (objects, arrays, strings,
+// numbers, booleans, null; UTF-8 passed through verbatim; \uXXXX escapes
+// decoded) into an explicit value tree. Object keys keep their file order so
+// scenario validation can point at the first offending key, and duplicate
+// keys are a parse error — a scenario that says "seed" twice is a typo, not a
+// preference. Errors carry 1-based line/column positions.
+//
+// This is deliberately a reader for trusted local config files, not a
+// general-purpose JSON library: no streaming, no number-precision haggling
+// (numbers land in a double), no comments. The deterministic *writer* lives
+// in src/common/json_writer.h.
+
+#ifndef SRC_WORKLOAD_JSON_H_
+#define SRC_WORKLOAD_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace optimus {
+
+class JsonValue;
+
+enum class JsonType {
+  kNull,
+  kBool,
+  kNumber,
+  kString,
+  kArray,
+  kObject,
+};
+
+const char* JsonTypeName(JsonType type);
+
+class JsonValue {
+ public:
+  JsonValue() = default;
+
+  JsonType type() const { return type_; }
+  bool is_null() const { return type_ == JsonType::kNull; }
+  bool is_bool() const { return type_ == JsonType::kBool; }
+  bool is_number() const { return type_ == JsonType::kNumber; }
+  bool is_string() const { return type_ == JsonType::kString; }
+  bool is_array() const { return type_ == JsonType::kArray; }
+  bool is_object() const { return type_ == JsonType::kObject; }
+
+  // Typed accessors; fatal on type mismatch (scenario.cc checks types before
+  // calling, so a mismatch here is a programming error, not bad input).
+  bool AsBool() const;
+  double AsDouble() const;
+  // Fatal when the number is not integral or out of int64 range.
+  int64_t AsInt() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+
+  // Object access. Keys() preserves file order; Find returns null when
+  // absent.
+  std::vector<std::string> Keys() const;
+  const JsonValue* Find(const std::string& key) const;
+
+  // Source position of this value (1-based), for error messages.
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  friend class JsonParser;
+
+  JsonType type_ = JsonType::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  // File-ordered key/value pairs (objects are small; linear Find is fine).
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  int line_ = 0;
+  int column_ = 0;
+};
+
+// Parses `text` into `*value`. On failure returns false and sets `*error` to
+// "<source>:<line>:<col>: <message>". Trailing garbage after the document is
+// an error.
+bool ParseJson(const std::string& text, const std::string& source_name,
+               JsonValue* value, std::string* error);
+
+}  // namespace optimus
+
+#endif  // SRC_WORKLOAD_JSON_H_

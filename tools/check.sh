@@ -36,6 +36,25 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 # thread counts.
 "${build_dir}/bench/bench_obs" --smoke --json=BENCH_obs_smoke.json
 
+# Scenario-sweep smoke: a 2x2 grid (two tiny scenarios x two policies each)
+# through optimus_sweep. Exits nonzero on a scenario-validation error, an
+# incomplete job, or an invariant-audit violation. (--out routed away from
+# the committed BENCH_scenarios.json golden.)
+"${build_dir}/tools/optimus_sweep" \
+  "${repo_root}/scenarios/smoke/grid_a.json" \
+  "${repo_root}/scenarios/smoke/grid_b.json" \
+  --out=BENCH_scenarios_smoke.json > /dev/null
+grep -q '"format": "optimus-sweep-report-v1"' BENCH_scenarios_smoke.json || {
+  echo "BENCH_scenarios_smoke.json is missing the format tag" >&2; exit 1;
+}
+
+# Every committed scenario golden must carry the scenario-v1 schema version.
+for f in "${repo_root}"/scenarios/*.json "${repo_root}"/scenarios/smoke/*.json; do
+  grep -q '"schema": "scenario-v1"' "${f}" || {
+    echo "${f} is missing \"schema\": \"scenario-v1\"" >&2; exit 1;
+  }
+done
+
 # Metrics-export smoke: a short instrumented run must produce the core
 # metric keys in Prometheus text format.
 metrics_tmp="$(mktemp)"
