@@ -100,7 +100,9 @@ ConvGram AccumulateConvGram(const std::vector<LossSample>& samples) {
   return g;
 }
 
-double FitForBeta2Gram(const std::vector<LossSample>& samples, const ConvGram& g,
+// `ata` is the shared A^T A of `g` (built once per Fit; it does not depend on
+// beta2), so each candidate only rebuilds the right-hand side.
+double FitForBeta2Gram(const std::vector<LossSample>& samples, const Matrix& ata,
                        double beta2, double* beta0, double* beta1,
                        int64_t* nnls_iterations) {
   double atb0 = 0.0;
@@ -116,13 +118,11 @@ double FitForBeta2Gram(const std::vector<LossSample>& samples, const ConvGram& g
     atb1 += 1.0 * y;
     btb += y * y;
   }
-  Matrix ata(2, 2);
-  ata(0, 0) = g.step_step;
-  ata(0, 1) = g.step_one;
-  ata(1, 0) = g.step_one;
-  ata(1, 1) = g.one_one;
-  const GramSystem gram(std::move(ata), {atb0, atb1}, btb, samples.size());
-  const NnlsResult fit = SolveNnlsGram(gram);
+  static thread_local Vector atb;
+  atb.assign(2, 0.0);
+  atb[0] = atb0;
+  atb[1] = atb1;
+  const NnlsResult fit = SolveNnlsGram(ata, atb, btb);
   *nnls_iterations += fit.iterations;
   *beta0 = fit.x[0];
   *beta1 = fit.x[1];
@@ -156,6 +156,11 @@ bool ConvergenceModel::Fit() {
   }
 
   const ConvGram gram = AccumulateConvGram(pts);
+  Matrix ata(2, 2);
+  ata(0, 0) = gram.step_step;
+  ata(0, 1) = gram.step_one;
+  ata(1, 0) = gram.step_one;
+  ata(1, 1) = gram.one_one;
 
   // Refining grid over beta2 in [0, min_loss).
   double lo = 0.0;
@@ -173,7 +178,7 @@ bool ConvergenceModel::Fit() {
       double b1 = 0.0;
       const double rss =
           caching_
-              ? FitForBeta2Gram(pts, gram, beta2, &b0, &b1,
+              ? FitForBeta2Gram(pts, ata, beta2, &b0, &b1,
                                 &fit_stats_.nnls_iterations)
               : FitForBeta2(pts, beta2, &b0, &b1, &fit_stats_.nnls_iterations);
       if (rss < best_rss) {

@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <limits>
-#include <queue>
 
 #include "src/common/logging.h"
+#include "src/common/min_heap.h"
 #include "src/sched/speed_surface.h"
 
 namespace optimus {
@@ -49,6 +49,12 @@ struct Candidate {
     }
     return kind == AddKind::kPs && other.kind == AddKind::kWorker;
   }
+};
+
+// Max-first order for the shared MinHeap: a comes out before b when b ranks
+// below a under the Candidate priority above.
+struct CandidateBefore {
+  bool operator()(const Candidate& a, const Candidate& b) const { return b < a; }
 };
 
 // Marginal gain of adding one task of `kind` to the job per Eqn 9, normalized
@@ -129,7 +135,7 @@ AllocationMap OptimusAllocator::Allocate(const std::vector<SchedJob>& jobs,
   // popped, so the heap top is always an exact maximum over current gains. A
   // kind is dropped once its task no longer fits the remaining capacity
   // (capacity only shrinks within a round).
-  std::priority_queue<Candidate> heap;
+  MinHeap<Candidate, CandidateBefore> heap;
   auto push_kind = [&](size_t i, AddKind kind) {
     Candidate c;
     c.job_index = static_cast<int>(i);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <numeric>
 
 #include "src/common/logging.h"
@@ -109,23 +108,32 @@ bool TryEvenPlacement(const PlacementJobInput& job, const std::vector<size_t>& s
 class ServerPool {
  public:
   explicit ServerPool(std::vector<Server>* servers) : servers_(servers) {
+    // Bulk make_heap is O(n) versus O(n log n) for element-wise pushes; the
+    // keys (free_cpu, server index) form a strict total order, so the pop
+    // sequence — and therefore every placement decision — is identical either
+    // way.
+    heap_.reserve(servers_->size());
     for (size_t s = 0; s < servers_->size(); ++s) {
       // Crashed servers never enter the pool; availability does not change
       // within one PlaceJobs call.
       if ((*servers_)[s].available()) {
-        heap_.push({(*servers_)[s].Free().cpu(), s});
+        heap_.push_back({(*servers_)[s].Free().cpu(), s});
       }
     }
+    std::make_heap(heap_.begin(), heap_.end());
   }
 
   // Pops up to `count` distinct servers in descending free-CPU order.
   std::vector<size_t> PopMostFree(size_t count) {
     std::vector<size_t> out;
     while (out.size() < count && !heap_.empty()) {
-      const auto [free_cpu, s] = heap_.top();
-      heap_.pop();
+      std::pop_heap(heap_.begin(), heap_.end());
+      const auto [free_cpu, s] = heap_.back();
+      heap_.pop_back();
       if (free_cpu != (*servers_)[s].Free().cpu()) {
-        heap_.push({(*servers_)[s].Free().cpu(), s});  // stale; reinsert fresh
+        // Stale; reinsert fresh.
+        heap_.push_back({(*servers_)[s].Free().cpu(), s});
+        std::push_heap(heap_.begin(), heap_.end());
         continue;
       }
       out.push_back(s);
@@ -136,13 +144,14 @@ class ServerPool {
   // Returns servers to the pool (with their current free values).
   void Push(const std::vector<size_t>& servers) {
     for (size_t s : servers) {
-      heap_.push({(*servers_)[s].Free().cpu(), s});
+      heap_.push_back({(*servers_)[s].Free().cpu(), s});
+      std::push_heap(heap_.begin(), heap_.end());
     }
   }
 
  private:
   std::vector<Server>* servers_;
-  std::priority_queue<std::pair<double, size_t>> heap_;
+  std::vector<std::pair<double, size_t>> heap_;
 };
 
 // Places one job under the Optimus scheme; returns false when no k works.
@@ -228,13 +237,13 @@ bool PlacePerTask(const PlacementJobInput& job, PickRule rule,
         placement->used_servers.end());
     return true;
   }
-  // Roll back.
+  // Roll back — only the entries this attempt touched, so the vectors stay
+  // all-zero without an O(servers) sweep.
   for (const Step& step : committed) {
     (*servers)[step.server].Release(step.demand);
+    placement->ps_per_server[step.server] = 0;
+    placement->workers_per_server[step.server] = 0;
   }
-  std::fill(placement->ps_per_server.begin(), placement->ps_per_server.end(), 0);
-  std::fill(placement->workers_per_server.begin(), placement->workers_per_server.end(),
-            0);
   return false;
 }
 
@@ -243,7 +252,14 @@ bool PlacePerTask(const PlacementJobInput& job, PickRule rule,
 PlacementResult PlaceJobs(PlacementPolicy policy,
                           const std::vector<PlacementJobInput>& jobs,
                           std::vector<Server> servers, bool shrink_to_fit) {
+  return PlaceJobs(policy, jobs, &servers, shrink_to_fit);
+}
+
+PlacementResult PlaceJobs(PlacementPolicy policy,
+                          const std::vector<PlacementJobInput>& jobs,
+                          std::vector<Server>* servers_in, bool shrink_to_fit) {
   PlacementResult result;
+  std::vector<Server>& servers = *servers_in;
   const size_t n_servers = servers.size();
 
   // Smallest jobs first (total dominant footprint) to avoid starving them.
@@ -271,8 +287,29 @@ PlacementResult PlaceJobs(PlacementPolicy policy,
     // Failed attempts leave the dense vectors all-zero (TryEvenPlacement only
     // commits on success; PlacePerTask rolls back), so one allocation serves
     // every shrink retry.
-    placement.workers_per_server.assign(n_servers, 0);
-    placement.ps_per_server.assign(n_servers, 0);
+    if (job.recycle != nullptr &&
+        job.recycle->workers_per_server.size() == n_servers &&
+        job.recycle->ps_per_server.size() == n_servers) {
+      // Adopt the donor's buffers and re-zero only its occupied entries
+      // (used_servers covers every nonzero slot by contract). A donor without
+      // the sparse index still saves the allocation: zero it in place.
+      placement = std::move(*job.recycle);
+      if (placement.used_servers.empty()) {
+        std::fill(placement.workers_per_server.begin(),
+                  placement.workers_per_server.end(), 0);
+        std::fill(placement.ps_per_server.begin(), placement.ps_per_server.end(),
+                  0);
+      } else {
+        for (int s : placement.used_servers) {
+          placement.workers_per_server[static_cast<size_t>(s)] = 0;
+          placement.ps_per_server[static_cast<size_t>(s)] = 0;
+        }
+        placement.used_servers.clear();
+      }
+    } else {
+      placement.workers_per_server.assign(n_servers, 0);
+      placement.ps_per_server.assign(n_servers, 0);
+    }
     while (true) {
       switch (policy) {
         case PlacementPolicy::kOptimusPack:

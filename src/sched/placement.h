@@ -39,6 +39,13 @@ struct PlacementJobInput {
   Allocation alloc;
   Resources worker_demand;
   Resources ps_demand;
+  // Optional donor for the result's dense per-server vectors: when set (and
+  // sized to the server list), PlaceJobs moves the buffers out of the pointee
+  // and sparsely re-zeroes them via used_servers instead of allocating and
+  // zero-filling two server-sized vectors per job — the dominant placement
+  // cost on large clusters. The pointee is left moved-from; callers must not
+  // read it again before reassigning it. Placement decisions are unaffected.
+  JobPlacement* recycle = nullptr;
 };
 
 struct PlacementResult {
@@ -62,6 +69,15 @@ struct PlacementResult {
 PlacementResult PlaceJobs(PlacementPolicy policy,
                           const std::vector<PlacementJobInput>& jobs,
                           std::vector<Server> servers, bool shrink_to_fit = true);
+
+// In-place variant: mutates `*servers` directly instead of consuming a copy.
+// Lets a caller that reschedules every round keep one scratch server vector
+// (refreshed by element-wise assignment, which reuses its capacity) instead
+// of copy-constructing a fresh one per call. Decisions are identical to the
+// by-value overload.
+PlacementResult PlaceJobs(PlacementPolicy policy,
+                          const std::vector<PlacementJobInput>& jobs,
+                          std::vector<Server>* servers, bool shrink_to_fit = true);
 
 }  // namespace optimus
 

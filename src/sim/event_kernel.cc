@@ -1,0 +1,33 @@
+#include "src/sim/event_kernel.h"
+
+namespace optimus {
+
+const char* SimEventKindName(SimEventKind kind) {
+  switch (kind) {
+    case SimEventKind::kArrival:
+      return "arrival";
+    case SimEventKind::kEpoch:
+      return "epoch";
+    case SimEventKind::kFaultPlan:
+      return "fault_plan";
+    case SimEventKind::kRound:
+      return "round";
+  }
+  return "unknown";
+}
+
+void EventQueue::PopBatch(std::vector<SimKernelEvent>* batch) {
+  batch->clear();
+  if (heap_.empty()) {
+    return;
+  }
+  const double time_s = heap_.top().time_s;
+  const SimEventKind kind = heap_.top().kind;
+  while (!heap_.empty() && heap_.top().time_s == time_s &&
+         heap_.top().kind == kind) {
+    batch->push_back(heap_.top());
+    heap_.pop();
+  }
+}
+
+}  // namespace optimus

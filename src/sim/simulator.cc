@@ -49,6 +49,28 @@ std::unique_ptr<Allocator> MakeAllocator(const SimulatorConfig& config,
 
 }  // namespace
 
+const char* SimEngineName(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::kInterval:
+      return "interval";
+    case SimEngine::kEvents:
+      return "events";
+  }
+  return "unknown";
+}
+
+bool ParseSimEngine(const std::string& name, SimEngine* out) {
+  if (name == "interval") {
+    *out = SimEngine::kInterval;
+    return true;
+  }
+  if (name == "events") {
+    *out = SimEngine::kEvents;
+    return true;
+  }
+  return false;
+}
+
 bool SimulatorConfig::Validate(std::vector<std::string>* errors) const {
   std::vector<std::string> local;
   const auto bad = [&](const std::string& field, const std::string& problem) {
@@ -80,6 +102,10 @@ bool SimulatorConfig::Validate(std::vector<std::string>* errors) const {
   if (conv_samples_per_interval < 1) {
     bad("conv_samples_per_interval",
         "must be >= 1 (got " + std::to_string(conv_samples_per_interval) + ")");
+  }
+  if (conv_samples_per_epoch < 1) {
+    bad("conv_samples_per_epoch",
+        "must be >= 1 (got " + std::to_string(conv_samples_per_epoch) + ")");
   }
   if (conv_fit_points < 0) {
     bad("conv_fit_points", "must be >= 0 (got " + std::to_string(conv_fit_points) + ")");
@@ -268,6 +294,18 @@ void Simulator::SetupObservability() {
           "Speed-model fits answered by the dirty-flag cache.");
     m_.speedmodel_nnls_iterations = c("optimus_speedmodel_nnls_iterations_total",
                                       "NNLS iterations spent in speed-model fits.");
+    m_.events_processed = c("optimus_events_processed_total",
+                            "Discrete events handled by the event kernel "
+                            "(stale-dropped entries excluded).");
+    for (int k = 0; k < kNumSimEventKinds; ++k) {
+      const std::string name = std::string("optimus_events_") +
+                               SimEventKindName(static_cast<SimEventKind>(k)) +
+                               "_total";
+      const std::string help = std::string("Event-kernel events of kind ") +
+                               SimEventKindName(static_cast<SimEventKind>(k)) +
+                               " handled.";
+      m_.events_by_kind[k] = registry_.AddCounter(name, help);
+    }
     m_.sim_time = registry_.AddGauge("optimus_sim_time_seconds", "Simulated time.");
     m_.running_tasks = registry_.AddGauge(
         "optimus_running_tasks", "Tasks (workers + PS) running last interval.");
@@ -285,6 +323,7 @@ void Simulator::SetupObservability() {
   phase_schedule_ = profiler_.RegisterPhase("schedule");
   phase_advance_ = profiler_.RegisterPhase("advance");
   phase_audit_ = profiler_.RegisterPhase("audit");
+  phase_events_ = profiler_.RegisterPhase("events");
 }
 
 void Simulator::SampleObservability() {
@@ -343,6 +382,11 @@ void Simulator::SampleObservability() {
   m_.speedmodel_fits->Set(static_cast<double>(speedm.fits));
   m_.speedmodel_fit_cache_hits->Set(static_cast<double>(speedm.fit_cache_hits));
   m_.speedmodel_nnls_iterations->Set(static_cast<double>(speedm.nnls_iterations));
+  m_.events_processed->Set(static_cast<double>(event_counts_.total()));
+  for (int k = 0; k < kNumSimEventKinds; ++k) {
+    m_.events_by_kind[k]->Set(
+        static_cast<double>(event_counts_.counts[static_cast<size_t>(k)]));
+  }
   m_.sim_time->Set(now_s_);
 
   if (config_.obs.per_interval_series) {
@@ -574,14 +618,28 @@ double Simulator::BackgroundShare(double t) const {
          (0.5 + 0.5 * std::sin(kTwoPi * t / config_.background_period_s));
 }
 
+void Simulator::HarvestPlacement(Job* job) {
+  JobPlacement* p = job->mutable_placement();
+  if (p->workers_per_server.size() == servers_.size() &&
+      p->ps_per_server.size() == servers_.size()) {
+    placement_spares_.push_back(std::move(*p));
+    *p = JobPlacement{};
+  }
+}
+
 void Simulator::EvictJob(JobRuntime* jr, const std::string& reason) {
   Job& job = jr->job;
   const double lost = job.RollbackToCheckpoint();
   metrics_.rolled_back_steps += lost;
   job.AddStall(CheckpointStallSeconds(*job.spec().model, config_.checkpoint));
+  HarvestPlacement(&job);
   job.SetAllocation(0, 0, {});
   job.set_state(job.steps_done() > 0 ? JobState::kPaused : JobState::kPending);
   jr->load_valid = false;
+  // Event engine: the job stops training immediately; any pending epoch
+  // event is now stale. No-op under the interval engine.
+  jr->seg_active = false;
+  ++jr->gen;
   auditor_.NoteRollback(job.id());
   auditor_.ClearPlacement(job.id());
   ++metrics_.job_evictions;
@@ -623,6 +681,9 @@ void Simulator::ApplyFaults() {
   }
 
   const FaultInjector::IntervalFaults faults = faults_->Advance(now_s_);
+  if (!faults.recovered.empty() || !faults.crashed.empty()) {
+    placeable_cap_valid_ = false;  // availability changed
+  }
   if (faults.slow_factor != cluster_slow_factor_) {
     cluster_slow_factor_ = faults.slow_factor;
     trace_.RecordFactor(now_s_, SimEventType::kSlowdown, kClusterEventJobId,
@@ -760,12 +821,18 @@ void Simulator::ScheduleActiveJobs() {
       break;
     }
   }
-  Resources capacity = PlaceableCapacity(servers_, reference_demand);
+  if (!placeable_cap_valid_ || !(placeable_cap_demand_ == reference_demand)) {
+    placeable_cap_cache_ = PlaceableCapacity(servers_, reference_demand);
+    placeable_cap_demand_ = reference_demand;
+    placeable_cap_valid_ = true;
+  }
+  Resources capacity = placeable_cap_cache_;
 
   // Carve out the background-workload reservation: shrink the allocatable
   // capacity and pre-occupy the same fraction of every server.
   const double bg_share = BackgroundShare(now_s_);
-  std::vector<Server> servers = servers_;
+  servers_scratch_ = servers_;
+  std::vector<Server>& servers = servers_scratch_;
   if (bg_share > 0.0) {
     capacity = capacity * (1.0 - bg_share);
     for (Server& s : servers) {
@@ -850,22 +917,36 @@ void Simulator::ScheduleActiveJobs() {
 
   // Placement covers frozen jobs (at their existing counts) plus newly
   // allocated ones.
+  // Each job donates last round's placement buffers for reuse (recycle): the
+  // apply loop below unconditionally reassigns every active job's placement,
+  // so nothing reads the moved-from state. Jobs without sized buffers (first
+  // placement, or buffers harvested on pause/eviction) draw from the spare
+  // pool first so steady-state rounds allocate no server-sized vectors.
+  auto donor = [this](JobRuntime* jr) {
+    JobPlacement* p = jr->job.mutable_placement();
+    if (p->workers_per_server.empty() && !placement_spares_.empty()) {
+      *p = std::move(placement_spares_.back());
+      placement_spares_.pop_back();
+    }
+    return p;
+  };
   std::vector<PlacementJobInput> inputs;
   for (JobRuntime* jr : frozen) {
     inputs.push_back({jr->job.id(),
                       {jr->job.num_ps(), jr->job.num_workers()},
                       jr->job.spec().worker_demand,
-                      jr->job.spec().ps_demand});
+                      jr->job.spec().ps_demand,
+                      donor(jr)});
   }
   for (JobRuntime* jr : schedulable) {
     Allocation a;
     if (auto it = alloc.find(jr->job.id()); it != alloc.end()) {
       a = it->second;
     }
-    inputs.push_back(
-        {jr->job.id(), a, jr->job.spec().worker_demand, jr->job.spec().ps_demand});
+    inputs.push_back({jr->job.id(), a, jr->job.spec().worker_demand,
+                      jr->job.spec().ps_demand, donor(jr)});
   }
-  PlacementResult placed = PlaceJobs(config_.placement, inputs, std::move(servers));
+  PlacementResult placed = PlaceJobs(config_.placement, inputs, &servers);
 
   // Index the placement result once instead of two map lookups per job: the
   // two maps carry identical key sets (both filled on successful placement),
@@ -928,6 +1009,7 @@ void Simulator::ScheduleActiveJobs() {
                        a.num_workers);
       }
     } else {
+      HarvestPlacement(&jr->job);
       jr->job.SetAllocation(0, 0, {});
       auditor_.ClearPlacement(id);
       jr->job.set_state(jr->job.steps_done() > 0 ? JobState::kPaused
@@ -1114,6 +1196,7 @@ void Simulator::AdvanceInterval() {
   int running_tasks = 0;
   RunningStat worker_util;
   RunningStat ps_util;
+  std::vector<size_t> done;
   for (size_t i = 0; i < running.size(); ++i) {
     const AdvanceOutcome& out = outcomes[i];
     JobRuntime* jr = running[i];
@@ -1121,19 +1204,8 @@ void Simulator::AdvanceInterval() {
       ++completed_;
       ++metrics_.completed_jobs;
       auditor_.ClearPlacement(jr->job.id());
-      trace_.RecordEpochs(now_s_ + dt, SimEventType::kCompleted, jr->job.id(),
-                          out.event_ps, out.event_workers, out.completed_epoch);
-      flight_.Record(now_s_ + dt, FlightEventKind::kCompleted, jr->job.id(),
-                     out.event_ps, out.event_workers,
-                     static_cast<double>(out.completed_epoch));
-      if (m_.jct_seconds != nullptr) {
-        m_.jct_seconds->Record(jr->job.Jct());
-        m_.completed_epochs->Record(static_cast<double>(out.completed_epoch));
-      }
-    }
-    if (out.lr_drop) {
-      trace_.Record(now_s_ + dt, SimEventType::kLearningRateDrop, jr->job.id(),
-                    out.event_ps, out.event_workers);
+      HarvestPlacement(&jr->job);
+      done.push_back(i);
     }
     if (!out.ran) {
       continue;
@@ -1141,6 +1213,44 @@ void Simulator::AdvanceInterval() {
     running_tasks += out.tasks;
     worker_util.Add(out.worker_util);
     ps_util.Add(out.ps_util);
+  }
+
+  // Record completions at their analytic times (interpolated to the epoch
+  // boundary by AdvanceJob), not the interval boundary: quantizing the
+  // trace/flight stamp to now + dt inflated apparent completion times by up
+  // to a full interval. JCT itself was always exact — MarkCompleted
+  // interpolates — so only the recorded timestamps move. Emission is sorted
+  // by (time, job id) because the trace requires time-ordered records and
+  // completions land anywhere inside the interval; lr-drop events follow at
+  // the boundary, at or after every completion time.
+  std::sort(done.begin(), done.end(), [&](size_t a, size_t b) {
+    const double ta = running[a]->job.completion_time_s();
+    const double tb = running[b]->job.completion_time_s();
+    if (ta != tb) {
+      return ta < tb;
+    }
+    return running[a]->job.id() < running[b]->job.id();
+  });
+  for (size_t i : done) {
+    const AdvanceOutcome& out = outcomes[i];
+    JobRuntime* jr = running[i];
+    const double done_s = jr->job.completion_time_s();
+    trace_.RecordEpochs(done_s, SimEventType::kCompleted, jr->job.id(),
+                        out.event_ps, out.event_workers, out.completed_epoch);
+    flight_.Record(done_s, FlightEventKind::kCompleted, jr->job.id(),
+                   out.event_ps, out.event_workers,
+                   static_cast<double>(out.completed_epoch));
+    if (m_.jct_seconds != nullptr) {
+      m_.jct_seconds->Record(jr->job.Jct());
+      m_.completed_epochs->Record(static_cast<double>(out.completed_epoch));
+    }
+  }
+  for (size_t i = 0; i < running.size(); ++i) {
+    if (outcomes[i].lr_drop) {
+      trace_.Record(now_s_ + dt, SimEventType::kLearningRateDrop,
+                    running[i]->job.id(), outcomes[i].event_ps,
+                    outcomes[i].event_workers);
+    }
   }
 
   if (config_.record_timeline) {
@@ -1215,7 +1325,11 @@ bool Simulator::StepInterval() {
 }
 
 RunMetrics Simulator::Run() {
-  while (StepInterval()) {
+  if (config_.engine == SimEngine::kEvents) {
+    RunEvents();
+  } else {
+    while (StepInterval()) {
+    }
   }
 
   // Aggregate.

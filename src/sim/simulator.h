@@ -36,6 +36,7 @@
 #include "src/sched/placement.h"
 #include "src/sched/scheduler.h"
 #include "src/sched/scheduler_registry.h"
+#include "src/sim/event_kernel.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/invariant_auditor.h"
 #include "src/sim/metrics.h"
@@ -67,8 +68,24 @@ struct ObservabilityConfig {
   bool per_interval_series = false;
 };
 
+// Run-loop engine. Both engines share the policy path (fault pipeline,
+// scheduling rounds, auditing) and the determinism contract; they differ in
+// how simulated time advances between rounds. kInterval polls every job once
+// per interval; kEvents (src/sim/event_kernel.h) advances jobs lazily between
+// their own analytically-computed events. The interval engine is the parity
+// baseline; see docs/ALGORITHMS.md §16 for the documented tolerance.
+enum class SimEngine {
+  kInterval,
+  kEvents,
+};
+
+const char* SimEngineName(SimEngine engine);
+// Parses "interval" / "events"; returns false on anything else.
+bool ParseSimEngine(const std::string& name, SimEngine* out);
+
 struct SimulatorConfig {
   AllocatorPolicy allocator = AllocatorPolicy::kOptimus;
+  SimEngine engine = SimEngine::kInterval;
   // SchedulerRegistry policy name constructing the allocator. Empty (the
   // default) derives the name from the `allocator` family, so configs that
   // only set the enum keep working; ApplySchedulerPolicy (experiment.h) sets
@@ -89,6 +106,13 @@ struct SimulatorConfig {
   double runtime_noise_sd = 0.03;
   // Convergence-model feeding: loss samples per interval.
   int conv_samples_per_interval = 20;
+  // Event-engine convergence feeding: loss samples observed per completed
+  // epoch. The interval engine's per-interval sample count is a polling-rate
+  // artifact; the event engine observes at the natural epoch granularity
+  // (sub-epoch losses are strongly correlated, so a couple per epoch keeps
+  // the fit quality while decoupling feeding cost from the polling rate;
+  // fit cost per refresh is linear in the accumulated sample count).
+  int conv_samples_per_epoch = 2;
   // Convergence-fit fidelity: cap on the points handed to the NNLS solver
   // after downsampling (0 = the model's default, 512). Higher values fit the
   // full loss history — affordable with the Gram-cached refits, linearly
@@ -240,6 +264,26 @@ class Simulator {
     int consecutive_evictions = 0;
     double backoff_until_s = -1.0;
     double last_checkpoint_time_s = 0.0;
+
+    // --- Event-engine segment state (simulator_events.cc) ------------------
+    // While seg_active, the job trains at seg_speed steps/s from seg_anchor_s
+    // onward (any stall_remaining_s is served first); seg_next_epoch is the
+    // next unobserved epoch boundary. Bumping gen invalidates every pending
+    // heap event for the job (lazy invalidation, see event_kernel.h).
+    uint64_t gen = 0;
+    bool seg_active = false;
+    double seg_anchor_s = 0.0;
+    double seg_speed = 0.0;        // post-noise, post-slowdown steps/s
+    double seg_noise = 1.0;        // the round's noise draw, kept so a
+                                   // mid-round slowdown edge can recompute
+                                   // seg_speed without a fresh draw
+    int64_t seg_next_epoch = 0;
+    // Speed-model measurement snapshotted at segment rebuild and fed at the
+    // next round's model refresh (the (p, w) the measured span ran at).
+    int seg_sample_ps = 0;
+    int seg_sample_workers = 0;
+    double seg_sample_speed = 0.0;
+    bool ran_since_round = false;  // trained since the last model refresh
   };
 
   // Buffered side effects of advancing one job through one interval; the
@@ -258,6 +302,46 @@ class Simulator {
     double ps_util = 0.0;
     int tasks = 0;
   };
+
+  // Buffered side effects of one job's epoch-boundary event (event engine);
+  // merged serially in event order, like AdvanceOutcome for intervals.
+  struct EpochOutcome {
+    bool completed = false;
+    int64_t completed_epoch = 0;
+    bool lr_drop = false;
+    int event_ps = 0;
+    int event_workers = 0;
+    bool push_next = false;  // job keeps training: next epoch event to enqueue
+    double next_time_s = 0.0;
+  };
+
+  // --- Event-engine run loop (simulator_events.cc) --------------------------
+  // Drains the event queue until every job completed or the time cap; the
+  // shared aggregation tail in Run() finishes the metrics either way.
+  void RunEvents();
+  // Seeds the queue: one kArrival per job at its spec arrival time, one
+  // kFaultPlan per distinct scripted fault-plan edge, the first kRound.
+  void EnqueueStaticEvents();
+  // Advances a segment-active job's training to `t` (no epoch boundary in
+  // (anchor, t): boundaries get their own events). Serves stall first.
+  void SettleJob(JobRuntime* jr, double t);
+  // Parallel per-job part of an epoch event: settle to the boundary, record
+  // the epoch loss, feed conv samples, detect convergence / lr-drop.
+  void HandleEpochEvent(JobRuntime* jr, double t, EpochOutcome* out);
+  // Same-timestamp epoch batch: fan out HandleEpochEvent over the pool,
+  // merge outcomes serially in event (job id) order.
+  void ProcessEpochBatch(const std::vector<SimKernelEvent>& batch);
+  // A scripted fault-plan edge between rounds: apply server/slowdown
+  // transitions at their exact time and re-anchor affected segments.
+  void HandleFaultPlanEvent(double t);
+  // The periodic Algorithm-1 round: settle everyone, refresh models, run the
+  // shared fault pipeline + scheduling + audit, rebuild segments, sample.
+  void HandleRoundEvent(double t);
+  // Per-dirty-job model refresh at a round (speed sample + lazy fits).
+  void RefreshModels();
+  // Draws the round's speed noise, recomputes each running job's segment,
+  // and enqueues its next epoch event.
+  void RebuildSegments();
 
   void ActivateArrivals();
   // Scheduler view of a job (estimates only).
@@ -280,6 +364,13 @@ class Simulator {
   // last checkpoint, charges the restore stall, releases the allocation, and
   // applies the relaunch backoff policy.
   void EvictJob(JobRuntime* jr, const std::string& reason);
+  // Reclaims a job's dense placement vectors into the spare pool when the job
+  // leaves the cluster (completion, eviction, pause). Paired with the donor
+  // path in ScheduleActiveJobs, steady-state rounds then recirculate a small
+  // working set of server-sized buffers instead of allocating (and
+  // page-faulting) fresh ones per first placement. No-op if the buffers were
+  // already moved out or never sized.
+  void HarvestPlacement(Job* job);
   void RunAudit();
   // Fraction of every server reserved for the background workload at time t.
   double BackgroundShare(double t) const;
@@ -295,6 +386,19 @@ class Simulator {
 
   SimulatorConfig config_;
   std::vector<Server> servers_;
+  // Spare dense placement buffers (see HarvestPlacement); order is
+  // deterministic because harvest and donation both happen in serial,
+  // job-ordered code, and buffer identity never affects decisions.
+  std::vector<JobPlacement> placement_spares_;
+  // Scratch copy of servers_ for each scheduling round's placement pass;
+  // element-wise refreshed so its heap allocation is made once.
+  std::vector<Server> servers_scratch_;
+  // PlaceableCapacity(servers_, demand) memo: servers_ only changes
+  // placement-relevant state (availability) on fault edges, which invalidate
+  // the memo; a different reference demand recomputes it.
+  Resources placeable_cap_cache_;
+  Resources placeable_cap_demand_;
+  bool placeable_cap_valid_ = false;
   std::vector<std::unique_ptr<JobRuntime>> jobs_;
   std::map<int, size_t> job_index_;  // job id -> index in jobs_
   std::unique_ptr<ThreadPool> pool_;  // per-job parallelism (see threads)
@@ -312,6 +416,11 @@ class Simulator {
   RunMetrics metrics_;
   EventTrace trace_;
 
+  // --- Event engine ---------------------------------------------------------
+  EventQueue events_;
+  EventKindCounts event_counts_;  // processed (non-stale) events by kind
+  int64_t events_stale_dropped_ = 0;
+
   // --- Observability -------------------------------------------------------
   MetricsRegistry registry_;  // empty when config_.obs.enabled is false
   FlightRecorder flight_;     // depth 0 (no-op) when observability is off
@@ -321,6 +430,7 @@ class Simulator {
   int phase_schedule_ = 0;
   int phase_advance_ = 0;
   int phase_audit_ = 0;
+  int phase_events_ = 0;  // event-kernel dispatch/settle/rebuild (events engine)
   // Speed-surface totals harvested from each scheduling round's surface set.
   int64_t surface_probes_ = 0;
   int64_t surface_evals_ = 0;
@@ -356,6 +466,8 @@ class Simulator {
     Counter* speedmodel_fits = nullptr;
     Counter* speedmodel_fit_cache_hits = nullptr;
     Counter* speedmodel_nnls_iterations = nullptr;
+    Counter* events_processed = nullptr;
+    Counter* events_by_kind[kNumSimEventKinds] = {};
     Gauge* sim_time = nullptr;
     Gauge* running_tasks = nullptr;
     Histogram* jct_seconds = nullptr;

@@ -1,0 +1,559 @@
+// Event-engine run loop (SimEngine::kEvents); see src/sim/event_kernel.h for
+// the kernel design and docs/ALGORITHMS.md §16 for the determinism argument
+// and the parity contract against the interval engine.
+//
+// Structure: simulated activity is a deterministic event queue. Scheduling
+// rounds stay periodic (one kRound per interval, Algorithm-1 cadence) and
+// reuse the interval engine's fault pipeline, scheduler round, and auditor
+// verbatim; between rounds each job advances only at its own analytically
+// computed epoch-completion events, so untouched jobs cost zero work. Every
+// RNG draw flows through job-owned streams in event order and every
+// shared-state effect is buffered per event and merged serially in key
+// order, keeping outputs bitwise identical for any --threads.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+#include "src/sim/simulator.h"
+
+namespace optimus {
+
+void Simulator::EnqueueStaticEvents() {
+  events_.reserve(jobs_.size() * 2 + 64);
+  for (const auto& jr : jobs_) {
+    events_.Push({jr->job.spec().arrival_time_s, SimEventKind::kArrival,
+                  jr->job.id(), 0});
+  }
+  // One kFaultPlan event per distinct scripted edge time; the handler applies
+  // every transition due at that instant, so duplicates would be redundant.
+  std::vector<double> edges;
+  for (const ServerOutage& outage : config_.fault.plan.outages) {
+    edges.push_back(outage.start_s);
+    if (std::isfinite(outage.recover_s)) {
+      edges.push_back(outage.recover_s);
+    }
+  }
+  for (const SlowdownBurst& burst : config_.fault.plan.slowdowns) {
+    edges.push_back(burst.start_s);
+    edges.push_back(burst.end_s);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (double t : edges) {
+    events_.Push({t, SimEventKind::kFaultPlan, -1, 0});
+  }
+  events_.Push({0.0, SimEventKind::kRound, -1, 0});
+}
+
+void Simulator::SettleJob(JobRuntime* jr, double t) {
+  if (!jr->seg_active) {
+    return;
+  }
+  const double dt = t - jr->seg_anchor_s;
+  if (dt <= 0.0) {
+    return;
+  }
+  const double stalled = jr->job.ConsumeStall(dt);
+  const double train = dt - stalled;
+  if (train > 0.0 && jr->seg_speed > 0.0) {
+    // No epoch boundary lies inside (anchor, t) — boundaries get their own
+    // events — so cap the advance at the next boundary to keep floating-point
+    // drift from overshooting an unobserved epoch.
+    const double spe = static_cast<double>(jr->job.spec().StepsPerEpoch());
+    const double cap = std::max(
+        0.0, static_cast<double>(jr->seg_next_epoch) * spe - jr->job.steps_done());
+    jr->job.AdvanceSteps(std::min(train * jr->seg_speed, cap));
+    // Live tasks made progress: reset the relaunch-backoff streak, as the
+    // interval engine does for any interval with training time.
+    jr->consecutive_evictions = 0;
+    jr->backoff_until_s = -1.0;
+    jr->ran_since_round = true;
+  }
+  jr->seg_anchor_s = t;
+}
+
+void Simulator::HandleEpochEvent(JobRuntime* jr, double t, EpochOutcome* out) {
+  Job& job = jr->job;
+  const JobSpec& spec = job.spec();
+  const double spe = static_cast<double>(spec.StepsPerEpoch());
+  const int64_t e = jr->seg_next_epoch;
+
+  // Settle to the boundary. The event time was computed as
+  // anchor + stall + (boundary - steps) / speed, so the stall is consumed en
+  // route and the advance lands exactly on the boundary (forced, to keep the
+  // boundary arithmetic free of accumulated rounding).
+  const double dt = t - jr->seg_anchor_s;
+  if (dt > 0.0) {
+    jr->job.ConsumeStall(dt);
+  }
+  job.AdvanceSteps(std::max(0.0, static_cast<double>(e) * spe - job.steps_done()));
+  jr->seg_anchor_s = t;
+  jr->consecutive_evictions = 0;
+  jr->backoff_until_s = -1.0;
+  jr->ran_since_round = true;
+
+  const double epoch_loss =
+      jr->curve.TrueLossAtEpoch(static_cast<double>(e)) *
+      jr->rng.LogNormalFactor(spec.model->loss.noise_sd * 0.3);
+  const bool completed = job.RecordEpochLoss(epoch_loss);
+
+  if (!config_.oracle_estimates) {
+    // Observe per-step losses across the completed epoch. Feeding is the hot
+    // path of the interval engine's advance; here it is a handful of samples
+    // per epoch and the fits are deferred to the round's model refresh.
+    const int n = config_.conv_samples_per_epoch;
+    const double epoch_start = static_cast<double>(e - 1) * spe;
+    for (int i = 1; i <= n; ++i) {
+      const double step = epoch_start + spe * i / n;
+      if (step <= 0.0) {
+        continue;
+      }
+      const double sample =
+          jr->curve.SampleLossAtStep(static_cast<int64_t>(step), &jr->rng);
+      jr->conv->AddSample(step, sample);
+      if (jr->multi_conv != nullptr) {
+        jr->multi_conv->AddSample(step, sample);
+      }
+    }
+  }
+
+  if (spec.lr_drop.has_value() && !jr->lr_drop_handled &&
+      job.EpochsDone() >= spec.lr_drop->epoch) {
+    jr->lr_drop_handled = true;
+    if (jr->conv != nullptr) {
+      jr->conv->Reset();
+    }
+    if (jr->multi_conv != nullptr) {
+      jr->multi_conv->Reset();
+    }
+    out->lr_drop = true;
+  }
+  out->event_ps = job.num_ps();
+  out->event_workers = job.num_workers();
+
+  if (completed) {
+    // Exact analytic completion time — no interval-boundary quantization.
+    job.MarkCompleted(t);
+    jr->seg_active = false;
+    ++jr->gen;
+    out->completed = true;
+    out->completed_epoch = e;
+  } else {
+    jr->seg_next_epoch = e + 1;
+    out->push_next = true;
+    out->next_time_s = t + job.stall_remaining_s() + spe / jr->seg_speed;
+  }
+}
+
+void Simulator::ProcessEpochBatch(const std::vector<SimKernelEvent>& batch) {
+  const double t = batch.front().time_s;
+
+  // Stale filter (serial, cheap): events whose generation no longer matches
+  // were superseded by a reschedule, an eviction, or completion.
+  std::vector<JobRuntime*> live;
+  live.reserve(batch.size());
+  {
+    ScopedTimer timer(&profiler_, phase_events_);
+    for (const SimKernelEvent& event : batch) {
+      const auto it = job_index_.find(static_cast<int>(event.job_id));
+      OPTIMUS_CHECK(it != job_index_.end());
+      JobRuntime* jr = jobs_[it->second].get();
+      if (!jr->seg_active || jr->gen != event.gen) {
+        ++events_stale_dropped_;
+        continue;
+      }
+      live.push_back(jr);
+    }
+  }
+  if (live.empty()) {
+    return;
+  }
+
+  // Fan the per-job handlers out over the pool: each touches only job-owned
+  // state and buffers shared-state effects in its index-owned slot; the merge
+  // below applies them serially in event (ascending job id) order.
+  std::vector<EpochOutcome> outcomes(live.size());
+  {
+    ScopedTimer timer(&profiler_, phase_events_);
+    if (pool_ != nullptr && live.size() > 1) {
+      pool_->ParallelFor(static_cast<int64_t>(live.size()),
+                         [&](int64_t i) { HandleEpochEvent(live[i], t, &outcomes[i]); });
+    } else {
+      for (size_t i = 0; i < live.size(); ++i) {
+        HandleEpochEvent(live[i], t, &outcomes[i]);
+      }
+    }
+
+    for (size_t i = 0; i < live.size(); ++i) {
+      JobRuntime* jr = live[i];
+      const EpochOutcome& out = outcomes[i];
+      event_counts_.Note(SimEventKind::kEpoch);
+      if (out.completed) {
+        ++completed_;
+        ++metrics_.completed_jobs;
+        auditor_.ClearPlacement(jr->job.id());
+        HarvestPlacement(&jr->job);
+        trace_.RecordEpochs(t, SimEventType::kCompleted, jr->job.id(),
+                            out.event_ps, out.event_workers, out.completed_epoch);
+        flight_.Record(t, FlightEventKind::kCompleted, jr->job.id(), out.event_ps,
+                       out.event_workers,
+                       static_cast<double>(out.completed_epoch));
+        if (m_.jct_seconds != nullptr) {
+          m_.jct_seconds->Record(jr->job.Jct());
+          m_.completed_epochs->Record(static_cast<double>(out.completed_epoch));
+        }
+      }
+      if (out.lr_drop) {
+        trace_.Record(t, SimEventType::kLearningRateDrop, jr->job.id(),
+                      out.event_ps, out.event_workers);
+      }
+      if (out.push_next) {
+        events_.Push({out.next_time_s, SimEventKind::kEpoch, jr->job.id(),
+                      jr->gen});
+      }
+    }
+  }
+}
+
+void Simulator::HandleFaultPlanEvent(double t) {
+  const FaultInjector::IntervalFaults faults = faults_->Advance(t);
+  if (!faults.recovered.empty() || !faults.crashed.empty()) {
+    placeable_cap_valid_ = false;  // availability changed
+  }
+  const bool slow_changed = faults.slow_factor != cluster_slow_factor_;
+  if (slow_changed) {
+    cluster_slow_factor_ = faults.slow_factor;
+    trace_.RecordFactor(t, SimEventType::kSlowdown, kClusterEventJobId,
+                        cluster_slow_factor_);
+    flight_.Record(t, FlightEventKind::kSlowdown, -1, 0, 0,
+                   cluster_slow_factor_);
+  }
+  for (int sid : faults.recovered) {
+    servers_[static_cast<size_t>(sid)].SetAvailable(true);
+    ++metrics_.server_recoveries;
+    trace_.RecordServer(t, SimEventType::kServerRecovered, kClusterEventJobId,
+                        sid);
+    flight_.Record(t, FlightEventKind::kServerRecovered, -1, sid);
+  }
+  for (int sid : faults.crashed) {
+    servers_[static_cast<size_t>(sid)].SetAvailable(false);
+    ++metrics_.server_crashes;
+    trace_.RecordServer(t, SimEventType::kServerCrash, kClusterEventJobId, sid);
+    flight_.Record(t, FlightEventKind::kServerCrash, -1, sid);
+  }
+
+  // Evict at the exact crash instant: a job that loses tasks mid-round stops
+  // training then, not at the next boundary (EvictJob settles nothing — the
+  // rollback discards the un-checkpointed span anyway — and deactivates the
+  // job's segment, invalidating its pending epoch event).
+  if (faults_->servers_down() > 0) {
+    for (auto& jr : jobs_) {
+      if (!jr->arrived || jr->job.state() == JobState::kCompleted ||
+          jr->job.placement().empty()) {
+        continue;
+      }
+      const JobPlacement& placement = jr->job.placement();
+      bool hit = false;
+      std::string detail;
+      placement.ForEachUsed([&](size_t s, int w_k, int p_k) {
+        if (hit || (w_k <= 0 && p_k <= 0)) {
+          return;
+        }
+        if (!servers_[s].available()) {
+          hit = true;
+          detail = "server=" + std::to_string(servers_[s].id());
+        }
+      });
+      if (hit) {
+        // Settle to the crash instant first so progress up to t is kept for
+        // jobs whose checkpoint is fresher than their anchor.
+        SettleJob(jr.get(), t);
+        EvictJob(jr.get(), detail);
+      }
+    }
+  }
+
+  // A slowdown edge changes every active segment's speed: settle each at the
+  // old speed up to t, recompute with the same round noise draw, reschedule.
+  if (slow_changed) {
+    for (auto& jr : jobs_) {
+      if (!jr->seg_active) {
+        continue;
+      }
+      SettleJob(jr.get(), t);
+      jr->seg_speed = TrueSpeed(*jr) * jr->seg_noise * cluster_slow_factor_;
+      ++jr->gen;
+      if (jr->seg_speed > 0.0) {
+        const double spe = static_cast<double>(jr->job.spec().StepsPerEpoch());
+        const double next_time =
+            t + jr->job.stall_remaining_s() +
+            (static_cast<double>(jr->seg_next_epoch) * spe - jr->job.steps_done()) /
+                jr->seg_speed;
+        events_.Push({next_time, SimEventKind::kEpoch, jr->job.id(), jr->gen});
+      } else {
+        jr->seg_active = false;
+      }
+    }
+  }
+}
+
+void Simulator::RefreshModels() {
+  if (config_.oracle_estimates) {
+    for (auto& jr : jobs_) {
+      jr->ran_since_round = false;
+    }
+    return;
+  }
+  std::vector<JobRuntime*> dirty;
+  for (auto& jr : jobs_) {
+    if (jr->ran_since_round) {
+      dirty.push_back(jr.get());
+      jr->ran_since_round = false;
+    }
+  }
+  // One speed-model measurement per trained span (the interval engine's
+  // cadence) plus the deferred convergence fits. All per-job-owned state.
+  auto refresh = [&](JobRuntime* jr) {
+    jr->speed->AddSample(jr->seg_sample_ps, jr->seg_sample_workers,
+                         jr->seg_sample_speed);
+    jr->speed->Fit();
+    jr->conv->Fit();
+    if (jr->multi_conv != nullptr) {
+      jr->multi_conv->Fit();
+    }
+  };
+  if (pool_ != nullptr && dirty.size() > 1) {
+    pool_->ParallelFor(static_cast<int64_t>(dirty.size()),
+                       [&](int64_t i) { refresh(dirty[i]); });
+  } else {
+    for (JobRuntime* jr : dirty) {
+      refresh(jr);
+    }
+  }
+}
+
+void Simulator::RebuildSegments() {
+  const double t = now_s_;
+  // Every pending epoch event dies here (generation bump); running jobs get a
+  // fresh segment — new noise draw, current allocation/placement/slowdown —
+  // and exactly one new epoch event each.
+  std::vector<JobRuntime*> running;
+  for (auto& jr : jobs_) {
+    if (!jr->arrived || jr->job.state() == JobState::kCompleted) {
+      continue;
+    }
+    ++jr->gen;
+    jr->seg_active = false;
+    if (jr->job.state() == JobState::kRunning && jr->job.num_workers() > 0 &&
+        jr->job.num_ps() > 0) {
+      running.push_back(jr.get());
+    }
+  }
+
+  // Parallel per-job segment math: one noise draw from the job's own stream
+  // (the interval engine's per-interval cadence), ground-truth speed at the
+  // fresh placement, and the utilization snapshot the timeline records.
+  std::vector<double> next_time(running.size(), 0.0);
+  auto build = [&](size_t i) {
+    JobRuntime* jr = running[i];
+    Job& job = jr->job;
+    const JobSpec& spec = job.spec();
+    jr->seg_noise = jr->rng.LogNormalFactor(config_.runtime_noise_sd);
+    const double speed = TrueSpeed(*jr) * jr->seg_noise * cluster_slow_factor_;
+    StepTimeInputs in;
+    in.model = spec.model;
+    in.mode = spec.mode;
+    in.num_ps = job.num_ps();
+    in.num_workers = job.num_workers();
+    in.global_batch = spec.GlobalBatch();
+    in.async_minibatch = spec.AsyncMinibatch();
+    in.load = jr->load;
+    in.load_valid = jr->load_valid;
+    in.placement_ref = &job.placement();
+    in.slowest_worker_factor = job.slowest_worker_factor();
+    const StepTimeBreakdown b = ComputeStepTime(in, config_.comm);
+    if (b.total_s > 0.0) {
+      jr->last_worker_util = 100.0 * (b.forward_s + b.backward_s) / b.total_s;
+      jr->last_ps_util = 100.0 * (b.update_s + b.overhead_s) / b.total_s;
+    }
+    if (speed <= 0.0) {
+      return;
+    }
+    const double spe = static_cast<double>(spec.StepsPerEpoch());
+    jr->seg_active = true;
+    jr->seg_anchor_s = t;
+    jr->seg_speed = speed;
+    jr->seg_next_epoch =
+        static_cast<int64_t>(job.steps_done() / spe) + 1;
+    jr->seg_sample_ps = job.num_ps();
+    jr->seg_sample_workers = job.num_workers();
+    jr->seg_sample_speed = speed;
+    next_time[i] = t + job.stall_remaining_s() +
+                   (static_cast<double>(jr->seg_next_epoch) * spe -
+                    job.steps_done()) / speed;
+  };
+  if (pool_ != nullptr && running.size() > 1) {
+    pool_->ParallelFor(static_cast<int64_t>(running.size()),
+                       [&](int64_t i) { build(static_cast<size_t>(i)); });
+  } else {
+    for (size_t i = 0; i < running.size(); ++i) {
+      build(i);
+    }
+  }
+  // Serial pushes in job order keep the heap contents deterministic.
+  for (size_t i = 0; i < running.size(); ++i) {
+    if (running[i]->seg_active) {
+      events_.Push({next_time[i], SimEventKind::kEpoch, running[i]->job.id(),
+                    running[i]->gen});
+    }
+  }
+
+  // Timeline sample for the upcoming span (the interval engine records the
+  // same tuple at each boundary).
+  int running_tasks = 0;
+  RunningStat worker_util;
+  RunningStat ps_util;
+  for (JobRuntime* jr : running) {
+    if (!jr->seg_active) {
+      continue;
+    }
+    running_tasks += jr->job.num_workers() + jr->job.num_ps();
+    worker_util.Add(jr->last_worker_util);
+    ps_util.Add(jr->last_ps_util);
+  }
+  if (config_.record_timeline) {
+    metrics_.timeline.push_back({t + config_.interval_s, running_tasks,
+                                 worker_util.count() > 0 ? worker_util.mean() : 0.0,
+                                 ps_util.count() > 0 ? ps_util.mean() : 0.0});
+  }
+  if (m_.running_tasks != nullptr) {
+    m_.running_tasks->Set(static_cast<double>(running_tasks));
+  }
+}
+
+void Simulator::HandleRoundEvent(double t) {
+  // Idle fast-forward, mirroring the interval engine: with no arrived,
+  // incomplete job, skip — without fault/schedule/audit work — to the round
+  // boundary at or after the next arrival. (Arrivals activate through their
+  // own events before that round fires.)
+  bool any_active = false;
+  for (const auto& jr : jobs_) {
+    if (jr->arrived && jr->job.state() != JobState::kCompleted) {
+      any_active = true;
+      break;
+    }
+  }
+  if (!any_active) {
+    double next_arrival = std::numeric_limits<double>::infinity();
+    for (const auto& jr : jobs_) {
+      if (!jr->arrived) {
+        next_arrival = std::min(next_arrival, jr->job.spec().arrival_time_s);
+      }
+    }
+    if (!std::isfinite(next_arrival)) {
+      return;  // nothing left anywhere: no further rounds
+    }
+    const double intervals = std::ceil((next_arrival - t) / config_.interval_s);
+    events_.Push({t + std::max(1.0, intervals) * config_.interval_s,
+                  SimEventKind::kRound, -1, 0});
+    return;
+  }
+
+  // End-of-span bookkeeping: bring every active segment to the boundary and
+  // run the deferred model feeding/fits, so this round's scheduler sees
+  // estimates that reflect all training up to t (the interval engine feeds
+  // models at the end of its advance phase, before the next round's faults).
+  {
+    ScopedTimer timer(&profiler_, phase_events_);
+    for (auto& jr : jobs_) {
+      if (jr->seg_active) {
+        SettleJob(jr.get(), t);
+      }
+    }
+  }
+  {
+    ScopedTimer timer(&profiler_, phase_events_);
+    RefreshModels();
+  }
+
+  // The shared policy path, verbatim: fault pipeline (periodic checkpoints,
+  // stochastic task failures, eviction scan — scripted edges already fired as
+  // kFaultPlan events), scheduling round, invariant audit.
+  {
+    ScopedTimer timer(&profiler_, phase_faults_);
+    ApplyFaults();
+  }
+  {
+    ScopedTimer timer(&profiler_, phase_schedule_);
+    ScheduleActiveJobs();
+  }
+  {
+    ScopedTimer timer(&profiler_, phase_events_);
+    RebuildSegments();
+  }
+  if (config_.audit) {
+    ScopedTimer timer(&profiler_, phase_audit_);
+    RunAudit();
+  }
+
+  metrics_.wall_faults_s = profiler_.seconds(phase_faults_);
+  metrics_.wall_schedule_s = profiler_.seconds(phase_schedule_);
+  metrics_.wall_advance_s = profiler_.seconds(phase_advance_);
+  metrics_.wall_audit_s = profiler_.seconds(phase_audit_);
+  metrics_.wall_events_s = profiler_.seconds(phase_events_);
+  metrics_.events_processed = event_counts_.total();
+  SampleObservability();
+
+  events_.Push({t + config_.interval_s, SimEventKind::kRound, -1, 0});
+}
+
+void Simulator::RunEvents() {
+  OPTIMUS_CHECK(config_.engine == SimEngine::kEvents);
+  EnqueueStaticEvents();
+
+  const int total = static_cast<int>(jobs_.size());
+  std::vector<SimKernelEvent> batch;
+  while (completed_ < total && !events_.empty() &&
+         events_.Top().time_s < config_.max_sim_time_s) {
+    {
+      ScopedTimer timer(&profiler_, phase_events_);
+      events_.PopBatch(&batch);
+    }
+    now_s_ = batch.front().time_s;
+    switch (batch.front().kind) {
+      case SimEventKind::kArrival: {
+        ScopedTimer timer(&profiler_, phase_events_);
+        ActivateArrivals();
+        for (size_t i = 0; i < batch.size(); ++i) {
+          event_counts_.Note(SimEventKind::kArrival);
+        }
+        break;
+      }
+      case SimEventKind::kEpoch:
+        ProcessEpochBatch(batch);
+        break;
+      case SimEventKind::kFaultPlan: {
+        ScopedTimer timer(&profiler_, phase_faults_);
+        HandleFaultPlanEvent(now_s_);
+        event_counts_.Note(SimEventKind::kFaultPlan);
+        break;
+      }
+      case SimEventKind::kRound:
+        event_counts_.Note(SimEventKind::kRound);
+        HandleRoundEvent(now_s_);
+        break;
+    }
+  }
+
+  metrics_.events_processed = event_counts_.total();
+  metrics_.wall_faults_s = profiler_.seconds(phase_faults_);
+  metrics_.wall_schedule_s = profiler_.seconds(phase_schedule_);
+  metrics_.wall_advance_s = profiler_.seconds(phase_advance_);
+  metrics_.wall_audit_s = profiler_.seconds(phase_audit_);
+  metrics_.wall_events_s = profiler_.seconds(phase_events_);
+}
+
+}  // namespace optimus

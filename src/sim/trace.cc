@@ -43,7 +43,10 @@ void EventTrace::Reserve(size_t n) { records_.reserve(records_.size() + n); }
 EventTrace::RawRecord& EventTrace::Push(double time_s, SimEventType type,
                                         int job_id, int num_ps, int num_workers) {
   OPTIMUS_CHECK(records_.empty() || time_s >= records_.back().time_s - 1e-9)
-      << "events must be recorded in time order";
+      << "events must be recorded in time order: new "
+      << SimEventTypeName(type) << "@" << time_s << " job=" << job_id
+      << " after " << SimEventTypeName(records_.back().type) << "@"
+      << records_.back().time_s << " job=" << records_.back().job_id;
   records_.push_back({time_s, type, job_id, num_ps, num_workers});
   return records_.back();
 }

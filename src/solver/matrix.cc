@@ -74,8 +74,12 @@ bool SolveSpd(const Matrix& m, const Vector& b, Vector* x) {
   }
   const double ridge = max_diag * 1e-12 + 1e-300;
 
-  // Cholesky: m = L L^T.
-  Matrix l(n, n);
+  // Cholesky: m = L L^T. The factor and intermediate vector are per-thread
+  // scratch: these solves sit inside per-candidate fitting loops, and reusing
+  // the buffers avoids an allocation storm without changing a single
+  // arithmetic operation.
+  static thread_local Matrix l;
+  l.Assign(n, n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j <= i; ++j) {
       double sum = m(i, j);
@@ -97,7 +101,8 @@ bool SolveSpd(const Matrix& m, const Vector& b, Vector* x) {
   }
 
   // Forward solve L y = b.
-  Vector y(n);
+  static thread_local Vector y;
+  y.assign(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
     double sum = b[i];
     for (size_t k = 0; k < i; ++k) {

@@ -20,6 +20,15 @@ class Matrix {
   Matrix(size_t rows, size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
+  // Re-shapes in place to rows x cols filled with `fill`, reusing the existing
+  // allocation when capacity allows. Lets hot solver loops keep one scratch
+  // matrix alive instead of constructing a fresh one per call.
+  void Assign(size_t rows, size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+  }
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
 

@@ -38,15 +38,20 @@ namespace {
 bool SolveOnGramSubset(const Matrix& ata, const Vector& atb,
                        const std::vector<size_t>& passive, Vector* full) {
   const size_t k = passive.size();
-  Matrix sub(k, k);
-  Vector rhs(k);
+  // Per-thread scratch: this sits inside the active-set inner loop, itself
+  // inside per-candidate fitting grids; reusing buffers avoids ~5 allocations
+  // per call with bit-identical arithmetic.
+  static thread_local Matrix sub;
+  static thread_local Vector rhs;
+  static thread_local Vector z;
+  sub.Assign(k, k);
+  rhs.assign(k, 0.0);
   for (size_t i = 0; i < k; ++i) {
     rhs[i] = atb[passive[i]];
     for (size_t j = 0; j < k; ++j) {
       sub(i, j) = ata(passive[i], passive[j]);
     }
   }
-  Vector z;
   if (!SolveSpd(sub, rhs, &z)) {
     return false;
   }
@@ -60,15 +65,20 @@ bool SolveOnGramSubset(const Matrix& ata, const Vector& atb,
 }  // namespace
 
 NnlsResult SolveNnlsGram(const GramSystem& gram, const NnlsOptions& options) {
-  const size_t n = gram.dims();
-  const Matrix& ata = gram.ata();
-  const Vector& atb = gram.atb();
+  return SolveNnlsGram(gram.ata(), gram.atb(), gram.btb(), options);
+}
+
+NnlsResult SolveNnlsGram(const Matrix& ata, const Vector& atb, double btb,
+                         const NnlsOptions& options) {
+  const size_t n = atb.size();
 
   NnlsResult result;
   result.x.assign(n, 0.0);
 
-  std::vector<bool> in_passive(n, false);
-  std::vector<size_t> passive;
+  static thread_local std::vector<bool> in_passive;
+  static thread_local std::vector<size_t> passive;
+  in_passive.assign(n, false);
+  passive.clear();
 
   // Gradient scale for the relative dual tolerance (the gradient at x = 0 is
   // A^T b).
@@ -78,11 +88,13 @@ NnlsResult SolveNnlsGram(const GramSystem& gram, const NnlsOptions& options) {
   }
   const double tol = options.tolerance * std::max(grad_scale, 1.0);
 
-  Vector x(n, 0.0);
+  static thread_local Vector x;
+  static thread_local Vector w;
+  x.assign(n, 0.0);
+  w.assign(n, 0.0);
   int iter = 0;
   while (iter < options.max_iterations) {
     // Dual vector w = A^T b - A^T A x (== A^T (b - A x)).
-    Vector w(n);
     for (size_t i = 0; i < n; ++i) {
       double dot = 0.0;
       for (size_t j = 0; j < n; ++j) {
@@ -110,7 +122,7 @@ NnlsResult SolveNnlsGram(const GramSystem& gram, const NnlsOptions& options) {
     // Inner loop: ensure the passive-set least-squares solution is feasible.
     while (true) {
       ++iter;
-      Vector z;
+      static thread_local Vector z;
       if (!SolveOnGramSubset(ata, atb, passive, &z)) {
         // Numerically singular subset: drop the most recently added column.
         in_passive[passive.back()] = false;
@@ -148,7 +160,8 @@ NnlsResult SolveNnlsGram(const GramSystem& gram, const NnlsOptions& options) {
       }
 
       // Move variables that hit zero back to the active set.
-      std::vector<size_t> next_passive;
+      static thread_local std::vector<size_t> next_passive;
+      next_passive.clear();
       for (size_t j : passive) {
         if (x[j] > tol * 1e-4 && x[j] > 0.0) {
           next_passive.push_back(j);
@@ -157,7 +170,7 @@ NnlsResult SolveNnlsGram(const GramSystem& gram, const NnlsOptions& options) {
           in_passive[j] = false;
         }
       }
-      passive = std::move(next_passive);
+      std::swap(passive, next_passive);
       if (passive.empty()) {
         break;
       }
@@ -187,7 +200,7 @@ NnlsResult SolveNnlsGram(const GramSystem& gram, const NnlsOptions& options) {
     quad += x[i] * row;
   }
   result.residual_sum_of_squares =
-      std::max(0.0, gram.btb() - 2.0 * Dot(atb, x) + quad);
+      std::max(0.0, btb - 2.0 * Dot(atb, x) + quad);
   return result;
 }
 

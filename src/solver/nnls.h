@@ -84,6 +84,13 @@ NnlsResult SolveNnls(const Matrix& a, const Vector& b, const NnlsOptions& option
 // (see GramSystem); residual_sum_of_squares uses the Gram identity.
 NnlsResult SolveNnlsGram(const GramSystem& gram, const NnlsOptions& options = {});
 
+// Raw-moment variant for callers that share one A^T A across many right-hand
+// sides (e.g. the convergence model's beta2 grid): skips wrapping the moments
+// in a GramSystem per solve. atb.size() gives the dimensionality; solutions
+// are identical to the GramSystem overload.
+NnlsResult SolveNnlsGram(const Matrix& ata, const Vector& atb, double btb,
+                         const NnlsOptions& options = {});
+
 }  // namespace optimus
 
 #endif  // SRC_SOLVER_NNLS_H_

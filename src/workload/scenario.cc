@@ -616,7 +616,7 @@ class ScenarioParser {
     }
     CheckKeys(obj, path,
               {"interval_s", "stragglers", "oracle", "background_share",
-               "audit", "max_sim_time_s"});
+               "audit", "max_sim_time_s", "engine"});
     ReadDouble(obj, "interval_s", path, &out->interval_s);
     ReadDouble(obj, "stragglers", path,
                &out->straggler.injection_prob_per_interval);
@@ -624,6 +624,12 @@ class ScenarioParser {
     ReadDouble(obj, "background_share", path, &out->background_share);
     ReadBool(obj, "audit", path, &out->audit);
     ReadDouble(obj, "max_sim_time_s", path, &out->max_sim_time_s);
+    std::string engine;
+    ReadString(obj, "engine", path, &engine);
+    if (!engine.empty() && !ParseSimEngine(engine, &out->engine)) {
+      Error(*obj.Find("engine"), path + ".engine",
+            "expected \"interval\" or \"events\", got \"" + engine + "\"");
+    }
   }
 
   bool Parse(const JsonValue& root, ScenarioSpec* spec) {

@@ -1,0 +1,381 @@
+// Discrete-event kernel (src/sim/event_kernel.h, simulator_events.cc):
+//
+//   - EventQueue ordering: strict (time, kind, job_id) total order, batch
+//     pops as runs of equal (time, kind) in ascending job id.
+//   - Thread determinism: metrics and the full event trace are bitwise
+//     identical for --threads {1, 2, 8}, with and without a fault plan.
+//   - Engine parity: on every golden scenario the event engine completes the
+//     same jobs as the interval engine with average JCT inside the tolerance
+//     documented in docs/ALGORITHMS.md section 16, and lifecycle trace
+//     counts (arrivals, completions, crashes, recoveries) match exactly.
+//   - Exact completion times: a job's recorded kCompleted timestamp minus
+//     its recorded arrival reproduces its JCT exactly (no
+//     interval-boundary quantization).
+//   - Edge cases: zero jobs, and a cluster with no servers.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/server.h"
+#include "src/common/rng.h"
+#include "src/sim/event_kernel.h"
+#include "src/sim/fault_injector.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+#include "src/sim/workload.h"
+#include "src/workload/scenario.h"
+
+#ifndef OPTIMUS_SOURCE_DIR
+#error "OPTIMUS_SOURCE_DIR must be defined to locate the scenario files"
+#endif
+
+namespace optimus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventQueue ordering.
+
+TEST(EventQueueTest, PopsInTimeKindJobOrder) {
+  EventQueue q;
+  q.Push({300.0, SimEventKind::kRound, -1, 0});
+  q.Push({100.0, SimEventKind::kEpoch, 7, 0});
+  q.Push({100.0, SimEventKind::kEpoch, 3, 0});
+  q.Push({100.0, SimEventKind::kArrival, 9, 0});
+  q.Push({100.0, SimEventKind::kRound, -1, 0});
+  q.Push({100.0, SimEventKind::kFaultPlan, -1, 0});
+  q.Push({50.0, SimEventKind::kRound, -1, 0});
+  EXPECT_EQ(q.size(), 7u);
+  EXPECT_EQ(q.pushed(), 7);
+
+  std::vector<SimKernelEvent> batch;
+  // t=50 round first.
+  q.PopBatch(&batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].time_s, 50.0);
+  EXPECT_EQ(batch[0].kind, SimEventKind::kRound);
+  // t=100: arrivals before epochs before fault edges before the round.
+  q.PopBatch(&batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].kind, SimEventKind::kArrival);
+  EXPECT_EQ(batch[0].job_id, 9);
+  // Same-timestamp epochs form one batch, ascending job id.
+  q.PopBatch(&batch);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].kind, SimEventKind::kEpoch);
+  EXPECT_EQ(batch[0].job_id, 3);
+  EXPECT_EQ(batch[1].job_id, 7);
+  q.PopBatch(&batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].kind, SimEventKind::kFaultPlan);
+  q.PopBatch(&batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].kind, SimEventKind::kRound);
+  EXPECT_EQ(batch[0].time_s, 100.0);
+  // t=300 round last; queue drains.
+  q.PopBatch(&batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].time_s, 300.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, PopOrderIndependentOfPushOrder) {
+  std::vector<SimKernelEvent> events;
+  for (int j = 0; j < 5; ++j) {
+    events.push_back({600.0, SimEventKind::kEpoch, j, 0});
+    events.push_back({1200.0, SimEventKind::kEpoch, j, 0});
+  }
+  events.push_back({600.0, SimEventKind::kRound, -1, 0});
+  events.push_back({1200.0, SimEventKind::kRound, -1, 0});
+
+  auto drain = [](EventQueue* q) {
+    std::string order;
+    std::vector<SimKernelEvent> batch;
+    while (!q->empty()) {
+      q->PopBatch(&batch);
+      for (const SimKernelEvent& e : batch) {
+        order += std::to_string(e.time_s) + "/" +
+                 SimEventKindName(e.kind) + "/" + std::to_string(e.job_id) + ";";
+      }
+    }
+    return order;
+  };
+
+  EventQueue forward;
+  for (const auto& e : events) {
+    forward.Push(e);
+  }
+  const std::string reference = drain(&forward);
+
+  Rng rng(123);
+  for (int trial = 0; trial < 10; ++trial) {
+    for (size_t i = events.size(); i > 1; --i) {
+      std::swap(events[i - 1],
+                events[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int>(i) - 1))]);
+    }
+    EventQueue shuffled;
+    for (const auto& e : events) {
+      shuffled.Push(e);
+    }
+    EXPECT_EQ(drain(&shuffled), reference) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation-level determinism.
+
+std::unique_ptr<Simulator> MakeEventSim(int threads, bool faulted,
+                                        double noise_sd = -1.0) {
+  SimulatorConfig config;
+  config.seed = 7;
+  config.engine = SimEngine::kEvents;
+  config.threads = threads;
+  config.audit = true;
+  config.max_sim_time_s = 2e5;
+  if (noise_sd >= 0.0) {
+    config.runtime_noise_sd = noise_sd;
+  }
+  if (faulted) {
+    std::string error;
+    EXPECT_TRUE(ParseFaultPlan(
+        "crash@1800:server=2,recover=5400;"
+        "slow@2400:factor=0.7,duration=1800",
+        &config.fault.plan, &error))
+        << error;
+    config.fault.task_failure_prob = 0.02;
+    config.fault.checkpoint_period_s = 3600.0;
+  }
+  WorkloadConfig workload;
+  workload.num_jobs = 8;
+  workload.arrival_window_s = 2400.0;
+  Rng rng(config.seed ^ 0x5eedULL);
+  return std::make_unique<Simulator>(config, BuildTestbed(),
+                                     GenerateWorkload(workload, &rng));
+}
+
+std::string Fingerprint(const Simulator& sim, const RunMetrics& m) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "completed=" << m.completed_jobs << " events=" << m.events_processed
+     << " scalings=" << m.total_scalings << " evictions=" << m.job_evictions
+     << " task_failures=" << m.task_failures
+     << " checkpoints=" << m.checkpoints_taken
+     << " rolled_back=" << m.rolled_back_steps
+     << " audit_checks=" << m.audit_checks
+     << " audit_violations=" << m.audit_violations << " jcts=[";
+  for (double jct : m.jcts) {
+    os << jct << ",";
+  }
+  os << "]\n";
+  sim.trace().WriteCsv(os);
+  return os.str();
+}
+
+TEST(EventKernelTest, BitwiseIdenticalAcrossThreadsUnfaulted) {
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    auto sim = MakeEventSim(threads, /*faulted=*/false);
+    const RunMetrics m = sim->Run();
+    EXPECT_EQ(m.completed_jobs, m.total_jobs);
+    const std::string fp = Fingerprint(*sim, m);
+    if (reference.empty()) {
+      reference = fp;
+    } else {
+      EXPECT_EQ(fp, reference) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(EventKernelTest, BitwiseIdenticalAcrossThreadsFaulted) {
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    auto sim = MakeEventSim(threads, /*faulted=*/true);
+    const RunMetrics m = sim->Run();
+    EXPECT_GT(m.job_evictions + m.task_failures, 0)
+        << "fault plan did not bite; the faulted determinism case is vacuous";
+    const std::string fp = Fingerprint(*sim, m);
+    if (reference.empty()) {
+      reference = fp;
+    } else {
+      EXPECT_EQ(fp, reference) << "threads=" << threads;
+    }
+  }
+}
+
+// With runtime noise off, equal jobs train at equal speeds, so epoch events
+// for distinct jobs land on identical timestamps and must batch; the batch
+// fan-out must stay deterministic across thread counts.
+TEST(EventKernelTest, SameTimestampBatchesAreDeterministic) {
+  std::string reference;
+  for (const int threads : {1, 8}) {
+    auto sim = MakeEventSim(threads, /*faulted=*/false, /*noise_sd=*/0.0);
+    const RunMetrics m = sim->Run();
+    EXPECT_EQ(m.completed_jobs, m.total_jobs);
+    const std::string fp = Fingerprint(*sim, m);
+    if (reference.empty()) {
+      reference = fp;
+    } else {
+      EXPECT_EQ(fp, reference) << "threads=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exact analytic completion times.
+
+TEST(EventKernelTest, CompletionTimesAreExactNotQuantized) {
+  auto sim = MakeEventSim(1, /*faulted=*/false);
+  const RunMetrics m = sim->Run();
+  ASSERT_EQ(m.completed_jobs, m.total_jobs);
+
+  std::map<int, double> arrival_s;
+  std::vector<double> trace_jcts;
+  bool any_off_boundary = false;
+  for (const SimEvent& e : sim->trace().events()) {
+    if (e.type == SimEventType::kArrival) {
+      arrival_s[e.job_id] = e.time_s;
+    } else if (e.type == SimEventType::kCompleted) {
+      ASSERT_TRUE(arrival_s.count(e.job_id));
+      trace_jcts.push_back(e.time_s - arrival_s[e.job_id]);
+      const double intervals = e.time_s / 600.0;
+      if (std::abs(intervals - std::round(intervals)) > 1e-9) {
+        any_off_boundary = true;
+      }
+    }
+  }
+  // The recorded timestamps are the analytic epoch-boundary times, so the
+  // trace reproduces every JCT exactly.
+  std::vector<double> jcts = m.jcts;
+  std::sort(jcts.begin(), jcts.end());
+  std::sort(trace_jcts.begin(), trace_jcts.end());
+  ASSERT_EQ(trace_jcts.size(), jcts.size());
+  for (size_t i = 0; i < jcts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace_jcts[i], jcts[i]);
+  }
+  // And they are genuinely analytic: at least one completion falls strictly
+  // inside an interval (boundary-quantized stamps would all be multiples).
+  EXPECT_TRUE(any_off_boundary);
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases.
+
+TEST(EventKernelTest, ZeroJobsTerminatesImmediately) {
+  SimulatorConfig config;
+  config.seed = 3;
+  config.engine = SimEngine::kEvents;
+  config.max_sim_time_s = 6000.0;
+  Simulator sim(config, BuildTestbed(), {});
+  const RunMetrics m = sim.Run();
+  EXPECT_EQ(m.total_jobs, 0);
+  EXPECT_EQ(m.completed_jobs, 0);
+  EXPECT_EQ(m.makespan_s, 0.0);
+  EXPECT_TRUE(sim.trace().events().empty());
+}
+
+// A cluster with no usable capacity (the constructor rejects a literally
+// empty server list by contract): jobs arrive but can never place, and the
+// event engine must still run out the horizon without progress or crash.
+TEST(EventKernelTest, UnusableClusterRunsToHorizonWithoutProgress) {
+  SimulatorConfig config;
+  config.seed = 3;
+  config.engine = SimEngine::kEvents;
+  config.max_sim_time_s = 6000.0;  // 10 intervals
+  WorkloadConfig workload;
+  workload.num_jobs = 3;
+  workload.arrival_window_s = 600.0;
+  Rng rng(config.seed ^ 0x5eedULL);
+  // One server far too small for any container request.
+  Simulator sim(config, BuildUniformCluster(1, Resources(0.1, 0.1, 0, 0.01)),
+                GenerateWorkload(workload, &rng));
+  const RunMetrics m = sim.Run();
+  EXPECT_EQ(m.completed_jobs, 0);
+  EXPECT_EQ(m.jcts.size(), 0u);
+  // Jobs arrived (trace has their arrivals) but nothing ever scheduled.
+  const auto counts = sim.trace().CountByType();
+  EXPECT_EQ(counts.count(SimEventType::kScheduled), 0u);
+  EXPECT_EQ(counts.at(SimEventType::kArrival), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Engine parity on the golden scenario suite.
+
+int64_t CountOf(const std::map<SimEventType, int64_t>& counts,
+                SimEventType type) {
+  const auto it = counts.find(type);
+  return it == counts.end() ? 0 : it->second;
+}
+
+TEST(EventKernelTest, GoldenScenarioParityAgainstIntervalEngine) {
+  const std::vector<std::string> scenario_files = {
+      OPTIMUS_SOURCE_DIR "/scenarios/fig11_testbed.json",
+      OPTIMUS_SOURCE_DIR "/scenarios/poisson_hetero60.json",
+      OPTIMUS_SOURCE_DIR "/scenarios/rack_outage.json",
+      OPTIMUS_SOURCE_DIR "/scenarios/diurnal_heavytail.json",
+  };
+  // Tolerance contract from docs/ALGORITHMS.md section 16: every job that
+  // completes under one engine completes under the other; average JCT within
+  // 15% (the engines consume per-job RNG streams at different cadences, so
+  // noise realizations — and with them convergence epochs — shift slightly).
+  constexpr double kJctTolerance = 0.15;
+
+  for (const std::string& path : scenario_files) {
+    ScenarioSpec scenario;
+    std::string error;
+    ASSERT_TRUE(LoadScenarioFile(path, &scenario, &error)) << error;
+    ASSERT_FALSE(scenario.policies.empty());
+    const std::string policy = scenario.policies.front();
+
+    struct Out {
+      RunMetrics metrics;
+      std::map<SimEventType, int64_t> counts;
+    };
+    auto run = [&](SimEngine engine) {
+      SimulatorConfig config = scenario.MakeSimConfig(policy, 0);
+      config.engine = engine;
+      Simulator sim(config, scenario.cluster.Build(),
+                    scenario.JobsForRepeat(0));
+      Out out;
+      out.metrics = sim.Run();
+      out.counts = sim.trace().CountByType();
+      return out;
+    };
+    const Out interval = run(SimEngine::kInterval);
+    const Out events = run(SimEngine::kEvents);
+
+    EXPECT_EQ(events.metrics.completed_jobs, interval.metrics.completed_jobs)
+        << path;
+    EXPECT_EQ(events.metrics.completed_jobs, events.metrics.total_jobs) << path;
+    ASSERT_GT(interval.metrics.avg_jct_s, 0.0) << path;
+    const double rel =
+        std::abs(events.metrics.avg_jct_s - interval.metrics.avg_jct_s) /
+        interval.metrics.avg_jct_s;
+    EXPECT_LE(rel, kJctTolerance) << path << ": interval avg_jct="
+                                  << interval.metrics.avg_jct_s
+                                  << " events avg_jct="
+                                  << events.metrics.avg_jct_s;
+    // Lifecycle counts are engine-independent: every job arrives and
+    // completes exactly once, and scripted crash/recovery edges fire exactly
+    // as written. (Decision-dependent counts — scalings, pauses, evictions —
+    // legitimately differ with the trajectory.)
+    for (const SimEventType type :
+         {SimEventType::kArrival, SimEventType::kCompleted,
+          SimEventType::kServerCrash, SimEventType::kServerRecovered}) {
+      EXPECT_EQ(CountOf(events.counts, type), CountOf(interval.counts, type))
+          << path << " " << SimEventTypeName(type);
+    }
+    EXPECT_EQ(events.metrics.audit_violations, 0) << path;
+    EXPECT_GT(events.metrics.events_processed, 0) << path;
+    EXPECT_EQ(interval.metrics.events_processed, 0) << path;
+  }
+}
+
+}  // namespace
+}  // namespace optimus

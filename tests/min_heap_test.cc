@@ -1,0 +1,178 @@
+// Unit tests for the d-ary min-heap shared by the allocator and the
+// discrete-event kernel. The properties that matter downstream: pop order
+// follows the comparator exactly (including explicit tie-break fields), is
+// independent of push order and arity, and the heap behaves sanely across
+// interleaved push/pop and clear/reuse cycles.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/min_heap.h"
+
+namespace optimus {
+namespace {
+
+struct IntBefore {
+  bool operator()(int a, int b) const { return a < b; }
+};
+
+TEST(MinHeapTest, EmptyAndSize) {
+  MinHeap<int, IntBefore> heap;
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  heap.push(3);
+  EXPECT_FALSE(heap.empty());
+  EXPECT_EQ(heap.size(), 1u);
+  heap.pop();
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(MinHeapTest, PopsInSortedOrder) {
+  MinHeap<int, IntBefore> heap;
+  const std::vector<int> values = {9, 1, 8, 2, 7, 3, 6, 4, 5, 0};
+  for (int v : values) heap.push(v);
+  for (int want = 0; want < 10; ++want) {
+    EXPECT_EQ(heap.top(), want);
+    heap.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(MinHeapTest, DuplicatesAllSurface) {
+  MinHeap<int, IntBefore> heap;
+  for (int v : {5, 5, 1, 5, 1}) heap.push(v);
+  std::vector<int> got;
+  while (!heap.empty()) {
+    got.push_back(heap.top());
+    heap.pop();
+  }
+  EXPECT_EQ(got, (std::vector<int>{1, 1, 5, 5, 5}));
+}
+
+// The event-queue key shape: (time, kind, job_id). A total order over the
+// keys must make pop order independent of push order.
+struct Key {
+  double time = 0.0;
+  int kind = 0;
+  int64_t job = 0;
+  bool operator==(const Key& o) const {
+    return time == o.time && kind == o.kind && job == o.job;
+  }
+};
+
+struct KeyBefore {
+  bool operator()(const Key& a, const Key& b) const {
+    return std::tie(a.time, a.kind, a.job) < std::tie(b.time, b.kind, b.job);
+  }
+};
+
+TEST(MinHeapTest, TieBreakByKindThenJob) {
+  MinHeap<Key, KeyBefore> heap;
+  heap.push({600.0, 3, 2});
+  heap.push({600.0, 1, 9});
+  heap.push({600.0, 1, 4});
+  heap.push({300.0, 3, 7});
+  heap.push({600.0, 0, 11});
+
+  const std::vector<Key> want = {
+      {300.0, 3, 7}, {600.0, 0, 11}, {600.0, 1, 4}, {600.0, 1, 9},
+      {600.0, 3, 2}};
+  for (const Key& k : want) {
+    EXPECT_EQ(heap.top(), k);
+    heap.pop();
+  }
+}
+
+TEST(MinHeapTest, PopOrderIndependentOfPushOrder) {
+  std::vector<Key> keys;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back({static_cast<double>(i % 5) * 600.0, i % 3, i});
+  }
+  std::vector<Key> reference;
+  {
+    MinHeap<Key, KeyBefore> heap;
+    for (const Key& k : keys) heap.push(k);
+    while (!heap.empty()) {
+      reference.push_back(heap.top());
+      heap.pop();
+    }
+  }
+  std::mt19937_64 rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::shuffle(keys.begin(), keys.end(), rng);
+    MinHeap<Key, KeyBefore> heap;
+    for (const Key& k : keys) heap.push(k);
+    std::vector<Key> got;
+    while (!heap.empty()) {
+      got.push_back(heap.top());
+      heap.pop();
+    }
+    EXPECT_EQ(got, reference) << "trial " << trial;
+  }
+}
+
+TEST(MinHeapTest, ArityDoesNotChangePopOrder) {
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<int> dist(0, 999);
+  std::vector<int> values;
+  for (int i = 0; i < 500; ++i) values.push_back(dist(rng));
+
+  auto drain = [&](auto& heap) {
+    std::vector<int> got;
+    for (int v : values) heap.push(v);
+    while (!heap.empty()) {
+      got.push_back(heap.top());
+      heap.pop();
+    }
+    return got;
+  };
+  MinHeap<int, IntBefore, 2> h2;
+  MinHeap<int, IntBefore, 4> h4;
+  MinHeap<int, IntBefore, 8> h8;
+  const std::vector<int> got2 = drain(h2);
+  const std::vector<int> got4 = drain(h4);
+  const std::vector<int> got8 = drain(h8);
+  EXPECT_EQ(got2, got4);
+  EXPECT_EQ(got4, got8);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(got4, sorted);
+}
+
+TEST(MinHeapTest, InterleavedPushPopMatchesMultiset) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> value(0, 50);
+  std::uniform_int_distribution<int> coin(0, 2);
+  MinHeap<int, IntBefore> heap;
+  std::vector<int> mirror;  // kept sorted ascending
+  for (int step = 0; step < 2000; ++step) {
+    if (mirror.empty() || coin(rng) != 0) {
+      const int v = value(rng);
+      heap.push(v);
+      mirror.insert(std::upper_bound(mirror.begin(), mirror.end(), v), v);
+    } else {
+      ASSERT_EQ(heap.top(), mirror.front());
+      heap.pop();
+      mirror.erase(mirror.begin());
+    }
+    ASSERT_EQ(heap.size(), mirror.size());
+  }
+}
+
+TEST(MinHeapTest, ClearAndReuse) {
+  MinHeap<int, IntBefore> heap;
+  heap.reserve(16);
+  for (int v : {3, 1, 2}) heap.push(v);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  heap.push(42);
+  EXPECT_EQ(heap.top(), 42);
+}
+
+}  // namespace
+}  // namespace optimus

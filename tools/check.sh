@@ -31,6 +31,12 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
 # (--json routed away from the committed full-scale BENCH_*.json files.)
 "${build_dir}/bench/bench_interval" --smoke --json=BENCH_interval_smoke.json
 
+# Event-kernel smoke: discrete-event engine vs interval engine on small
+# regimes; exits nonzero if event rows are not bitwise identical across
+# thread counts or the engines diverge beyond the documented tolerance
+# (docs/ALGORITHMS.md section 16).
+"${build_dir}/bench/bench_events" --smoke --json=BENCH_events_smoke.json
+
 # Observability smoke: registry/flight recorder on vs off; exits nonzero
 # if observability perturbs the simulation or exports diverge across
 # thread counts.
@@ -70,5 +76,14 @@ for key in optimus_intervals_total optimus_jobs_completed_total \
     echo "metrics export is missing ${key}" >&2; exit 1;
   }
 done
+
+# Event-engine CLI smoke: the same short run through --engine=events must
+# report its event count in the metrics export.
+"${build_dir}/tools/optimus_sim" --jobs=10 --seed=7 --engine=events \
+  --metrics-out="${metrics_tmp}" --metrics-format=prom > /dev/null
+grep -q '^optimus_events_processed_total' "${metrics_tmp}" || {
+  echo "events engine did not export optimus_events_processed_total" >&2
+  exit 1
+}
 
 echo "check.sh: OK"

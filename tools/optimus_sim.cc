@@ -59,6 +59,12 @@ std::string Usage() {
       "  --arrivals=uniform|poisson|trace      arrival process (default uniform)\n"
       "  --steps-per-epoch=N                   dataset downscaling cap (default 80)\n"
       "  --interval=SECONDS                    scheduling interval (default 600)\n"
+      "  --engine=interval|events              simulation engine (default interval):\n"
+      "                                        `events` advances jobs by discrete\n"
+      "                                        epoch/fault/round events instead of\n"
+      "                                        fixed-interval polling; scheduling\n"
+      "                                        rounds keep the same cadence\n"
+      "                                        (docs/ALGORITHMS.md section 16)\n"
       "  --seed=N                              workload + simulation seed (default 42)\n"
       "  --repeats=N                           averaged repeats (default 1)\n"
       "  --stragglers=P                        injection prob/job/interval (default 0.12)\n"
@@ -268,6 +274,8 @@ int main(int argc, char** argv) {
   const std::string arrivals = flags.GetString("arrivals", "uniform");
   const int64_t steps_per_epoch = flags.GetInt("steps-per-epoch", 80);
   const double interval_s = flags.GetDouble("interval", 600.0);
+  const bool engine_given = flags.Has("engine");
+  const std::string engine_name = flags.GetString("engine", "interval");
   const bool seed_given = flags.Has("seed");
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const bool repeats_given = flags.Has("repeats");
@@ -308,6 +316,12 @@ int main(int argc, char** argv) {
               << "' (expected prom|json)\n";
     return 2;
   }
+  SimEngine engine = SimEngine::kInterval;
+  if (!ParseSimEngine(engine_name, &engine)) {
+    std::cerr << "unknown --engine '" << engine_name
+              << "' (expected interval|events)\n";
+    return 2;
+  }
   if (!policy_flag.empty() && !SchedulerRegistry::Global().Has(policy_flag)) {
     std::cerr << SchedulerRegistry::Global().UnknownPolicyMessage(policy_flag)
               << "\n";
@@ -335,6 +349,9 @@ int main(int argc, char** argv) {
                    "scenario defines the workload)\n";
       return 2;
     }
+    if (engine_given) {
+      scenario.sim.engine = engine;
+    }
     scenario.sim.obs.flight_recorder_depth = flight_recorder_depth;
     scenario.sim.obs.per_interval_series = out.metrics_format == "json";
     return RunScenario(std::move(scenario), threads, out);
@@ -358,6 +375,7 @@ int main(int argc, char** argv) {
   config.sim.fault.task_failure_prob = task_failure_prob;
   config.sim.fault.checkpoint_period_s = checkpoint_period;
   config.sim.audit = audit;
+  config.sim.engine = engine;
   config.sim.background_share = background_share;
   config.sim.oracle_estimates = oracle;
   config.sim.threads = threads;

@@ -40,6 +40,8 @@ Flags:
   --threads=N         worker threads for the grid; the merged report is
                       bitwise identical for any value. 0 = OPTIMUS_THREADS
                       env var, then 1 (default 0)
+  --engine=NAME       override every scenario's simulation engine
+                      (interval|events; default: what each file says)
   --list-policies     print the SchedulerRegistry catalog and exit
   --help              this message
 
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
   const std::string out_path = flags.GetString("out", "BENCH_scenarios.json");
   const std::string report_dir = flags.GetString("report-dir", "");
   const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  const std::string engine_name = flags.GetString("engine", "");
 
   const std::vector<std::string> unknown = flags.UnconsumedKeys();
   if (!unknown.empty()) {
@@ -81,6 +84,12 @@ int main(int argc, char** argv) {
   }
   if (flags.positional().empty()) {
     std::cerr << "no scenario files given\n\n" << kUsage;
+    return 2;
+  }
+  SimEngine engine = SimEngine::kInterval;
+  if (!engine_name.empty() && !ParseSimEngine(engine_name, &engine)) {
+    std::cerr << "unknown --engine '" << engine_name
+              << "' (expected interval|events)\n";
     return 2;
   }
 
@@ -98,6 +107,9 @@ int main(int argc, char** argv) {
                   << "' (names key report files and table rows)\n";
         return 2;
       }
+    }
+    if (!engine_name.empty()) {
+      scenario.sim.engine = engine;
     }
     scenarios.push_back(std::move(scenario));
   }
