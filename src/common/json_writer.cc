@@ -49,6 +49,32 @@ std::string EncodeJsonDouble(double value) {
   return buf;
 }
 
+std::string CompactJson(const std::string& encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  bool in_string = false;
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    const char c = encoded[i];
+    if (in_string) {
+      out += c;
+      if (c == '\\' && i + 1 < encoded.size()) {
+        out += encoded[++i];
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      continue;
+    }
+    out += c;
+    if (c == '"') {
+      in_string = true;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 // Re-indents an encoded value by `indent` levels: every newline in the
@@ -141,6 +167,18 @@ void JsonObject::Set(const std::string& key, const std::vector<std::string>& val
   }
   out += "]";
   SetRaw(key, std::move(out));
+}
+
+std::string JsonObject::ToCompactString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += EncodeJsonString(entries_[i].first) + ":" + CompactJson(entries_[i].second);
+  }
+  out += "}";
+  return out;
 }
 
 std::string JsonObject::ToString(int indent) const {

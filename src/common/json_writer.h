@@ -23,6 +23,11 @@ std::string EncodeJsonString(const std::string& s);
 // emitted as null (JSON has no NaN/Inf).
 std::string EncodeJsonDouble(double value);
 
+// Strips insignificant whitespace from already-encoded JSON text (string
+// literals are preserved verbatim). Used to turn the pretty-printed encodings
+// into single-line NDJSON payloads.
+std::string CompactJson(const std::string& encoded);
+
 // A minimal ordered JSON object builder: keys are emitted in insertion order,
 // setting an existing key replaces its value in place. Values are encoded on
 // Set, so nested objects/arrays are copied by value.
@@ -41,6 +46,10 @@ class JsonObject {
 
   // Serializes with two-space indentation; `indent` is the starting depth.
   std::string ToString(int indent = 0) const;
+
+  // Single-line serialization with no whitespace, for NDJSON streams: one
+  // response per line means a reader can frame on '\n' alone.
+  std::string ToCompactString() const;
 
  private:
   void SetRaw(const std::string& key, std::string encoded);

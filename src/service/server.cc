@@ -1,0 +1,127 @@
+#include "src/service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+ReplayResult ServeStream(ServiceSession* session, std::istream& in,
+                         std::ostream& out) {
+  return RunReplay(session, in, out, /*flush_each=*/true);
+}
+
+namespace {
+
+// Writes all of `data` to `fd`, retrying short writes. False on error.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Serves one accepted connection; returns whether a shutdown was requested.
+bool ServeConnection(ServiceSession* session, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    // Drain complete lines already buffered before reading more.
+    std::string::size_type nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      const std::string::size_type first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] == '#') {
+        continue;
+      }
+      bool shutdown = false;
+      const std::string response = session->HandleLine(line, &shutdown);
+      if (!WriteAll(fd, response + "\n")) {
+        return false;
+      }
+      if (shutdown) {
+        return true;
+      }
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    if (n == 0) {
+      return false;  // client hung up; keep serving new connections
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+int ServeUnixSocket(ServiceSession* session, const std::string& path) {
+  OPTIMUS_CHECK(session != nullptr);
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "socket path too long (max " << sizeof(addr.sun_path) - 1
+              << " bytes): " << path << "\n";
+    return 2;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "socket(): " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  ::unlink(path.c_str());  // replace a stale socket file from a prior run
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 1) < 0) {
+    std::cerr << "cannot listen on " << path << ": " << std::strerror(errno)
+              << "\n";
+    ::close(listener);
+    return 2;
+  }
+
+  bool shutdown = false;
+  while (!shutdown) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      std::cerr << "accept(): " << std::strerror(errno) << "\n";
+      ::close(listener);
+      ::unlink(path.c_str());
+      return 2;
+    }
+    shutdown = ServeConnection(session, fd);
+    ::close(fd);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return session->audit_failed() ? 3 : 0;
+}
+
+}  // namespace optimus

@@ -1,0 +1,35 @@
+// Transport loops for optimus_serve: stdio and Unix-domain-socket serving.
+//
+// Both speak the same NDJSON protocol (one request line in, one response
+// line out, flushed per line). The stdio loop is RunReplay with per-line
+// flushing — a live client and a replayed log are the same code path, which
+// is what makes recorded sessions trustworthy replays. The socket loop
+// accepts clients sequentially (the simulator is single-threaded state; the
+// protocol's determinism contract is per-session, not per-connection) and
+// ends when a client sends a shutdown request.
+
+#ifndef SRC_SERVICE_SERVER_H_
+#define SRC_SERVICE_SERVER_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/service/replay.h"
+#include "src/service/session.h"
+
+namespace optimus {
+
+// Serves newline-delimited requests from `in` to `out` until EOF or a
+// shutdown request; responses are flushed per line.
+ReplayResult ServeStream(ServiceSession* session, std::istream& in,
+                         std::ostream& out);
+
+// Binds a Unix-domain stream socket at `path` (replacing a stale file) and
+// serves clients one at a time until a shutdown request. Returns exit code 2
+// on socket setup errors (diagnostic on stderr), else the replay result's
+// exit code (0, or 3 on audit violations).
+int ServeUnixSocket(ServiceSession* session, const std::string& path);
+
+}  // namespace optimus
+
+#endif  // SRC_SERVICE_SERVER_H_

@@ -25,6 +25,10 @@ struct TimelinePoint {
 struct RunMetrics {
   int total_jobs = 0;
   int completed_jobs = 0;
+  // Jobs cancelled by an online kill request (service mode). Kills count in
+  // completed_jobs too — the accounting invariants check completed states
+  // against that metric — but not in the JCT histogram (no convergence).
+  int64_t jobs_killed = 0;
   std::vector<double> jcts;
   double avg_jct_s = 0.0;
   double makespan_s = 0.0;

@@ -245,6 +245,8 @@ void Simulator::SetupObservability() {
     m_.jobs_submitted = c("optimus_jobs_submitted_total", "Jobs that have arrived.");
     m_.jobs_completed =
         c("optimus_jobs_completed_total", "Jobs converged and completed.");
+    m_.jobs_killed = c("optimus_jobs_killed_total",
+                       "Jobs cancelled by an online kill request.");
     m_.scalings = c("optimus_scalings_total",
                     "Checkpoint-restart resource adjustments applied.");
     m_.straggler_replacements = c("optimus_straggler_replacements_total",
@@ -358,6 +360,7 @@ void Simulator::SampleObservability() {
 
   m_.jobs_submitted->Set(static_cast<double>(submitted));
   m_.jobs_completed->Set(static_cast<double>(metrics_.completed_jobs));
+  m_.jobs_killed->Set(static_cast<double>(metrics_.jobs_killed));
   m_.scalings->Set(static_cast<double>(metrics_.total_scalings));
   m_.straggler_replacements->Set(static_cast<double>(straggler_.replacements()));
   m_.checkpoints->Set(static_cast<double>(metrics_.checkpoints_taken));
@@ -807,11 +810,9 @@ void Simulator::RunAudit() {
   }
 }
 
-void Simulator::ScheduleActiveJobs() {
-  // Split active jobs into schedulable and frozen (checkpoint budget spent:
-  // they keep their allocation and are only re-placed).
-  std::vector<JobRuntime*> schedulable;
-  std::vector<JobRuntime*> frozen;
+void Simulator::CollectRoundInputs(std::vector<JobRuntime*>* schedulable,
+                                   std::vector<JobRuntime*>* frozen,
+                                   Resources* out_capacity) {
   // Allocate against slot-quantized capacity so the allocators do not hand
   // out allocations that per-server fragmentation makes unplaceable.
   Resources reference_demand;
@@ -828,18 +829,12 @@ void Simulator::ScheduleActiveJobs() {
   }
   Resources capacity = placeable_cap_cache_;
 
-  // Carve out the background-workload reservation: shrink the allocatable
-  // capacity and pre-occupy the same fraction of every server.
+  // Carve out the background-workload reservation (the caller pre-occupies
+  // the per-server share; the scalar shrink happens here so the arithmetic
+  // order is one fixed sequence for rounds and what-if queries alike).
   const double bg_share = BackgroundShare(now_s_);
-  servers_scratch_ = servers_;
-  std::vector<Server>& servers = servers_scratch_;
   if (bg_share > 0.0) {
     capacity = capacity * (1.0 - bg_share);
-    for (Server& s : servers) {
-      if (s.available()) {
-        s.Allocate(s.capacity() * bg_share);
-      }
-    }
   }
 
   for (auto& jr : jobs_) {
@@ -854,11 +849,34 @@ void Simulator::ScheduleActiveJobs() {
     }
     const bool budget_spent = !ScalingAllowed(jr->job.num_scalings(), config_.checkpoint);
     if (budget_spent && jr->job.num_workers() > 0) {
-      frozen.push_back(jr.get());
+      frozen->push_back(jr.get());
       capacity -= jr->job.spec().worker_demand * jr->job.num_workers() +
                   jr->job.spec().ps_demand * jr->job.num_ps();
     } else {
-      schedulable.push_back(jr.get());
+      schedulable->push_back(jr.get());
+    }
+  }
+  *out_capacity = capacity;
+}
+
+void Simulator::ScheduleActiveJobs() {
+  // Split active jobs into schedulable and frozen (checkpoint budget spent:
+  // they keep their allocation and are only re-placed).
+  std::vector<JobRuntime*> schedulable;
+  std::vector<JobRuntime*> frozen;
+  Resources capacity;
+  CollectRoundInputs(&schedulable, &frozen, &capacity);
+
+  // Pre-occupy the background-workload reservation on every server (the
+  // capacity shrink already happened in CollectRoundInputs).
+  const double bg_share = BackgroundShare(now_s_);
+  servers_scratch_ = servers_;
+  std::vector<Server>& servers = servers_scratch_;
+  if (bg_share > 0.0) {
+    for (Server& s : servers) {
+      if (s.available()) {
+        s.Allocate(s.capacity() * bg_share);
+      }
     }
   }
 
@@ -1267,6 +1285,11 @@ bool Simulator::StepInterval() {
   if (completed_ >= static_cast<int>(jobs_.size())) {
     return false;
   }
+  if (now_s_ >= config_.max_sim_time_s) {
+    // Batch runs stop at the cap via the return value below and never call
+    // again; re-entrant callers (AdvanceTo) may — refuse to step past it.
+    return false;
+  }
   ActivateArrivals();
 
   // Fast-forward to the next arrival when the cluster is idle.
@@ -1332,13 +1355,18 @@ RunMetrics Simulator::Run() {
     }
   }
 
-  // Aggregate.
+  // Aggregate. Rebuilt from scratch so Run() stays re-entrant — a service
+  // session may call it after partial AdvanceTo stepping, or more than once.
+  metrics_.jcts.clear();
   double first_arrival = std::numeric_limits<double>::infinity();
   double last_completion = 0.0;
   double overhead_sum = 0.0;
   int overhead_count = 0;
   for (const auto& jr : jobs_) {
     first_arrival = std::min(first_arrival, jr->job.spec().arrival_time_s);
+    if (jr->killed) {
+      continue;  // cancelled, not converged: no JCT, no makespan contribution
+    }
     if (jr->job.state() == JobState::kCompleted) {
       metrics_.jcts.push_back(jr->job.Jct());
       last_completion = std::max(last_completion, jr->job.completion_time_s());
@@ -1365,6 +1393,163 @@ RunMetrics Simulator::Run() {
     OPTIMUS_LOG(Error) << "invariant audit failed: " << auditor_.Summary();
   }
   return metrics_;
+}
+
+void Simulator::AdvanceTo(double t) {
+  if (config_.engine == SimEngine::kEvents) {
+    StepEventsUntil(t);
+    return;
+  }
+  while (now_s_ < t) {
+    if (!StepInterval()) {
+      break;
+    }
+  }
+}
+
+bool Simulator::SubmitJob(const JobSpec& spec, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  if (spec.model == nullptr) {
+    return fail("job model is null");
+  }
+  if (job_index_.count(spec.id) > 0) {
+    return fail("job id " + std::to_string(spec.id) + " already exists");
+  }
+  if (spec.arrival_time_s < now_s_) {
+    std::ostringstream os;
+    os << "arrival_time_s " << spec.arrival_time_s << " is in the past (now "
+       << now_s_ << ")";
+    return fail(os.str());
+  }
+
+  // Mirror the constructor's per-job initialization exactly: the RNG streams
+  // are split from the run seed by job id, so a job submitted online draws
+  // the same streams it would have drawn as a constructor spec.
+  auto jr = std::make_unique<JobRuntime>(spec);
+  jr->rng = rng_.Split(static_cast<uint64_t>(spec.id) + 1000);
+  jr->fault_rng = rng_.Split(static_cast<uint64_t>(spec.id) + 500000);
+  jr->error_sign = jr->rng.Bernoulli(0.5) ? 1 : -1;
+  jr->blocks = GenerateParamBlocks(*spec.model);
+  jr->data = std::make_unique<DataServing>(
+      EstimateDatasetBytes(*spec.model, spec.dataset_scale));
+  jr->true_total_epochs = static_cast<double>(
+      jr->curve.EpochsToConverge(spec.convergence_delta, spec.patience));
+  job_index_.emplace(spec.id, jobs_.size());
+  jobs_.push_back(std::move(jr));
+  ++metrics_.total_jobs;
+
+  if (config_.engine == SimEngine::kEvents && events_seeded_) {
+    events_.Push({spec.arrival_time_s, SimEventKind::kArrival, spec.id, 0});
+    if (pending_rounds_ == 0) {
+      // The round chain drained after a round observed nothing left
+      // anywhere. Re-seed it at the boundary that round would have chosen
+      // had it known this arrival — the same snap HandleRoundEvent applies —
+      // so the session stays batch-identical.
+      const double intervals = std::ceil(
+          (spec.arrival_time_s - last_round_s_) / config_.interval_s);
+      events_.Push({last_round_s_ + std::max(1.0, intervals) * config_.interval_s,
+                    SimEventKind::kRound, -1, 0});
+      ++pending_rounds_;
+    }
+  }
+  return true;
+}
+
+bool Simulator::KillJob(int job_id, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return false;
+  };
+  auto it = job_index_.find(job_id);
+  if (it == job_index_.end()) {
+    return fail("unknown job id " + std::to_string(job_id));
+  }
+  JobRuntime* jr = jobs_[it->second].get();
+  Job& job = jr->job;
+  if (job.state() == JobState::kCompleted) {
+    return fail("job " + std::to_string(job_id) + " already completed");
+  }
+  const int event_ps = job.num_ps();
+  const int event_workers = job.num_workers();
+  if (job.num_workers() > 0 || job.num_ps() > 0) {
+    HarvestPlacement(&job);
+    job.SetAllocation(0, 0, {});
+  }
+  auditor_.ClearPlacement(job.id());
+  // Event engine: stop the segment and invalidate pending epoch events.
+  // Progress since the job's last event is discarded — the job is being
+  // cancelled — and the kill is deterministic either way.
+  jr->seg_active = false;
+  ++jr->gen;
+  // Kills count as completions in the accounting invariants (the auditor
+  // checks completed states against the completion metric). A job killed
+  // before its arrival is marked arrived so it never activates later.
+  jr->arrived = true;
+  jr->killed = true;
+  ++metrics_.completed_jobs;
+  job.MarkCompleted(now_s_);
+  ++completed_;
+  ++metrics_.jobs_killed;
+  trace_.Record(now_s_, SimEventType::kKilled, job.id(), event_ps, event_workers);
+  flight_.Record(now_s_, FlightEventKind::kEvicted, job.id(), event_ps,
+                 event_workers, 0.0, "killed");
+  return true;
+}
+
+WhatIfResult Simulator::WhatIf(const JobSpec& candidate) {
+  OPTIMUS_CHECK(candidate.model != nullptr) << "what-if candidate model is null";
+  std::vector<JobRuntime*> schedulable;
+  std::vector<JobRuntime*> frozen;
+  Resources capacity;
+  CollectRoundInputs(&schedulable, &frozen, &capacity);
+
+  std::vector<SchedJob> existing;
+  existing.reserve(schedulable.size());
+  for (JobRuntime* jr : schedulable) {
+    if (jr->job.id() == candidate.id) {
+      continue;  // hypothetical re-submission of a live id: compare without it
+    }
+    existing.push_back(MakeSchedJob(jr));
+  }
+
+  // Candidate view: the analytic ground-truth speed model (the oracle path
+  // without error injection) and the scheduler's prior for unfitted jobs.
+  // No RNG draw, no model fit — the query must leave the session bitwise
+  // unchanged.
+  SchedJob cand;
+  cand.job_id = candidate.id;
+  cand.mode = candidate.mode;
+  cand.worker_demand = candidate.worker_demand;
+  cand.ps_demand = candidate.ps_demand;
+  cand.max_ps = candidate.max_ps;
+  cand.max_workers = candidate.max_workers;
+  cand.remaining_epochs = config_.default_remaining_epochs;
+  const JobSpec spec = candidate;
+  const double spe = static_cast<double>(spec.StepsPerEpoch());
+  const CommConfig comm = config_.comm;
+  cand.speed = [spec, spe, comm](int p, int w) {
+    StepTimeInputs in;
+    in.model = spec.model;
+    in.mode = spec.mode;
+    in.num_ps = p;
+    in.num_workers = w;
+    in.global_batch = spec.GlobalBatch();
+    in.async_minibatch = spec.AsyncMinibatch();
+    return TrainingSpeed(in, comm) / spe;
+  };
+
+  // A fresh allocator instance so the query does not advance the round-stats
+  // counters the live allocator shares with the metrics registry.
+  OptimusAllocRoundStats scratch_stats;
+  std::unique_ptr<Allocator> allocator = MakeAllocator(config_, &scratch_stats);
+  return EvaluateAdmission(*allocator, existing, cand, capacity);
 }
 
 }  // namespace optimus

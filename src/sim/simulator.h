@@ -36,6 +36,7 @@
 #include "src/sched/placement.h"
 #include "src/sched/scheduler.h"
 #include "src/sched/scheduler_registry.h"
+#include "src/sched/what_if.h"
 #include "src/sim/event_kernel.h"
 #include "src/sim/fault_injector.h"
 #include "src/sim/invariant_auditor.h"
@@ -211,6 +212,50 @@ class Simulator {
   // Single-interval stepping (exposed for tests). Returns false once all
   // jobs have completed.
   bool StepInterval();
+
+  // --- Re-entrant stepping / online mutation API (docs/ALGORITHMS.md §17) --
+  // The online service mode (src/service) drives the simulator as a
+  // long-lived object: time advances in caller-chosen increments and jobs
+  // are registered and cancelled between advances. The contract is the
+  // repo-wide one: for a fixed call sequence every output is bitwise
+  // identical for any thread count, and a session whose submissions all land
+  // before their jobs' arrival times is bitwise identical to a batch run
+  // constructed with the full spec list up front.
+
+  // Advances simulated time through `t` on either engine: the interval
+  // engine steps whole intervals while now_s() < t; the event engine drains
+  // every event with time <= t. Stops early once nothing can happen (all
+  // jobs completed and none pending) or the time cap is reached. Safe to
+  // call repeatedly; Run() may still be used afterwards to finish the run
+  // and aggregate RunMetrics.
+  void AdvanceTo(double t);
+
+  // Registers a job while the simulator is live. The spec's arrival time
+  // must be at or after now_s() (the past has already been simulated) and
+  // its id must be unused. On success the job behaves exactly as if it had
+  // been part of the constructor's spec list. Returns false (with a
+  // diagnostic in *error, when non-null) on a duplicate id, a null model, or
+  // an arrival in the past.
+  bool SubmitJob(const JobSpec& spec, std::string* error = nullptr);
+
+  // Cancels a job: releases its allocation, marks it completed at now_s()
+  // without convergence, and records a kKilled trace event. Killed jobs
+  // count as completed in the accounting invariants (the auditor's census
+  // checks completed states against the completion metric) but are excluded
+  // from the JCT histogram — they did not converge. Returns false when the
+  // id is unknown or the job already completed.
+  bool KillJob(int job_id, std::string* error = nullptr);
+
+  // What-if admission query (§ "what-if analysis"): evaluates admitting
+  // `candidate` against the jobs and capacity the *next* scheduling round
+  // would see, using a fresh allocator instance so the query perturbs no
+  // simulator state — counters, RNG streams, and model fits are untouched,
+  // which keeps a session with interleaved queries bitwise identical to one
+  // without them. The candidate's speed estimate is the analytic
+  // ground-truth model (the oracle path) and its remaining epochs the
+  // scheduler's prior for unfitted jobs.
+  WhatIfResult WhatIf(const JobSpec& candidate);
+
   double now_s() const { return now_s_; }
   const Job& job(int id) const;
   // Metrics accumulated so far (Run() returns the final aggregate; this view
@@ -255,6 +300,7 @@ class Simulator {
     Rng fault_rng{0};
     int error_sign = 1;
     bool arrived = false;
+    bool killed = false;  // cancelled via KillJob; excluded from JCT stats
     bool lr_drop_handled = false;   // convergence model restarted at the drop
     int frozen_scalings = 0;  // set once the checkpoint budget is exhausted
     double true_total_epochs = 0.0;  // ground-truth convergence epoch count
@@ -319,6 +365,10 @@ class Simulator {
   // Drains the event queue until every job completed or the time cap; the
   // shared aggregation tail in Run() finishes the metrics either way.
   void RunEvents();
+  // Re-entrant core of RunEvents: seeds the queue once (events_seeded_),
+  // then processes every event with time <= horizon (still subject to the
+  // max_sim_time_s cap). RunEvents() is StepEventsUntil(+inf).
+  void StepEventsUntil(double horizon);
   // Seeds the queue: one kArrival per job at its spec arrival time, one
   // kFaultPlan per distinct scripted fault-plan edge, the first kRound.
   void EnqueueStaticEvents();
@@ -346,6 +396,13 @@ class Simulator {
   void ActivateArrivals();
   // Scheduler view of a job (estimates only).
   SchedJob MakeSchedJob(JobRuntime* jr) const;
+  // Scheduler inputs of a round at the current instant: partitions active
+  // jobs into schedulable and frozen (checkpoint budget spent) and derives
+  // the slot-quantized capacity after the background reservation and the
+  // frozen jobs' holdings. Shared by ScheduleActiveJobs and WhatIf so
+  // admission queries see exactly what the next round would see.
+  void CollectRoundInputs(std::vector<JobRuntime*>* schedulable,
+                          std::vector<JobRuntime*>* frozen, Resources* capacity);
   double EstimateRemainingEpochs(const JobRuntime& jr) const;
   double ErrorFactor(const JobRuntime& jr, double error_magnitude) const;
   // Ground-truth job speed at the *current* allocation/placement (steps/s).
@@ -420,6 +477,14 @@ class Simulator {
   EventQueue events_;
   EventKindCounts event_counts_;  // processed (non-stale) events by kind
   int64_t events_stale_dropped_ = 0;
+  // Re-entrancy state: the static events are enqueued exactly once, on the
+  // first StepEventsUntil call. pending_rounds_ / last_round_s_ track the
+  // kRound chain so SubmitJob can re-seed it with the batch-identical
+  // boundary after a round observed "nothing left anywhere" and stopped
+  // pushing successors.
+  bool events_seeded_ = false;
+  int pending_rounds_ = 0;
+  double last_round_s_ = 0.0;
 
   // --- Observability -------------------------------------------------------
   MetricsRegistry registry_;  // empty when config_.obs.enabled is false
@@ -442,6 +507,7 @@ class Simulator {
     Counter* intervals = nullptr;
     Counter* jobs_submitted = nullptr;
     Counter* jobs_completed = nullptr;
+    Counter* jobs_killed = nullptr;
     Counter* scalings = nullptr;
     Counter* straggler_replacements = nullptr;
     Counter* checkpoints = nullptr;

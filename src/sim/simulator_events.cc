@@ -435,6 +435,7 @@ void Simulator::RebuildSegments() {
 }
 
 void Simulator::HandleRoundEvent(double t) {
+  last_round_s_ = t;
   // Idle fast-forward, mirroring the interval engine: with no arrived,
   // incomplete job, skip — without fault/schedule/audit work — to the round
   // boundary at or after the next arrival. (Arrivals activate through their
@@ -459,6 +460,7 @@ void Simulator::HandleRoundEvent(double t) {
     const double intervals = std::ceil((next_arrival - t) / config_.interval_s);
     events_.Push({t + std::max(1.0, intervals) * config_.interval_s,
                   SimEventKind::kRound, -1, 0});
+    ++pending_rounds_;
     return;
   }
 
@@ -508,15 +510,24 @@ void Simulator::HandleRoundEvent(double t) {
   SampleObservability();
 
   events_.Push({t + config_.interval_s, SimEventKind::kRound, -1, 0});
+  ++pending_rounds_;
 }
 
 void Simulator::RunEvents() {
-  OPTIMUS_CHECK(config_.engine == SimEngine::kEvents);
-  EnqueueStaticEvents();
+  StepEventsUntil(std::numeric_limits<double>::infinity());
+}
 
-  const int total = static_cast<int>(jobs_.size());
+void Simulator::StepEventsUntil(double horizon) {
+  OPTIMUS_CHECK(config_.engine == SimEngine::kEvents);
+  if (!events_seeded_) {
+    EnqueueStaticEvents();
+    events_seeded_ = true;
+    ++pending_rounds_;  // EnqueueStaticEvents pushes the first kRound
+  }
+
   std::vector<SimKernelEvent> batch;
-  while (completed_ < total && !events_.empty() &&
+  while (completed_ < static_cast<int>(jobs_.size()) && !events_.empty() &&
+         events_.Top().time_s <= horizon &&
          events_.Top().time_s < config_.max_sim_time_s) {
     {
       ScopedTimer timer(&profiler_, phase_events_);
@@ -543,6 +554,7 @@ void Simulator::RunEvents() {
       }
       case SimEventKind::kRound:
         event_counts_.Note(SimEventKind::kRound);
+        --pending_rounds_;
         HandleRoundEvent(now_s_);
         break;
     }

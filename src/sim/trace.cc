@@ -34,6 +34,8 @@ const char* SimEventTypeName(SimEventType type) {
       return "evicted";
     case SimEventType::kSlowdown:
       return "slowdown";
+    case SimEventType::kKilled:
+      return "killed";
   }
   return "unknown";
 }

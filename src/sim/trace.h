@@ -39,6 +39,7 @@ enum class SimEventType {
   kTaskFailed,      // container death; job restored from checkpoint in place
   kEvicted,         // job lost its tasks to a server crash; rolled back
   kSlowdown,        // cluster-wide speed factor changed (detail: factor=F)
+  kKilled,          // job cancelled by an online kill request (service mode)
 };
 
 // job_id used for events that concern the cluster rather than one job.

@@ -158,9 +158,18 @@ class JsonParser {
     const char c = Peek();
     switch (c) {
       case '{':
-        return ParseObject(value);
-      case '[':
-        return ParseArray(value);
+      case '[': {
+        // Bounded recursion: the parser descends once per container level, so
+        // a pathological input ("[[[[...") must not be allowed to run the
+        // stack out. 96 levels is far beyond any scenario or request file.
+        if (depth_ >= kMaxDepth) {
+          return Fail("nesting depth exceeds " + std::to_string(kMaxDepth));
+        }
+        ++depth_;
+        const bool ok = c == '{' ? ParseObject(value) : ParseArray(value);
+        --depth_;
+        return ok;
+      }
       case '"':
         value->type_ = JsonType::kString;
         return ParseString(&value->string_);
@@ -209,13 +218,27 @@ class JsonParser {
     if (!AtEnd() && Peek() == '-') {
       Advance();
     }
+    // RFC 8259 grammar, enforced strictly: the integer part is "0" or a
+    // nonzero-led digit run ("01" is a typo, not octal), and '.'/exponent
+    // must be followed by at least one digit ("1." and "1e" are rejected).
+    const bool leading_zero = !AtEnd() && Peek() == '0';
+    size_t int_digits = 0;
     while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
       Advance();
+      ++int_digits;
+    }
+    if (leading_zero && int_digits > 1) {
+      return Fail("leading zero in number");
     }
     if (!AtEnd() && Peek() == '.') {
       Advance();
+      size_t frac_digits = 0;
       while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
         Advance();
+        ++frac_digits;
+      }
+      if (frac_digits == 0) {
+        return Fail("expected digit after decimal point");
       }
     }
     if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
@@ -223,8 +246,13 @@ class JsonParser {
       if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
         Advance();
       }
+      size_t exp_digits = 0;
       while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
         Advance();
+        ++exp_digits;
+      }
+      if (exp_digits == 0) {
+        return Fail("expected digit in exponent");
       }
     }
     const std::string token = text_.substr(start, pos_ - start);
@@ -250,6 +278,12 @@ class JsonParser {
         return true;
       }
       if (c != '\\') {
+        // Raw control characters (including literal newlines) must be
+        // escaped per RFC 8259; accepting them would let an unterminated
+        // string silently swallow the rest of an NDJSON request line.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          return Fail("raw control character in string");
+        }
         out->push_back(c);
         continue;
       }
@@ -403,11 +437,14 @@ class JsonParser {
     }
   }
 
+  static constexpr int kMaxDepth = 96;
+
   const std::string& text_;
   const std::string source_;
   size_t pos_ = 0;
   int line_ = 1;
   int column_ = 1;
+  int depth_ = 0;
   std::string error_;
 };
 

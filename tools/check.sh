@@ -77,6 +77,45 @@ for key in optimus_intervals_total optimus_jobs_completed_total \
   }
 done
 
+# Service daemon smoke: replay the committed 200-request log through
+# optimus_serve (docs/SERVICE.md). Exit 0 required — exit 3 would mean an
+# invariant-audit violation propagated out of the session. The service
+# metrics export must carry the request counter and a p99 latency quantile.
+"${build_dir}/tools/optimus_serve" \
+  --scenario="${repo_root}/tests/golden/serve/scenario.json" \
+  --replay="${repo_root}/tests/golden/serve/smoke.requests.ndjson" \
+  --replay-out=/dev/null \
+  --metrics-out="${metrics_tmp}" --metrics-format=json 2> /dev/null
+grep -q '"optimus_requests_total"' "${metrics_tmp}" || {
+  echo "service export is missing optimus_requests_total" >&2; exit 1;
+}
+grep -q '"p99"' "${metrics_tmp}" || {
+  echo "service export is missing the p99 latency quantile" >&2; exit 1;
+}
+
+# The committed golden session must replay byte for byte through the real
+# binary, errors included (its ok=false lines are part of the golden).
+serve_out="$(mktemp)"
+trap 'rm -f "${metrics_tmp}" "${serve_out}"' EXIT
+"${build_dir}/tools/optimus_serve" \
+  --scenario="${repo_root}/tests/golden/serve/scenario.json" \
+  --replay="${repo_root}/tests/golden/serve/basic.requests.ndjson" \
+  --replay-out="${serve_out}" 2> /dev/null
+cmp -s "${serve_out}" "${repo_root}/tests/golden/serve/basic.responses.ndjson" || {
+  echo "optimus_serve replay diverged from tests/golden/serve/basic.responses.ndjson" >&2
+  exit 1
+}
+
+# Exit-code contract: a config error must exit 2, not 0 or a crash.
+set +e
+"${build_dir}/tools/optimus_serve" --scenario=/nonexistent.json 2> /dev/null
+serve_code=$?
+set -e
+[[ "${serve_code}" == 2 ]] || {
+  echo "optimus_serve exited ${serve_code} (expected 2) on a bad scenario" >&2
+  exit 1
+}
+
 # Event-engine CLI smoke: the same short run through --engine=events must
 # report its event count in the metrics export.
 "${build_dir}/tools/optimus_sim" --jobs=10 --seed=7 --engine=events \
