@@ -290,9 +290,7 @@ int main(int argc, char** argv) {
       jr.Set("label", row.label);
       jr.Set("engine", SimEngineName(row.engine));
       jr.Set("threads", row.threads);
-      jr.Set("wall_s", r.wall_s);
-      jr.Set("sim_s", r.sim_s);
-      jr.Set("sim_s_per_wall_s", r.sim_s_per_wall_s);
+      SetPerfColumns(&jr, r.wall_s, r.sim_s);
       jr.Set("events_processed", r.metrics.events_processed);
       jr.Set("completed_jobs", r.metrics.completed_jobs);
       jr.Set("avg_jct_s", r.metrics.avg_jct_s);

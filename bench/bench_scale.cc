@@ -1,0 +1,458 @@
+// Million-job / 100k-server scale sweep for the two-phase sharded scheduler
+// and streaming admission (BENCH_scale.json).
+//
+// Three sections:
+//
+//   determinism — shards x threads x engines over a scenario file (default
+//       scenarios/scale_smoke.json, which carries a fault plan): every cell
+//       must reproduce the reference cell's metrics and event-trace digest
+//       bitwise. Any divergence exits 3. This is the only section that runs
+//       under --smoke (tools/check.sh and CI).
+//
+//   scale — {10k, 100k, 1M} jobs x {16k, 100k} servers, one child process
+//       per cell (re-exec with --cell): streaming admission + hash-only
+//       trace + the event engine, shards=8. The child process reports its
+//       own VmHWM, so peak-RSS columns are per-cell, not a sweep-wide
+//       high-water mark. Arrivals spread so the active set stays bounded:
+//       peak RSS is O(active jobs) + the flat pending-spec queue, not
+//       O(total jobs materialized).
+//
+//   shard speedup — the acceptance point: wall time of the scheduling phase
+//       at 100k servers, shards=8 vs shards=1 on the identical burst
+//       workload. The two runs must also agree bitwise (same JCTs, same
+//       trace digest); the speedup itself is reported, divergence exits 3.
+
+#include <cstdio>
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/server.h"
+#include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/workload.h"
+#include "src/workload/scenario.h"
+
+namespace {
+
+using namespace optimus;
+
+std::string DigestHex(uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf);
+}
+
+// Everything the simulation computes, fingerprinted for bitwise comparison
+// across (shards, threads, engine-invariant) configurations. JCT vectors are
+// compared exactly; the trace via its running digest + record count.
+struct RunFingerprint {
+  std::vector<double> jcts;
+  int completed = 0;
+  int64_t events_processed = 0;
+  int total_scalings = 0;
+  int job_evictions = 0;
+  int task_failures = 0;
+  double rolled_back_steps = 0.0;
+  int64_t audit_violations = 0;
+  uint64_t trace_digest = 0;
+  int64_t trace_records = 0;
+
+  bool Matches(const RunFingerprint& other, std::string* why) const {
+    auto fail = [&](const std::string& what) {
+      *why = what;
+      return false;
+    };
+    if (jcts != other.jcts) return fail("jcts");
+    if (completed != other.completed) return fail("completed_jobs");
+    if (events_processed != other.events_processed) {
+      return fail("events_processed");
+    }
+    if (total_scalings != other.total_scalings) return fail("total_scalings");
+    if (job_evictions != other.job_evictions) return fail("job_evictions");
+    if (task_failures != other.task_failures) return fail("task_failures");
+    if (rolled_back_steps != other.rolled_back_steps) {
+      return fail("rolled_back_steps");
+    }
+    if (audit_violations != other.audit_violations) {
+      return fail("audit_violations");
+    }
+    if (trace_digest != other.trace_digest) return fail("trace_digest");
+    if (trace_records != other.trace_records) return fail("trace_records");
+    return true;
+  }
+};
+
+struct CellRun {
+  RunFingerprint fp;
+  RunMetrics metrics;
+  ShardedRoundStats shard_stats;
+  double wall_s = 0.0;
+  double sim_s = 0.0;
+};
+
+CellRun RunSim(const SimulatorConfig& config, std::vector<Server> servers,
+               std::vector<JobSpec> specs) {
+  Simulator sim(config, std::move(servers), std::move(specs));
+  CellRun run;
+  const auto start = std::chrono::steady_clock::now();
+  run.metrics = sim.Run();
+  const auto end = std::chrono::steady_clock::now();
+  run.wall_s = std::chrono::duration<double>(end - start).count();
+  run.sim_s = sim.now_s();
+  run.shard_stats = sim.sharded_stats();
+  run.fp.jcts = run.metrics.jcts;
+  run.fp.completed = run.metrics.completed_jobs;
+  run.fp.events_processed = run.metrics.events_processed;
+  run.fp.total_scalings = run.metrics.total_scalings;
+  run.fp.job_evictions = run.metrics.job_evictions;
+  run.fp.task_failures = run.metrics.task_failures;
+  run.fp.rolled_back_steps = run.metrics.rolled_back_steps;
+  run.fp.audit_violations = run.metrics.audit_violations;
+  run.fp.trace_digest = sim.trace().digest();
+  run.fp.trace_records = static_cast<int64_t>(sim.trace().size());
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Section 1: determinism sweep over the scenario file.
+// ---------------------------------------------------------------------------
+
+bool RunDeterminismSweep(const std::string& scenario_path, bool smoke,
+                         std::vector<JsonObject>* rows, std::string* why) {
+  ScenarioSpec scenario;
+  std::string error;
+  if (!LoadScenarioFile(scenario_path, &scenario, &error)) {
+    *why = "scenario load failed: " + error;
+    return false;
+  }
+  const std::vector<int> shard_counts =
+      smoke ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 8};
+  const std::vector<SimEngine> engines = {SimEngine::kInterval,
+                                          SimEngine::kEvents};
+
+  TablePrinter table({"engine", "shards", "threads", "wall (s)", "completed",
+                      "trace digest", "migrated tasks", "match"});
+  bool ok = true;
+  for (const SimEngine engine : engines) {
+    // The two engines legitimately differ from each other (different RNG
+    // cadences); the bitwise contract is per engine, across shards/threads.
+    bool have_reference = false;
+    RunFingerprint reference;
+    for (const int shards : shard_counts) {
+      for (const int threads : thread_counts) {
+        SimulatorConfig config = scenario.MakeSimConfig("optimus");
+        config.engine = engine;
+        config.shards = shards;
+        config.threads = threads;
+        const CellRun run = RunSim(config, scenario.cluster.Build(),
+                                   scenario.JobsForRepeat());
+        std::string mismatch;
+        bool match = true;
+        if (!have_reference) {
+          reference = run.fp;
+          have_reference = true;
+        } else if (!run.fp.Matches(reference, &mismatch)) {
+          match = false;
+          ok = false;
+          *why = std::string(SimEngineName(engine)) + " shards=" +
+                 std::to_string(shards) + " threads=" +
+                 std::to_string(threads) + " diverged on " + mismatch;
+        }
+        table.AddRow({SimEngineName(engine), std::to_string(shards),
+                      std::to_string(threads),
+                      TablePrinter::FormatDouble(run.wall_s, 3),
+                      std::to_string(run.fp.completed),
+                      DigestHex(run.fp.trace_digest),
+                      std::to_string(run.shard_stats.migrated_tasks),
+                      match ? "ok" : "DIVERGED"});
+        JsonObject row;
+        row.Set("engine", SimEngineName(engine));
+        row.Set("shards", shards);
+        row.Set("threads", threads);
+        row.Set("completed_jobs", run.fp.completed);
+        row.Set("trace_digest", DigestHex(run.fp.trace_digest));
+        row.Set("trace_records", run.fp.trace_records);
+        row.Set("shard_rounds", run.shard_stats.rounds);
+        row.Set("shard_local_grants", run.shard_stats.local_grants);
+        row.Set("shard_migrated_jobs", run.shard_stats.migrated_jobs);
+        row.Set("shard_migrated_tasks", run.shard_stats.migrated_tasks);
+        row.Set("match", match);
+        SetPerfColumns(&row, run.wall_s, run.sim_s);
+        rows->push_back(row);
+      }
+    }
+  }
+  table.Print(std::cout);
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Section 2: scale cells (child process per cell).
+// ---------------------------------------------------------------------------
+
+SimulatorConfig ScaleCellConfig() {
+  SimulatorConfig config;
+  config.seed = 7;
+  config.engine = SimEngine::kEvents;
+  config.streaming = true;
+  config.trace_hash_only = true;
+  config.shards = 8;
+  config.threads = 1;
+  config.interval_s = 600.0;
+  return config;
+}
+
+// One scale cell, run inside a dedicated child process so VmHWM is the
+// cell's own peak. Arrivals are spread so at most ~8k jobs are live at once;
+// the rest of a million-job workload stays in the flat pending-spec queue.
+int RunScaleCell(int num_jobs, int num_servers) {
+  constexpr int kHorizonIntervals = 12;
+  constexpr double kTargetActiveJobs = 8000.0;
+  SimulatorConfig config = ScaleCellConfig();
+  config.max_sim_time_s = kHorizonIntervals * config.interval_s;
+
+  WorkloadConfig workload;
+  workload.num_jobs = num_jobs;
+  const double horizon_s = config.max_sim_time_s;
+  workload.arrival_window_s =
+      std::max(horizon_s, horizon_s * num_jobs / kTargetActiveJobs);
+
+  Rng workload_rng(config.seed ^ 0x5eedULL);
+  std::vector<JobSpec> specs = GenerateWorkload(workload, &workload_rng);
+  Simulator sim(config,
+                BuildUniformCluster(num_servers, Resources(16, 80, 0, 1)),
+                std::move(specs));
+  const auto start = std::chrono::steady_clock::now();
+  const RunMetrics metrics = sim.Run();
+  const auto end = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(end - start).count();
+
+  // Single machine-readable line the parent scrapes into BENCH_scale.json.
+  std::cout << "CELL jobs=" << num_jobs << " servers=" << num_servers
+            << " materialized=" << sim.materialized_jobs()
+            << " completed=" << metrics.completed_jobs
+            << " wall_s=" << wall_s << " sim_s=" << sim.now_s()
+            << " peak_rss_mib=" << PeakRssMib()
+            << " trace_digest=" << DigestHex(sim.trace().digest())
+            << " trace_records=" << sim.trace().size()
+            << " schedule_s=" << metrics.wall_schedule_s
+            << " shard_migrated_tasks=" << sim.sharded_stats().migrated_tasks
+            << "\n";
+  return 0;
+}
+
+bool RunScaleSweep(const std::string& self_exe, std::vector<JsonObject>* rows,
+                   std::string* why) {
+  const std::vector<int> job_counts = {10000, 100000, 1000000};
+  const std::vector<int> server_counts = {16000, 100000};
+  TablePrinter table({"jobs", "servers", "materialized", "completed",
+                      "wall (s)", "sim s / wall s", "peak RSS (MiB)"});
+  for (const int servers : server_counts) {
+    for (const int jobs : job_counts) {
+      const std::string cmd = self_exe + " --cell=" + std::to_string(jobs) +
+                              "x" + std::to_string(servers);
+      std::cout << "  running cell " << jobs << " jobs x " << servers
+                << " servers...\n"
+                << std::flush;
+      FILE* pipe = popen(cmd.c_str(), "r");
+      if (pipe == nullptr) {
+        *why = "failed to spawn " + cmd;
+        return false;
+      }
+      std::string cell_line;
+      char buf[4096];
+      while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+        const std::string line(buf);
+        if (line.compare(0, 5, "CELL ") == 0) {
+          cell_line = line.substr(5);
+        }
+      }
+      const int status = pclose(pipe);
+      if (status != 0 || cell_line.empty()) {
+        *why = "cell " + std::to_string(jobs) + "x" + std::to_string(servers) +
+               " failed (exit " + std::to_string(status) + ")";
+        return false;
+      }
+      // key=value scrape; numeric fields go in as numbers, the digest as a
+      // string.
+      JsonObject row;
+      std::istringstream fields(cell_line);
+      std::string field;
+      double wall_s = 0.0;
+      double sim_s = 0.0;
+      std::string table_materialized, table_completed, table_rss;
+      while (fields >> field) {
+        const size_t eq = field.find('=');
+        if (eq == std::string::npos) {
+          continue;
+        }
+        const std::string key = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (key == "trace_digest") {
+          row.Set(key, value);
+        } else {
+          row.Set(key, std::stod(value));
+        }
+        if (key == "wall_s") wall_s = std::stod(value);
+        if (key == "sim_s") sim_s = std::stod(value);
+        if (key == "materialized") table_materialized = value;
+        if (key == "completed") table_completed = value;
+        if (key == "peak_rss_mib") table_rss = value;
+      }
+      row.Set("mode", "streaming+events, shards=8, hash-only trace");
+      row.Set("sim_s_per_wall_s", wall_s > 0.0 ? sim_s / wall_s : 0.0);
+      rows->push_back(row);
+      table.AddRow({std::to_string(jobs), std::to_string(servers),
+                    table_materialized, table_completed,
+                    TablePrinter::FormatDouble(wall_s, 2),
+                    TablePrinter::FormatDouble(
+                        wall_s > 0.0 ? sim_s / wall_s : 0.0, 0),
+                    table_rss});
+    }
+  }
+  table.Print(std::cout);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Section 3: shard speedup at 100k servers (the acceptance point).
+// ---------------------------------------------------------------------------
+
+bool RunShardSpeedup(bool smoke, JsonObject* section, std::string* why) {
+  const int servers = smoke ? 2000 : 100000;
+  const int jobs = smoke ? 400 : 4000;
+  const int rounds = smoke ? 2 : 4;
+
+  SimulatorConfig base;
+  base.seed = 7;
+  base.engine = SimEngine::kInterval;
+  base.interval_s = 600.0;
+  base.max_sim_time_s = rounds * base.interval_s;
+  WorkloadConfig workload;
+  workload.num_jobs = jobs;
+  workload.arrival_window_s = base.interval_s;  // burst: all active early
+
+  auto run = [&](int shards) {
+    SimulatorConfig config = base;
+    config.shards = shards;
+    Rng workload_rng(config.seed ^ 0x5eedULL);
+    return RunSim(config,
+                  BuildUniformCluster(servers, Resources(16, 80, 0, 1)),
+                  GenerateWorkload(workload, &workload_rng));
+  };
+  const CellRun unsharded = run(1);
+  const CellRun sharded = run(8);
+
+  std::string mismatch;
+  const bool identical = sharded.fp.Matches(unsharded.fp, &mismatch);
+  if (!identical) {
+    *why = "shards=8 vs shards=1 diverged on " + mismatch;
+  }
+  const double speedup =
+      sharded.metrics.wall_schedule_s > 0.0
+          ? unsharded.metrics.wall_schedule_s / sharded.metrics.wall_schedule_s
+          : 0.0;
+  std::cout << "\nShard speedup (" << jobs << " jobs, " << servers
+            << " servers, " << rounds << " rounds, interval engine):\n"
+            << "  schedule wall: shards=1 "
+            << TablePrinter::FormatDouble(unsharded.metrics.wall_schedule_s, 3)
+            << " s, shards=8 "
+            << TablePrinter::FormatDouble(sharded.metrics.wall_schedule_s, 3)
+            << " s -> " << TablePrinter::FormatDouble(speedup, 2)
+            << "x (target >= 4x at full scale); outputs "
+            << (identical ? "bitwise identical" : "DIVERGED") << "\n";
+
+  section->Set("speedup_jobs", jobs);
+  section->Set("speedup_servers", servers);
+  section->Set("speedup_rounds", rounds);
+  section->Set("schedule_s_shards1", unsharded.metrics.wall_schedule_s);
+  section->Set("schedule_s_shards8", sharded.metrics.wall_schedule_s);
+  section->Set("shard_speedup", speedup);
+  section->Set("shard_speedup_identical", identical);
+  section->Set("shard_migrated_tasks", sharded.shard_stats.migrated_tasks);
+  return identical;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const std::string json_path = flags.GetString("json", "BENCH_scale.json");
+  const std::string scenario_path =
+      flags.GetString("scenario", "scenarios/scale_smoke.json");
+  // Internal: run one scale cell in this process and print its CELL line.
+  const std::string cell = flags.GetString("cell", "");
+  for (const std::string& key : flags.UnconsumedKeys()) {
+    std::cerr << "unknown flag --" << key << "\n";
+    return 1;
+  }
+  if (!cell.empty()) {
+    const size_t x = cell.find('x');
+    OPTIMUS_CHECK(x != std::string::npos) << "--cell expects <jobs>x<servers>";
+    return RunScaleCell(std::stoi(cell.substr(0, x)),
+                        std::stoi(cell.substr(x + 1)));
+  }
+
+  PrintExperimentHeader(
+      "EXT: sharded scheduling at scale",
+      "Two-phase sharded rounds + streaming admission at {10k,100k,1M} jobs "
+      "x {16k,100k} servers",
+      "All (shards, threads) cells bitwise identical; >= 4x scheduling-round "
+      "speedup at 100k servers with shards=8; the 1M-job run's peak RSS is "
+      "bounded by the active-job set, not the total job count");
+
+  bool ok = true;
+  std::string divergence;
+
+  std::cout << "\nDeterminism sweep over " << scenario_path << ":\n";
+  std::vector<JsonObject> determinism_rows;
+  const bool determinism_ok =
+      RunDeterminismSweep(scenario_path, smoke, &determinism_rows, &divergence);
+  if (!determinism_ok) {
+    ok = false;
+  }
+
+  JsonObject section;
+  section.Set("smoke", smoke);
+  section.Set("scenario", scenario_path);
+  section.Set("determinism_ok", determinism_ok);
+  section.Set("determinism", determinism_rows);
+
+  if (!smoke) {
+    std::cout << "\nScale sweep (one child process per cell):\n";
+    std::vector<JsonObject> scale_rows;
+    std::string scale_why;
+    if (!RunScaleSweep(argv[0], &scale_rows, &scale_why)) {
+      ok = false;
+      divergence = scale_why;
+    }
+    section.Set("scale_cells", scale_rows);
+  }
+
+  std::string speedup_why;
+  if (!RunShardSpeedup(smoke, &section, &speedup_why)) {
+    ok = false;
+    divergence = speedup_why;
+  }
+
+  if (ok) {
+    std::cout << "\nall configurations bitwise identical\n";
+  } else {
+    std::cerr << "\nDIVERGENCE: " << divergence << "\n";
+  }
+  section.Set("ok", ok);
+  if (WriteBenchJsonSection(json_path, "scale", section)) {
+    std::cout << "wrote section scale to " << json_path << "\n";
+  }
+  return ok ? 0 : 3;
+}

@@ -1,5 +1,8 @@
 #include "bench/bench_util.h"
 
+#include <fstream>
+#include <sstream>
+
 #include "src/cluster/server.h"
 #include "src/common/logging.h"
 #include "src/sched/scheduler_registry.h"
@@ -12,6 +15,31 @@ void PrintExperimentHeader(const std::string& id, const std::string& title,
             << "EXPERIMENT " << id << ": " << title << "\n"
             << "Paper expectation: " << paper_expectation << "\n"
             << "================================================================\n";
+}
+
+double PeakRssMib() {
+  std::ifstream status("/proc/self/status");
+  if (!status.good()) {
+    return 0.0;
+  }
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.compare(0, 6, "VmHWM:") != 0) {
+      continue;
+    }
+    std::istringstream fields(line.substr(6));
+    double kib = 0.0;
+    fields >> kib;
+    return kib / 1024.0;
+  }
+  return 0.0;
+}
+
+void SetPerfColumns(JsonObject* row, double wall_s, double sim_s) {
+  row->Set("wall_s", wall_s);
+  row->Set("sim_s", sim_s);
+  row->Set("sim_s_per_wall_s", wall_s > 0.0 ? sim_s / wall_s : 0.0);
+  row->Set("peak_rss_mib", PeakRssMib());
 }
 
 std::vector<ExperimentResult> RunPolicyComparison(

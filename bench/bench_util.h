@@ -25,6 +25,17 @@ namespace optimus {
 void PrintExperimentHeader(const std::string& id, const std::string& title,
                            const std::string& paper_expectation);
 
+// Peak resident set size of this process (VmHWM from /proc/self/status) in
+// MiB; 0.0 where the proc filesystem is unavailable. VmHWM is a high-water
+// mark: per-cell numbers need one process per cell (bench_scale re-execs
+// itself for exactly this reason).
+double PeakRssMib();
+
+// Stamps the shared performance columns on a bench JSON row: wall_s, sim_s,
+// sim_s_per_wall_s (0 when wall_s is 0), and peak_rss_mib. Every harness that
+// reports run performance uses this so BENCH_*.json files agree on names.
+void SetPerfColumns(JsonObject* row, double wall_s, double sim_s);
+
 // Runs the canonical three-scheduler comparison (Optimus, DRF, Tetris) under
 // the given base config and prints absolute + normalized JCT / makespan.
 // Returns the three results in preset order. Policies are constructed through

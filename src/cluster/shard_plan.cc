@@ -1,0 +1,47 @@
+#include "src/cluster/shard_plan.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+ShardPlan ShardPlan::Build(int num_shards, int n_servers, int rack_size) {
+  ShardPlan plan;
+  plan.n_servers_ = std::max(0, n_servers);
+  const int shards =
+      std::clamp(num_shards, 1, std::max(1, plan.n_servers_));
+  if (plan.n_servers_ == 0) {
+    plan.ranges_.assign(static_cast<size_t>(shards), {0, 0});
+    return plan;
+  }
+
+  // Work in units of racks so shard boundaries never split a rack; without a
+  // rack partition every server is its own unit.
+  const int unit = rack_size > 0 ? std::min(rack_size, plan.n_servers_) : 1;
+  const int units = (plan.n_servers_ + unit - 1) / unit;
+  plan.ranges_.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    // Even deal of units: shard s takes units [s*U/S, (s+1)*U/S).
+    const int64_t u_begin = static_cast<int64_t>(s) * units / shards;
+    const int64_t u_end = static_cast<int64_t>(s + 1) * units / shards;
+    const int begin = static_cast<int>(u_begin) * unit;
+    const int end = std::min(plan.n_servers_, static_cast<int>(u_end) * unit);
+    plan.ranges_.push_back({std::min(begin, plan.n_servers_), end});
+  }
+  return plan;
+}
+
+int ShardPlan::ShardOf(int server) const {
+  OPTIMUS_CHECK_GE(server, 0);
+  OPTIMUS_CHECK_LT(server, n_servers_);
+  for (size_t s = 0; s < ranges_.size(); ++s) {
+    if (server >= ranges_[s].first && server < ranges_[s].second) {
+      return static_cast<int>(s);
+    }
+  }
+  OPTIMUS_LOG(Fatal) << "shard ranges do not cover server " << server;
+  return -1;
+}
+
+}  // namespace optimus

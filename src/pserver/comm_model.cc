@@ -9,6 +9,9 @@
 namespace optimus {
 
 int JobPlacement::TotalWorkers() const {
+  if (compact()) {
+    return std::accumulate(used_workers.begin(), used_workers.end(), 0);
+  }
   if (!used_servers.empty()) {
     int total = 0;
     for (int s : used_servers) {
@@ -20,6 +23,9 @@ int JobPlacement::TotalWorkers() const {
 }
 
 int JobPlacement::TotalPs() const {
+  if (compact()) {
+    return std::accumulate(used_ps.begin(), used_ps.end(), 0);
+  }
   if (!used_servers.empty()) {
     int total = 0;
     for (int s : used_servers) {

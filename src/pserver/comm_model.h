@@ -51,15 +51,34 @@ struct JobPlacement {
   // scanning the dense vectors. When non-empty it MUST cover every nonzero
   // entry.
   std::vector<int> used_servers;
+  // Compact (structure-of-arrays) form: per-used-server task counts parallel
+  // to used_servers. When the dense vectors are empty but used_servers is
+  // not, these carry the placement at O(tasks) memory instead of
+  // O(n_servers) — the representation the sharded scale path emits so a
+  // million-job run never holds million × n_servers dense vectors.
+  std::vector<int> used_workers;
+  std::vector<int> used_ps;
 
   int TotalWorkers() const;
   int TotalPs() const;
-  bool empty() const { return workers_per_server.empty() && ps_per_server.empty(); }
+  bool compact() const {
+    return workers_per_server.empty() && !used_servers.empty();
+  }
+  bool empty() const {
+    return workers_per_server.empty() && ps_per_server.empty() &&
+           used_servers.empty();
+  }
 
   // Calls fn(server_index, workers, ps) for every server hosting at least
   // one task, in ascending server order.
   template <typename Fn>
   void ForEachUsed(Fn&& fn) const {
+    if (compact()) {
+      for (size_t i = 0; i < used_servers.size(); ++i) {
+        fn(static_cast<size_t>(used_servers[i]), used_workers[i], used_ps[i]);
+      }
+      return;
+    }
     if (!used_servers.empty()) {
       for (int s : used_servers) {
         fn(static_cast<size_t>(s), workers_per_server[static_cast<size_t>(s)],

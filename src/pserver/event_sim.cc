@@ -214,14 +214,17 @@ TaskLayout BuildLayout(const StepTimeInputs& in) {
   }
   int w = 0;
   int p = 0;
-  for (size_t s = 0; s < placement.workers_per_server.size(); ++s) {
-    for (int i = 0; i < placement.workers_per_server[s]; ++i) {
+  // ForEachUsed visits servers in ascending order filling workers then PS per
+  // server — the same task ordering the dense scan produced — and also covers
+  // the compact (used_servers-only) representation.
+  placement.ForEachUsed([&](size_t s, int w_k, int p_k) {
+    for (int i = 0; i < w_k; ++i) {
       layout.worker_server[w++] = static_cast<int>(s);
     }
-    for (int i = 0; i < placement.ps_per_server[s]; ++i) {
+    for (int i = 0; i < p_k; ++i) {
       layout.ps_server[p++] = static_cast<int>(s);
     }
-  }
+  });
   OPTIMUS_CHECK_EQ(w, in.num_workers);
   OPTIMUS_CHECK_EQ(p, in.num_ps);
   return layout;

@@ -247,12 +247,313 @@ bool PlacePerTask(const PlacementJobInput& job, PickRule rule,
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Sharded fast path (see placement.h). Every decision point below mirrors the
+// legacy kOptimusPack code exactly; only the data layout and the amount of
+// redundant work differ.
+
+// One lazy max-heap of (free_cpu, server index) per shard. The pop sequence
+// is identical to the single global heap's: the candidate set is the same,
+// the key order is the same strict total order, and the tournament below
+// always pops the globally largest valid key.
+class ShardedServerPool {
+ public:
+  ShardedServerPool(std::vector<Server>* servers, const ShardPlan& plan)
+      : servers_(servers), plan_(&plan) {
+    heaps_.resize(static_cast<size_t>(plan.num_shards()));
+    for (int sh = 0; sh < plan.num_shards(); ++sh) {
+      const auto [begin, end] = plan.range(sh);
+      auto& heap = heaps_[static_cast<size_t>(sh)];
+      heap.reserve(static_cast<size_t>(end - begin));
+      for (int s = begin; s < end; ++s) {
+        if ((*servers_)[static_cast<size_t>(s)].available()) {
+          heap.push_back(
+              {(*servers_)[static_cast<size_t>(s)].Free().cpu(), static_cast<size_t>(s)});
+        }
+      }
+      std::make_heap(heap.begin(), heap.end());
+    }
+  }
+
+  // Pops up to `count` distinct servers in globally descending
+  // (free_cpu, index) order, appending to *out.
+  void PopMostFree(size_t count, std::vector<size_t>* out) {
+    while (out->size() < count) {
+      int best = -1;
+      std::pair<double, size_t> best_key{0.0, 0};
+      for (size_t sh = 0; sh < heaps_.size(); ++sh) {
+        if (!EnsureValidTop(sh)) {
+          continue;
+        }
+        const std::pair<double, size_t>& key = heaps_[sh].front();
+        if (best < 0 || best_key < key) {
+          best = static_cast<int>(sh);
+          best_key = key;
+        }
+      }
+      if (best < 0) {
+        return;  // every shard drained
+      }
+      auto& heap = heaps_[static_cast<size_t>(best)];
+      std::pop_heap(heap.begin(), heap.end());
+      heap.pop_back();
+      out->push_back(best_key.second);
+    }
+  }
+
+  // Returns servers to their shards' pools (with their current free values).
+  void Push(const std::vector<size_t>& servers) {
+    for (size_t s : servers) {
+      auto& heap = heaps_[static_cast<size_t>(plan_->ShardOf(static_cast<int>(s)))];
+      heap.push_back({(*servers_)[s].Free().cpu(), s});
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+
+ private:
+  // Refreshes stale entries until the shard's top is valid; false when the
+  // shard is drained. Mirrors the legacy pop-stale-reinsert loop.
+  bool EnsureValidTop(size_t sh) {
+    auto& heap = heaps_[sh];
+    while (!heap.empty()) {
+      const auto [free_cpu, s] = heap.front();
+      if (free_cpu == (*servers_)[s].Free().cpu()) {
+        return true;
+      }
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {(*servers_)[s].Free().cpu(), s};
+      std::push_heap(heap.begin(), heap.end());
+    }
+    return false;
+  }
+
+  std::vector<Server>* servers_;
+  const ShardPlan* plan_;
+  std::vector<std::vector<std::pair<double, size_t>>> heaps_;
+};
+
+// Reusable per-job working buffers so steady-state placement allocates
+// nothing per job.
+struct PackScratch {
+  std::vector<size_t> candidates;
+  std::vector<Resources> free;            // cached Free() per candidate
+  std::vector<Resources> prefix_free;     // prefix sums of `free`
+  std::vector<Resources> tentative_used;  // per-candidate committed demand
+  std::vector<int> tentative_w;
+  std::vector<int> tentative_p;
+};
+
+// TryEvenPlacement with cached per-candidate free vectors and a compact
+// result. The pick loop, tie-breaks, and commit arithmetic are the legacy
+// code's, so decisions and server mutations are bitwise identical.
+bool TryEvenPlacementFast(const PlacementJobInput& job, int k,
+                          std::vector<Server>* servers, PackScratch* scratch,
+                          JobPlacement* placement) {
+  const int w = job.alloc.num_workers;
+  const int p = job.alloc.num_ps;
+  const int total = w + p;
+  const std::vector<size_t>& order = scratch->candidates;
+
+  scratch->tentative_used.assign(static_cast<size_t>(k), Resources());
+  scratch->tentative_w.assign(static_cast<size_t>(k), 0);
+  scratch->tentative_p.assign(static_cast<size_t>(k), 0);
+  std::vector<Resources>& tentative_used = scratch->tentative_used;
+  std::vector<int>& tentative_w = scratch->tentative_w;
+  std::vector<int>& tentative_p = scratch->tentative_p;
+
+  int assigned_ps = 0;
+  for (int t = 0; t < total; ++t) {
+    const bool is_ps = (t + 1) * p / total > assigned_ps;
+    const Resources& demand = is_ps ? job.ps_demand : job.worker_demand;
+
+    int best = -1;
+    for (int i = 0; i < k; ++i) {
+      // scratch->free[i] is the same value the legacy code recomputes as
+      // servers[order[i]].Free(): servers are not mutated between candidate
+      // draw and commit, so caching it cannot change any comparison.
+      if (!(scratch->free[static_cast<size_t>(i)] - tentative_used[static_cast<size_t>(i)])
+               .Fits(demand)) {
+        continue;
+      }
+      if (best < 0) {
+        best = i;
+        continue;
+      }
+      const int type_i = is_ps ? tentative_p[static_cast<size_t>(i)]
+                               : tentative_w[static_cast<size_t>(i)];
+      const int type_b = is_ps ? tentative_p[static_cast<size_t>(best)]
+                               : tentative_w[static_cast<size_t>(best)];
+      const int tasks_i =
+          tentative_w[static_cast<size_t>(i)] + tentative_p[static_cast<size_t>(i)];
+      const int tasks_b =
+          tentative_w[static_cast<size_t>(best)] + tentative_p[static_cast<size_t>(best)];
+      const double free_i = (scratch->free[static_cast<size_t>(i)] -
+                             tentative_used[static_cast<size_t>(i)])
+                                .cpu();
+      const double free_b = (scratch->free[static_cast<size_t>(best)] -
+                             tentative_used[static_cast<size_t>(best)])
+                                .cpu();
+      if (type_i < type_b ||
+          (type_i == type_b &&
+           (tasks_i < tasks_b || (tasks_i == tasks_b && free_i > free_b)))) {
+        best = i;
+      }
+    }
+    if (best < 0) {
+      return false;
+    }
+    tentative_used[static_cast<size_t>(best)] += demand;
+    if (is_ps) {
+      ++tentative_p[static_cast<size_t>(best)];
+      ++assigned_ps;
+    } else {
+      ++tentative_w[static_cast<size_t>(best)];
+    }
+  }
+
+  // Commit (same Allocate sequence as the legacy code) and emit the compact
+  // triples sorted by server id — the order ForEachUsed promises.
+  struct Used {
+    int server;
+    int w;
+    int p;
+  };
+  std::vector<Used> used;
+  used.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    if (tentative_w[static_cast<size_t>(i)] == 0 && tentative_p[static_cast<size_t>(i)] == 0) {
+      continue;
+    }
+    Server& server = (*servers)[order[static_cast<size_t>(i)]];
+    server.Allocate(tentative_used[static_cast<size_t>(i)]);
+    used.push_back({static_cast<int>(order[static_cast<size_t>(i)]),
+                    tentative_w[static_cast<size_t>(i)], tentative_p[static_cast<size_t>(i)]});
+  }
+  std::sort(used.begin(), used.end(),
+            [](const Used& a, const Used& b) { return a.server < b.server; });
+  for (const Used& u : used) {
+    placement->used_servers.push_back(u.server);
+    placement->used_workers.push_back(u.w);
+    placement->used_ps.push_back(u.p);
+  }
+  return true;
+}
+
+// PlaceOptimus over the sharded pool with the capacity lower-bound jump.
+bool PlaceOptimusSharded(const PlacementJobInput& job, std::vector<Server>* servers,
+                         ShardedServerPool* pool, PackScratch* scratch,
+                         JobPlacement* placement) {
+  const int max_k =
+      std::min<int>(static_cast<int>(servers->size()),
+                    job.alloc.num_workers + job.alloc.num_ps);
+  scratch->candidates.clear();
+  pool->PopMostFree(static_cast<size_t>(max_k), &scratch->candidates);
+  const int n_cand = static_cast<int>(scratch->candidates.size());
+
+  scratch->free.resize(static_cast<size_t>(n_cand));
+  scratch->prefix_free.resize(static_cast<size_t>(n_cand));
+  Resources running;
+  for (int i = 0; i < n_cand; ++i) {
+    scratch->free[static_cast<size_t>(i)] =
+        (*servers)[scratch->candidates[static_cast<size_t>(i)]].Free();
+    running += scratch->free[static_cast<size_t>(i)];
+    scratch->prefix_free[static_cast<size_t>(i)] = running;
+  }
+
+  // Sound lower bound: if the total free capacity of the first k candidates
+  // cannot hold the job's whole demand (with a generous slack for the
+  // floating-point accumulation), TryEvenPlacement must fail at k — every
+  // task reserves its full demand on some candidate — so the attempt can be
+  // skipped without changing the first k that succeeds. The 1e-6 relative
+  // slack dwarfs both the Fits() epsilon and any summation error, so a k
+  // that could succeed is never skipped.
+  const Resources total_demand =
+      job.worker_demand * job.alloc.num_workers + job.ps_demand * job.alloc.num_ps;
+  const Resources demand_floor = total_demand * (1.0 - 1e-6);
+
+  bool placed = false;
+  for (int k = 1; k <= n_cand; ++k) {
+    if (!scratch->prefix_free[static_cast<size_t>(k - 1)].Fits(demand_floor)) {
+      continue;
+    }
+    if (TryEvenPlacementFast(job, k, servers, scratch, placement)) {
+      placed = true;
+      break;
+    }
+  }
+  pool->Push(scratch->candidates);
+  return placed;
+}
+
 }  // namespace
 
 PlacementResult PlaceJobs(PlacementPolicy policy,
                           const std::vector<PlacementJobInput>& jobs,
                           std::vector<Server> servers, bool shrink_to_fit) {
   return PlaceJobs(policy, jobs, &servers, shrink_to_fit);
+}
+
+PlacementResult PlaceJobsSharded(const ShardPlan& plan,
+                                 const std::vector<PlacementJobInput>& jobs,
+                                 std::vector<Server>* servers_in,
+                                 bool shrink_to_fit) {
+  PlacementResult result;
+  std::vector<Server>& servers = *servers_in;
+
+  // Identical job order to the legacy path: smallest dominant footprint
+  // first, stable within ties.
+  const Resources capacity = TotalCapacity(servers);
+  std::vector<size_t> job_order(jobs.size());
+  std::iota(job_order.begin(), job_order.end(), 0);
+  auto footprint = [&](const PlacementJobInput& job) {
+    const Resources total = job.worker_demand * job.alloc.num_workers +
+                            job.ps_demand * job.alloc.num_ps;
+    return total.DominantShare(capacity);
+  };
+  std::stable_sort(job_order.begin(), job_order.end(), [&](size_t a, size_t b) {
+    return footprint(jobs[a]) < footprint(jobs[b]);
+  });
+
+  ShardedServerPool pool(&servers, plan);
+  PackScratch scratch;
+  for (size_t idx : job_order) {
+    PlacementJobInput job = jobs[idx];
+    if (!job.alloc.IsActive()) {
+      continue;
+    }
+
+    JobPlacement placement;
+    if (job.recycle != nullptr) {
+      // Adopt the donor's buffers for their capacity. Dense vectors (from a
+      // legacy-shaped donor) are dropped to size 0 so the result is
+      // unambiguously compact; the triple vectors are cleared in place.
+      placement = std::move(*job.recycle);
+      placement.workers_per_server.clear();
+      placement.ps_per_server.clear();
+      placement.used_servers.clear();
+      placement.used_workers.clear();
+      placement.used_ps.clear();
+    }
+    bool placed = false;
+    while (true) {
+      placed = PlaceOptimusSharded(job, &servers, &pool, &scratch, &placement);
+      if (placed || !shrink_to_fit ||
+          (job.alloc.num_ps == 1 && job.alloc.num_workers == 1)) {
+        break;
+      }
+      job.alloc.num_ps = std::max(1, job.alloc.num_ps / 2);
+      job.alloc.num_workers = std::max(1, job.alloc.num_workers / 2);
+    }
+
+    if (placed) {
+      result.placements[job.job_id] = std::move(placement);
+      result.effective_alloc[job.job_id] = job.alloc;
+    } else {
+      result.unplaced.push_back(job.job_id);
+    }
+  }
+  std::sort(result.unplaced.begin(), result.unplaced.end());
+  return result;
 }
 
 PlacementResult PlaceJobs(PlacementPolicy policy,

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/cluster/server.h"
+#include "src/cluster/shard_plan.h"
 #include "src/pserver/comm_model.h"
 #include "src/sched/scheduler.h"
 
@@ -78,6 +79,29 @@ PlacementResult PlaceJobs(PlacementPolicy policy,
 PlacementResult PlaceJobs(PlacementPolicy policy,
                           const std::vector<PlacementJobInput>& jobs,
                           std::vector<Server>* servers, bool shrink_to_fit = true);
+
+// Sharded fast path for the Optimus packing policy. Placement DECISIONS are
+// identical to PlaceJobs(kOptimusPack, ...) — it differs only in how they
+// are computed and represented:
+//  - one lazy max-heap per shard of the plan instead of a global heap; pops
+//    run a deterministic tournament over the shard tops that reproduces the
+//    global (free_cpu, server index) order exactly,
+//  - a sound capacity lower bound skips k values whose first-k candidate
+//    prefix provably cannot hold the job's total demand (failed
+//    TryEvenPlacement attempts have no side effects, so skipping them cannot
+//    change any decision),
+//  - per-candidate free vectors are computed once per job instead of once
+//    per (task, candidate) probe, and the tentative buffers are reused
+//    across jobs,
+//  - result placements use the compact JobPlacement form (used_servers /
+//    used_workers / used_ps), so a round's placements cost O(tasks) memory
+//    instead of O(n_servers) per job — the dominant cost at 100k servers.
+// A donor in PlacementJobInput::recycle is adopted for its vector capacity
+// whatever its shape (dense donors are dropped to the compact form).
+PlacementResult PlaceJobsSharded(const ShardPlan& plan,
+                                 const std::vector<PlacementJobInput>& jobs,
+                                 std::vector<Server>* servers,
+                                 bool shrink_to_fit = true);
 
 }  // namespace optimus
 

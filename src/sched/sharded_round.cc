@@ -1,0 +1,124 @@
+#include "src/sched/sharded_round.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+AllocationMap ShardedAllocate(const ShardPlan& plan,
+                              const std::vector<SchedJob>& jobs,
+                              const Resources& capacity, const Allocator& fixup,
+                              const LocalAllocatorFactory& local_factory,
+                              SpeedSurfaceSet* surfaces, ThreadPool* pool,
+                              ShardedRoundStats* stats) {
+  OPTIMUS_CHECK(surfaces != nullptr);
+  const int num_shards = plan.num_shards();
+  if (num_shards <= 1 || jobs.size() < 2) {
+    return fixup.Allocate(jobs, capacity, surfaces);
+  }
+  if (stats != nullptr) {
+    ++stats->rounds;
+  }
+
+  // Partition jobs over shards. Keying by signature keeps every job sharing
+  // a speed surface in one shard, so the shared surface is warmed exactly
+  // once; signature-free jobs spread round-robin by input index. The
+  // partition is a pure function of the job list, independent of threads.
+  std::vector<std::vector<size_t>> members(static_cast<size_t>(num_shards));
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const uint64_t key = jobs[i].speed_signature != 0
+                             ? jobs[i].speed_signature
+                             : static_cast<uint64_t>(i);
+    members[key % static_cast<uint64_t>(num_shards)].push_back(i);
+  }
+
+  // Phase 1: local rounds, one result slot per shard (index-owned, so the
+  // outcome is independent of the thread count).
+  struct ShardSlot {
+    std::vector<SchedJob> local;
+    SpeedSurfaceSet set;
+    AllocationMap provisional;
+    OptimusAllocRoundStats local_stats;
+  };
+  std::vector<ShardSlot> slots(static_cast<size_t>(num_shards));
+  const double n_total = static_cast<double>(plan.n_servers());
+  for (int s = 0; s < num_shards; ++s) {
+    auto& slot = slots[static_cast<size_t>(s)];
+    slot.local.reserve(members[static_cast<size_t>(s)].size());
+    for (size_t i : members[static_cast<size_t>(s)]) {
+      slot.local.push_back(jobs[i]);
+    }
+  }
+  auto run_shard = [&](int64_t s) {
+    ShardSlot& slot = slots[static_cast<size_t>(s)];
+    if (slot.local.empty()) {
+      return;
+    }
+    const auto [begin, end] = plan.range(static_cast<int>(s));
+    const double frac =
+        n_total > 0.0 ? static_cast<double>(end - begin) / n_total : 0.0;
+    const Resources local_capacity = capacity * frac;
+    std::unique_ptr<Allocator> local = local_factory(&slot.local_stats);
+    slot.provisional = local->Allocate(slot.local, local_capacity, &slot.set);
+  };
+  if (pool != nullptr && num_shards > 1) {
+    pool->ParallelFor(static_cast<int64_t>(num_shards), run_shard);
+  } else {
+    for (int64_t s = 0; s < num_shards; ++s) {
+      run_shard(s);
+    }
+  }
+
+  // Serial surface hand-off, in shard order. Donor registration creates no
+  // surface in the round set — phase 2 still creates them on demand — so the
+  // deterministic surface/probe/eval counters match the unsharded round.
+  for (int s = 0; s < num_shards; ++s) {
+    ShardSlot& slot = slots[static_cast<size_t>(s)];
+    if (stats != nullptr) {
+      stats->local_grants += slot.local_stats.grants;
+      stats->local_pops += slot.local_stats.pops;
+      stats->local_probes += slot.set.probes();
+      stats->local_evals += slot.set.evals();
+    }
+    for (const SchedJob& job : slot.local) {
+      if (std::shared_ptr<SpeedSurface> donor = slot.set.Find(job.job_id)) {
+        surfaces->WarmFrom(job, std::move(donor));
+      }
+    }
+  }
+
+  // Phase 2: the serial cross-shard fixup — the canonical allocator over all
+  // jobs and the full capacity, running on warmed memo tables.
+  AllocationMap result = fixup.Allocate(jobs, capacity, surfaces);
+
+  // Delta tracker: how much of the provisional (shard-local) allocation the
+  // fixup migrated. Pure accounting; the result is untouched.
+  if (stats != nullptr) {
+    stats->warmed_points += surfaces->warmed_points();
+    for (int s = 0; s < num_shards; ++s) {
+      const ShardSlot& slot = slots[static_cast<size_t>(s)];
+      for (const SchedJob& job : slot.local) {
+        Allocation provisional;
+        if (auto it = slot.provisional.find(job.job_id);
+            it != slot.provisional.end()) {
+          provisional = it->second;
+        }
+        Allocation final_alloc;
+        if (auto it = result.find(job.job_id); it != result.end()) {
+          final_alloc = it->second;
+        }
+        const int moved = std::abs(final_alloc.num_ps - provisional.num_ps) +
+                          std::abs(final_alloc.num_workers - provisional.num_workers);
+        if (moved > 0) {
+          ++stats->migrated_jobs;
+          stats->migrated_tasks += moved;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace optimus

@@ -1,0 +1,80 @@
+// Two-phase sharded scheduling round.
+//
+// Phase 1 (parallel, per shard): jobs are partitioned over the plan's shards
+// (same-signature jobs stay together so a shared speed surface is warmed
+// once) and each shard runs the configured allocator locally against its
+// proportional slice of the cluster capacity, memoizing every speed probe in
+// a shard-private SpeedSurfaceSet. Shards run on the PR-1 ThreadPool with
+// index-owned result slots, so phase 1 is deterministic for any thread
+// count. Its allocations are PROVISIONAL — they warm the memo tables and
+// feed the migration accounting, nothing else.
+//
+// Phase 2 (serial fixup): the shard surfaces are handed to the round's
+// global SpeedSurfaceSet as warm donors (SpeedSurfaceSet::WarmFrom) and the
+// canonical allocator runs once over all jobs and the full capacity. This is
+// the cross-shard fixup pass: starting from the per-shard provisional state,
+// it migrates grants across shard boundaries until no marginal gain — local
+// or cross-shard — remains above the allocator's threshold (the greedy's
+// stop condition). Because speed surfaces memoize a pure function, a warm
+// value is bitwise the value a cold evaluation would produce, so the fixup's
+// decisions, its round stats, and the surface probe/eval counters are all
+// bitwise identical to an unsharded round. The delta tracker (modeled on the
+// PR-3 auditor's placement delta tracker) diffs provisional vs. final grants
+// to report how much allocation actually crossed shard boundaries.
+//
+// The net effect: the expensive part of a round — speed-function evaluation
+// against the comm/step-time model — fans out over shards/threads, while the
+// serial fixup runs almost entirely on memoized values.
+
+#ifndef SRC_SCHED_SHARDED_ROUND_H_
+#define SRC_SCHED_SHARDED_ROUND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cluster/shard_plan.h"
+#include "src/common/threadpool.h"
+#include "src/sched/optimus_allocator.h"
+#include "src/sched/scheduler.h"
+#include "src/sched/speed_surface.h"
+
+namespace optimus {
+
+// Profiling counters for the sharded round. These describe HOW the round
+// computed its (bitwise-invariant) answer, so they vary with the shard
+// count and belong with the wall-clock gauges in the nondeterministic tail
+// of the metrics catalog, never in the deterministic prefix.
+struct ShardedRoundStats {
+  int64_t rounds = 0;             // sharded rounds executed
+  int64_t local_grants = 0;       // phase-1 provisional grants, all shards
+  int64_t local_pops = 0;         // phase-1 heap pops, all shards
+  int64_t local_probes = 0;       // phase-1 surface probes, all shards
+  int64_t local_evals = 0;        // phase-1 speed-function evaluations
+  int64_t warmed_points = 0;      // memo points served to phase 2 by donors
+  int64_t migrated_jobs = 0;      // jobs whose final grant != provisional
+  int64_t migrated_tasks = 0;     // task-count delta, provisional vs final
+};
+
+// Builds a fresh allocator of the configured policy whose round counters
+// land in `stats` (phase 1 must not advance the live allocator's stats: the
+// live counters are part of the deterministic metrics contract and must
+// match the unsharded round exactly).
+using LocalAllocatorFactory =
+    std::function<std::unique_ptr<Allocator>(OptimusAllocRoundStats* stats)>;
+
+// Runs the two-phase round described above. Decisions are bitwise identical
+// to `fixup.Allocate(jobs, capacity, surfaces)` for every (plan, pool)
+// combination; with a single-shard plan it IS that call. `pool` may be null
+// (phase 1 then runs inline). `stats` may be null.
+AllocationMap ShardedAllocate(const ShardPlan& plan,
+                              const std::vector<SchedJob>& jobs,
+                              const Resources& capacity, const Allocator& fixup,
+                              const LocalAllocatorFactory& local_factory,
+                              SpeedSurfaceSet* surfaces, ThreadPool* pool,
+                              ShardedRoundStats* stats);
+
+}  // namespace optimus
+
+#endif  // SRC_SCHED_SHARDED_ROUND_H_

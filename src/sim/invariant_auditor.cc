@@ -15,6 +15,11 @@ constexpr double kEps = 1e-6;
 
 void InvariantAuditor::NoteRollback(int job_id) { rollback_ok_.insert(job_id); }
 
+void InvariantAuditor::NoteRetired(int job_id) {
+  last_steps_.erase(job_id);
+  rollback_ok_.erase(job_id);
+}
+
 void InvariantAuditor::Report(double now_s, const char* invariant,
                               std::string detail) {
   if (flight_ != nullptr) {
@@ -84,19 +89,22 @@ InvariantAuditor::Census InvariantAuditor::CheckJobScalars(
 
 void InvariantAuditor::CheckAccounting(double now_s, const Census& census,
                                        const Counts& counts) {
-  // Accounting identity over submitted jobs.
-  if (census.running + census.paused + census.pending + census.completed !=
+  // Accounting identity over submitted jobs. Retired jobs (streaming
+  // admission freed their runtime records after completion) are absent from
+  // the views, so they enter both identities through the counts.
+  if (census.running + census.paused + census.pending + census.completed +
+          counts.retired !=
       counts.submitted) {
     std::ostringstream os;
     os << "job census " << census.running << "+" << census.paused << "+"
-       << census.pending << "+" << census.completed << " != " << counts.submitted
-       << " submitted";
+       << census.pending << "+" << census.completed << "+" << counts.retired
+       << " retired != " << counts.submitted << " submitted";
     Report(now_s, "accounting", os.str());
   }
-  if (census.completed != counts.completed_metric) {
+  if (census.completed + counts.retired != counts.completed_metric) {
     std::ostringstream os;
     os << "metrics report " << counts.completed_metric << " completed, census "
-       << "says " << census.completed;
+       << "says " << census.completed << " + " << counts.retired << " retired";
     Report(now_s, "accounting", os.str());
   }
 }
@@ -118,25 +126,34 @@ void InvariantAuditor::Check(double now_s, const std::vector<Server>& servers,
       continue;
     }
     const JobPlacement& placement = *job.placement;
-    if (placement.workers_per_server.size() != n_servers ||
-        placement.ps_per_server.size() != n_servers) {
+    if (placement.compact()
+            ? (placement.used_workers.size() != placement.used_servers.size() ||
+               placement.used_ps.size() != placement.used_servers.size())
+            : (placement.workers_per_server.size() != n_servers ||
+               placement.ps_per_server.size() != n_servers)) {
       std::ostringstream os;
       os << "job " << job.job_id << " placement sized "
          << placement.workers_per_server.size() << "/"
-         << placement.ps_per_server.size() << " for " << n_servers << " servers";
+         << placement.ps_per_server.size() << "/" << placement.used_servers.size()
+         << " for " << n_servers << " servers";
       Report(now_s, "capacity", os.str());
       continue;
     }
     int placed_w = 0;
     int placed_p = 0;
-    for (size_t s = 0; s < n_servers; ++s) {
-      const int w = placement.workers_per_server[s];
-      const int p = placement.ps_per_server[s];
+    placement.ForEachUsed([&](size_t s, int w, int p) {
+      if (s >= n_servers) {
+        std::ostringstream os;
+        os << "job " << job.job_id << " places tasks on server " << s
+           << " outside the " << n_servers << "-server cluster";
+        Report(now_s, "capacity", os.str());
+        return;
+      }
       if (w < 0 || p < 0) {
         std::ostringstream os;
         os << "job " << job.job_id << " has negative task count on server " << s;
         Report(now_s, "capacity", os.str());
-        continue;
+        return;
       }
       placed_w += w;
       placed_p += p;
@@ -148,7 +165,7 @@ void InvariantAuditor::Check(double now_s, const std::vector<Server>& servers,
            << " ps on dead server " << servers[s].id();
         Report(now_s, "dead-server", os.str());
       }
-    }
+    });
     if (placed_w != job.num_workers || placed_p != job.num_ps) {
       std::ostringstream os;
       os << "job " << job.job_id << " placement totals (" << placed_p << ", "

@@ -140,6 +140,13 @@ bool SimulatorConfig::Validate(std::vector<std::string>* errors) const {
     bad("full_audit_period",
         "must be >= 1 (got " + std::to_string(full_audit_period) + ")");
   }
+  if (shards < 1) {
+    bad("shards", "must be >= 1 (got " + std::to_string(shards) + ")");
+  }
+  if (rack_size < 0) {
+    bad("rack_size",
+        "must be >= 0 (0 = one rack; got " + std::to_string(rack_size) + ")");
+  }
   if (obs.flight_recorder_depth < 0) {
     bad("obs.flight_recorder_depth",
         "must be >= 0 (got " + std::to_string(obs.flight_recorder_depth) + ")");
@@ -206,31 +213,107 @@ Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
       flight_(config.obs.enabled ? config.obs.flight_recorder_depth : 0) {
   OPTIMUS_CHECK(!servers_.empty());
   metrics_.total_jobs = static_cast<int>(specs.size());
-  jobs_.reserve(specs.size());
-  for (const JobSpec& spec : specs) {
-    auto jr = std::make_unique<JobRuntime>(spec);
-    jr->rng = rng_.Split(static_cast<uint64_t>(spec.id) + 1000);
-    jr->fault_rng = rng_.Split(static_cast<uint64_t>(spec.id) + 500000);
-    jr->error_sign = jr->rng.Bernoulli(0.5) ? 1 : -1;
-    jr->blocks = GenerateParamBlocks(*spec.model);
-    jr->data = std::make_unique<DataServing>(
-        EstimateDatasetBytes(*spec.model, spec.dataset_scale));
-    jr->true_total_epochs = static_cast<double>(
-        jr->curve.EpochsToConverge(spec.convergence_delta, spec.patience));
-    const bool inserted = job_index_.emplace(spec.id, jobs_.size()).second;
-    OPTIMUS_CHECK(inserted) << "duplicate job id " << spec.id;
-    jobs_.push_back(std::move(jr));
+  if (config_.streaming) {
+    // Materialization order must equal spec order for the run to be bitwise
+    // identical to the batch-materialized one, so the queue (consumed in
+    // arrival order) requires time-ordered specs — the order workload
+    // generators emit anyway.
+    for (size_t i = 1; i < specs.size(); ++i) {
+      OPTIMUS_CHECK_GE(specs[i].arrival_time_s, specs[i - 1].arrival_time_s)
+          << "streaming admission requires specs sorted by arrival time "
+             "(spec "
+          << i << " arrives before its predecessor)";
+    }
+    pending_specs_ = std::move(specs);
+  } else {
+    jobs_.reserve(specs.size());
+    for (const JobSpec& spec : specs) {
+      MaterializeSpec(spec);
+    }
   }
   const int threads = config_.threads > 0 ? config_.threads : DefaultThreadCount();
   if (threads > 1) {
     pool_ = std::make_unique<ThreadPool>(threads);
   }
+  shard_plan_ = ShardPlan::Build(config_.shards,
+                                 static_cast<int>(servers_.size()),
+                                 config_.rack_size);
   faults_ = std::make_unique<FaultInjector>(config_.fault,
                                             static_cast<int>(servers_.size()));
   auditor_.SetClusterSize(servers_.size());
+  if (config_.trace_hash_only) {
+    trace_.set_hash_only(true);
+  }
   // Rough per-run event budget: a handful of lifecycle events per job.
-  trace_.Reserve(jobs_.size() * 8 + 64);
+  trace_.Reserve((jobs_.size() + pending_remaining()) * 8 + 64);
   SetupObservability();
+}
+
+void Simulator::MaterializeSpec(const JobSpec& spec) {
+  auto jr = std::make_unique<JobRuntime>(spec);
+  jr->rng = rng_.Split(static_cast<uint64_t>(spec.id) + 1000);
+  jr->fault_rng = rng_.Split(static_cast<uint64_t>(spec.id) + 500000);
+  jr->error_sign = jr->rng.Bernoulli(0.5) ? 1 : -1;
+  jr->blocks = GenerateParamBlocks(*spec.model);
+  jr->data = std::make_unique<DataServing>(
+      EstimateDatasetBytes(*spec.model, spec.dataset_scale));
+  jr->true_total_epochs = static_cast<double>(
+      jr->curve.EpochsToConverge(spec.convergence_delta, spec.patience));
+  const bool inserted = job_index_.emplace(spec.id, jobs_.size()).second;
+  OPTIMUS_CHECK(inserted) << "duplicate job id " << spec.id;
+  jobs_.push_back(std::move(jr));
+}
+
+void Simulator::MaterializeArrivals(double t) {
+  while (pending_next_ < pending_specs_.size() &&
+         pending_specs_[pending_next_].arrival_time_s <= t) {
+    MaterializeSpec(pending_specs_[pending_next_]);
+    pending_specs_[pending_next_] = JobSpec{};  // release the consumed slot
+    ++pending_next_;
+  }
+}
+
+void Simulator::RetireJob(size_t idx) {
+  JobRuntime* jr = jobs_[idx].get();
+  OPTIMUS_CHECK(jr != nullptr && jr->job.state() == JobState::kCompleted);
+  if (retired_.size() < jobs_.size()) {
+    retired_.resize(jobs_.size());
+  }
+  RetiredJob& r = retired_[idx];
+  r.valid = true;
+  r.killed = jr->killed;
+  r.arrival_time_s = jr->job.spec().arrival_time_s;
+  r.completion_time_s = jr->job.completion_time_s();
+  r.jct_s = jr->job.Jct();
+  r.total_stall_s = jr->job.total_stall_s();
+  if (jr->conv != nullptr) {
+    const ModelFitStats& s = jr->conv->fit_stats();
+    retired_conv_stats_.fits += s.fits;
+    retired_conv_stats_.fit_cache_hits += s.fit_cache_hits;
+    retired_conv_stats_.nnls_iterations += s.nnls_iterations;
+  }
+  if (jr->speed != nullptr) {
+    const ModelFitStats& s = jr->speed->fit_stats();
+    retired_speed_stats_.fits += s.fits;
+    retired_speed_stats_.fit_cache_hits += s.fit_cache_hits;
+    retired_speed_stats_.nnls_iterations += s.nnls_iterations;
+  }
+  ++retired_count_;
+  auditor_.NoteRetired(jr->job.id());
+  HarvestPlacement(&jr->job);
+  jobs_[idx].reset();
+}
+
+void Simulator::RetireCompleted() {
+  if (!config_.streaming) {
+    return;
+  }
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i] != nullptr && jobs_[i]->arrived &&
+        jobs_[i]->job.state() == JobState::kCompleted) {
+      RetireJob(i);
+    }
+  }
 }
 
 void Simulator::SetupObservability() {
@@ -317,6 +400,29 @@ void Simulator::SetupObservability() {
     m_.completed_epochs = registry_.AddHistogram(
         "optimus_completed_epochs", "Epochs at convergence for completed jobs.",
         {5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0});
+    // Sharded-round counters describe HOW the round computed its
+    // (bitwise-invariant) answer, so they vary with config_.shards. They are
+    // quarantined here, between the deterministic catalog prefix and the
+    // wall_* gauges, with the other profile-only metrics: the deterministic
+    // catalog stays a stable prefix of the export for every (shards,
+    // threads) combination.
+    m_.shard_rounds = c("optimus_shard_rounds_total",
+                        "Two-phase sharded scheduling rounds executed.");
+    m_.shard_local_grants =
+        c("optimus_shard_local_grants_total",
+          "Phase-1 provisional grants across all shards (profile only).");
+    m_.shard_local_evals =
+        c("optimus_shard_local_evals_total",
+          "Phase-1 speed-function evaluations across all shards.");
+    m_.shard_warmed_points =
+        c("optimus_shard_warmed_points_total",
+          "Memoized speed points handed from shard surfaces to fixup passes.");
+    m_.shard_migrated_jobs =
+        c("optimus_shard_migrated_jobs_total",
+          "Jobs whose fixup-pass grant differs from their shard-local grant.");
+    m_.shard_migrated_tasks =
+        c("optimus_shard_migrated_tasks_total",
+          "Task-count delta between shard-local and fixup-pass grants.");
     // Profiling gauges (optimus_wall_*_seconds) register last so the
     // deterministic catalog is a stable prefix of the export.
     profiler_.AttachRegistry(&registry_, "optimus_wall_");
@@ -336,11 +442,13 @@ void Simulator::SampleObservability() {
 
   // Cumulative per-job model-fit totals, summed in job order (integer sums,
   // so the order matters only for consistency, not correctness).
-  int submitted = 0;
-  ModelFitStats conv;
-  ModelFitStats speedm;
+  // Retired runtimes (streaming) contribute through the folded aggregates;
+  // integer sums, so the totals match the batch walk bitwise.
+  int submitted = retired_count_;
+  ModelFitStats conv = retired_conv_stats_;
+  ModelFitStats speedm = retired_speed_stats_;
   for (const auto& jr : jobs_) {
-    if (!jr->arrived) {
+    if (jr == nullptr || !jr->arrived) {
       continue;
     }
     ++submitted;
@@ -390,6 +498,13 @@ void Simulator::SampleObservability() {
     m_.events_by_kind[k]->Set(
         static_cast<double>(event_counts_.counts[static_cast<size_t>(k)]));
   }
+  m_.shard_rounds->Set(static_cast<double>(sharded_stats_.rounds));
+  m_.shard_local_grants->Set(static_cast<double>(sharded_stats_.local_grants));
+  m_.shard_local_evals->Set(static_cast<double>(sharded_stats_.local_evals));
+  m_.shard_warmed_points->Set(static_cast<double>(sharded_stats_.warmed_points));
+  m_.shard_migrated_jobs->Set(static_cast<double>(sharded_stats_.migrated_jobs));
+  m_.shard_migrated_tasks->Set(
+      static_cast<double>(sharded_stats_.migrated_tasks));
   m_.sim_time->Set(now_s_);
 
   if (config_.obs.per_interval_series) {
@@ -401,6 +516,10 @@ const Job& Simulator::job(int id) const {
   const auto it = job_index_.find(id);
   if (it == job_index_.end()) {
     OPTIMUS_LOG(Fatal) << "unknown job id " << id;
+  }
+  if (jobs_[it->second] == nullptr) {
+    OPTIMUS_LOG(Fatal) << "job " << id
+                       << " completed and was retired (streaming admission)";
   }
   return jobs_[it->second]->job;
 }
@@ -452,8 +571,12 @@ void Simulator::ActivateArrivals() {
   // (the job's own RNG streams included), so the parallel path is bitwise
   // identical to the serial one; trace events are recorded afterwards, in
   // arrival (input) order, to keep the event log deterministic too.
+  MaterializeArrivals(now_s_);
   std::vector<JobRuntime*> arriving;
   for (auto& jr : jobs_) {
+    if (jr == nullptr) {
+      continue;
+    }
     if (!jr->arrived && jr->job.spec().arrival_time_s <= now_s_) {
       jr->arrived = true;
       arriving.push_back(jr.get());
@@ -623,8 +746,9 @@ double Simulator::BackgroundShare(double t) const {
 
 void Simulator::HarvestPlacement(Job* job) {
   JobPlacement* p = job->mutable_placement();
-  if (p->workers_per_server.size() == servers_.size() &&
-      p->ps_per_server.size() == servers_.size()) {
+  const bool dense_full = p->workers_per_server.size() == servers_.size() &&
+                          p->ps_per_server.size() == servers_.size();
+  if (dense_full || p->compact()) {
     placement_spares_.push_back(std::move(*p));
     *p = JobPlacement{};
   }
@@ -667,7 +791,7 @@ void Simulator::ApplyFaults() {
   // rolls back to a checkpoint at most checkpoint_period_s old.
   if (fc.checkpoint_period_s > 0.0) {
     for (auto& jr : jobs_) {
-      if (!jr->arrived || jr->job.state() != JobState::kRunning) {
+      if (jr == nullptr || !jr->arrived || jr->job.state() != JobState::kRunning) {
         continue;
       }
       if (now_s_ - jr->last_checkpoint_time_s >= fc.checkpoint_period_s) {
@@ -715,7 +839,8 @@ void Simulator::ApplyFaults() {
   // remaining capacity.
   if (faults_->servers_down() > 0) {
     for (auto& jr : jobs_) {
-      if (!jr->arrived || jr->job.state() == JobState::kCompleted ||
+      if (jr == nullptr || !jr->arrived ||
+          jr->job.state() == JobState::kCompleted ||
           jr->job.placement().empty()) {
         continue;
       }
@@ -743,7 +868,7 @@ void Simulator::ApplyFaults() {
   // in place (placement survives; only un-checkpointed progress is lost).
   if (fc.task_failure_prob > 0.0) {
     for (auto& jr : jobs_) {
-      if (!jr->arrived || jr->job.state() != JobState::kRunning) {
+      if (jr == nullptr || !jr->arrived || jr->job.state() != JobState::kRunning) {
         continue;
       }
       const int tasks = jr->job.num_workers() + jr->job.num_ps();
@@ -769,6 +894,12 @@ void Simulator::RunAudit() {
   InvariantAuditor::Counts counts;
   views.reserve(jobs_.size());
   for (const auto& jr : jobs_) {
+    if (jr == nullptr) {
+      // Retired runtime: it arrived and completed; it enters the accounting
+      // identities through counts.retired instead of a view.
+      ++counts.submitted;
+      continue;
+    }
     if (!jr->arrived) {
       continue;
     }
@@ -779,6 +910,7 @@ void Simulator::RunAudit() {
                      job.spec().worker_demand, &job.placement()});
   }
   counts.completed_metric = metrics_.completed_jobs;
+  counts.retired = retired_count_;
   const double check_time = now_s_ + config_.interval_s;
   // Most intervals run the O(changed) incremental check; every
   // full_audit_period-th check (and always, when incremental auditing is
@@ -817,7 +949,7 @@ void Simulator::CollectRoundInputs(std::vector<JobRuntime*>* schedulable,
   // out allocations that per-server fragmentation makes unplaceable.
   Resources reference_demand;
   for (const auto& jr : jobs_) {
-    if (jr->arrived && jr->job.state() != JobState::kCompleted) {
+    if (jr != nullptr && jr->arrived && jr->job.state() != JobState::kCompleted) {
       reference_demand = jr->job.spec().worker_demand;
       break;
     }
@@ -838,7 +970,8 @@ void Simulator::CollectRoundInputs(std::vector<JobRuntime*>* schedulable,
   }
 
   for (auto& jr : jobs_) {
-    if (!jr->arrived || jr->job.state() == JobState::kCompleted) {
+    if (jr == nullptr || !jr->arrived ||
+        jr->job.state() == JobState::kCompleted) {
       continue;
     }
     if (jr->backoff_until_s > now_s_) {
@@ -896,7 +1029,23 @@ void Simulator::ScheduleActiveJobs() {
   // Allocate convenience overload building a hidden one) so its probe/eval
   // counters can feed the metrics registry. Decisions are identical.
   SpeedSurfaceSet surfaces;
-  AllocationMap alloc = allocator_->Allocate(sched_jobs, capacity, &surfaces);
+  AllocationMap alloc;
+  if (shard_plan_.num_shards() > 1) {
+    // Two-phase sharded round (docs/ALGORITHMS.md §18): parallel per-shard
+    // local passes warm the speed-surface memo tables, then the canonical
+    // allocator runs the serial cross-shard fixup over the full capacity on
+    // the warmed tables. Decisions, the live alloc_stats_ counters, and the
+    // surface counters harvested below are bitwise identical to the
+    // unsharded call (phase 1 writes its counters into sharded_stats_ only).
+    const auto local_factory = [this](OptimusAllocRoundStats* stats) {
+      return MakeAllocator(config_, stats);
+    };
+    alloc = ShardedAllocate(shard_plan_, sched_jobs, capacity, *allocator_,
+                            local_factory, &surfaces, pool_.get(),
+                            &sharded_stats_);
+  } else {
+    alloc = allocator_->Allocate(sched_jobs, capacity, &surfaces);
+  }
   surface_probes_ += surfaces.probes();
   surface_evals_ += surfaces.evals();
   surface_count_ += static_cast<int64_t>(surfaces.num_surfaces());
@@ -942,7 +1091,7 @@ void Simulator::ScheduleActiveJobs() {
   // pool first so steady-state rounds allocate no server-sized vectors.
   auto donor = [this](JobRuntime* jr) {
     JobPlacement* p = jr->job.mutable_placement();
-    if (p->workers_per_server.empty() && !placement_spares_.empty()) {
+    if (p->empty() && !placement_spares_.empty()) {
       *p = std::move(placement_spares_.back());
       placement_spares_.pop_back();
     }
@@ -964,7 +1113,16 @@ void Simulator::ScheduleActiveJobs() {
     inputs.push_back({jr->job.id(), a, jr->job.spec().worker_demand,
                       jr->job.spec().ps_demand, donor(jr)});
   }
-  PlacementResult placed = PlaceJobs(config_.placement, inputs, &servers);
+  // Sharded placement keeps one lazy heap per shard and pops via a
+  // tournament reproducing the global most-free order, with compact
+  // (occupied-servers-only) output vectors; it is decision-identical to the
+  // legacy kOptimusPack path. Other placement policies take the legacy path.
+  const bool sharded_placement =
+      shard_plan_.num_shards() > 1 &&
+      config_.placement == PlacementPolicy::kOptimusPack;
+  PlacementResult placed = sharded_placement
+                               ? PlaceJobsSharded(shard_plan_, inputs, &servers)
+                               : PlaceJobs(config_.placement, inputs, &servers);
 
   // Index the placement result once instead of two map lookups per job: the
   // two maps carry identical key sets (both filled on successful placement),
@@ -988,7 +1146,8 @@ void Simulator::ScheduleActiveJobs() {
   // Apply decisions.
   for (size_t job_idx = 0; job_idx < jobs_.size(); ++job_idx) {
     auto& jr = jobs_[job_idx];
-    if (!jr->arrived || jr->job.state() == JobState::kCompleted) {
+    if (jr == nullptr || !jr->arrived ||
+        jr->job.state() == JobState::kCompleted) {
       continue;
     }
     const int id = jr->job.id();
@@ -1001,10 +1160,12 @@ void Simulator::ScheduleActiveJobs() {
     bool scaled = false;
     if (placeable) {
       const bool first_schedule = old_state == JobState::kPending;
-      if (!config_.sparse_placement) {
+      if (!config_.sparse_placement && !placement->compact()) {
         // Baseline mode: drop the sparse index so every placement walk falls
         // back to the dense O(n_servers) scan. ForEachUsed visits the same
-        // nonzero entries either way, so outputs are bit-identical.
+        // nonzero entries either way, so outputs are bit-identical. Compact
+        // placements (sharded fast path) have no dense vectors to fall back
+        // to, so they keep their index.
         placement->used_servers.clear();
       }
       // `placed` is dead after this loop, so the placement's server vectors
@@ -1197,7 +1358,7 @@ void Simulator::AdvanceInterval() {
   std::vector<JobRuntime*> running;
   running.reserve(jobs_.size());
   for (auto& jr : jobs_) {
-    if (jr->arrived && jr->job.state() == JobState::kRunning) {
+    if (jr != nullptr && jr->arrived && jr->job.state() == JobState::kRunning) {
       running.push_back(jr.get());
     }
   }
@@ -1282,7 +1443,7 @@ void Simulator::AdvanceInterval() {
 }
 
 bool Simulator::StepInterval() {
-  if (completed_ >= static_cast<int>(jobs_.size())) {
+  if (completed_ >= static_cast<int>(jobs_.size()) && pending_remaining() == 0) {
     return false;
   }
   if (now_s_ >= config_.max_sim_time_s) {
@@ -1295,7 +1456,7 @@ bool Simulator::StepInterval() {
   // Fast-forward to the next arrival when the cluster is idle.
   bool any_active = false;
   for (const auto& jr : jobs_) {
-    if (jr->arrived && jr->job.state() != JobState::kCompleted) {
+    if (jr != nullptr && jr->arrived && jr->job.state() != JobState::kCompleted) {
       any_active = true;
       break;
     }
@@ -1303,9 +1464,15 @@ bool Simulator::StepInterval() {
   if (!any_active) {
     double next_arrival = std::numeric_limits<double>::infinity();
     for (const auto& jr : jobs_) {
-      if (!jr->arrived) {
+      if (jr != nullptr && !jr->arrived) {
         next_arrival = std::min(next_arrival, jr->job.spec().arrival_time_s);
       }
+    }
+    if (pending_remaining() > 0) {
+      // Streaming: the head of the pending queue is the earliest
+      // unmaterialized arrival (specs are arrival-sorted).
+      next_arrival = std::min(next_arrival,
+                              pending_specs_[pending_next_].arrival_time_s);
     }
     if (!std::isfinite(next_arrival)) {
       return false;  // nothing left anywhere
@@ -1343,7 +1510,9 @@ bool Simulator::StepInterval() {
   metrics_.wall_audit_s = profiler_.seconds(phase_audit_);
   now_s_ += config_.interval_s;
   SampleObservability();
-  return completed_ < static_cast<int>(jobs_.size()) &&
+  RetireCompleted();
+  return (completed_ < static_cast<int>(jobs_.size()) ||
+          pending_remaining() > 0) &&
          now_s_ < config_.max_sim_time_s;
 }
 
@@ -1362,7 +1531,27 @@ RunMetrics Simulator::Run() {
   double last_completion = 0.0;
   double overhead_sum = 0.0;
   int overhead_count = 0;
-  for (const auto& jr : jobs_) {
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    const auto& jr = jobs_[i];
+    if (jr == nullptr) {
+      // Retired under streaming admission: the compact record preserves the
+      // slot's contribution so aggregation stays bitwise batch-identical
+      // (same per-slot visit order, same floating-point accumulation).
+      OPTIMUS_CHECK(i < retired_.size() && retired_[i].valid)
+          << "job slot " << i << " is null but has no retired record";
+      const RetiredJob& r = retired_[i];
+      first_arrival = std::min(first_arrival, r.arrival_time_s);
+      if (r.killed) {
+        continue;
+      }
+      metrics_.jcts.push_back(r.jct_s);
+      last_completion = std::max(last_completion, r.completion_time_s);
+      if (r.jct_s > 0.0) {
+        overhead_sum += r.total_stall_s / r.jct_s;
+        ++overhead_count;
+      }
+      continue;
+    }
     first_arrival = std::min(first_arrival, jr->job.spec().arrival_time_s);
     if (jr->killed) {
       continue;  // cancelled, not converged: no JCT, no makespan contribution
@@ -1375,6 +1564,11 @@ RunMetrics Simulator::Run() {
         ++overhead_count;
       }
     }
+  }
+  // Pending specs that never materialized (simulation-time cap) still mark
+  // the workload's start, exactly as unarrived constructor jobs do in batch.
+  for (size_t i = pending_next_; i < pending_specs_.size(); ++i) {
+    first_arrival = std::min(first_arrival, pending_specs_[i].arrival_time_s);
   }
   metrics_.avg_jct_s = Mean(metrics_.jcts);
   // Guard the empty-jobs case too: with no jobs, first_arrival stays +inf and
@@ -1416,6 +1610,12 @@ bool Simulator::SubmitJob(const JobSpec& spec, std::string* error) {
   };
   if (spec.model == nullptr) {
     return fail("job model is null");
+  }
+  if (config_.streaming) {
+    // Online submission splices into jobs_ out of arrival order; streaming
+    // admission's batch-identity argument requires materialization in spec
+    // order, so the two modes are mutually exclusive.
+    return fail("online SubmitJob is not supported with streaming admission");
   }
   if (job_index_.count(spec.id) > 0) {
     return fail("job id " + std::to_string(spec.id) + " already exists");
@@ -1470,6 +1670,9 @@ bool Simulator::KillJob(int job_id, std::string* error) {
   auto it = job_index_.find(job_id);
   if (it == job_index_.end()) {
     return fail("unknown job id " + std::to_string(job_id));
+  }
+  if (jobs_[it->second] == nullptr) {
+    return fail("job " + std::to_string(job_id) + " already completed");
   }
   JobRuntime* jr = jobs_[it->second].get();
   Job& job = jr->job;

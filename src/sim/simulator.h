@@ -22,6 +22,7 @@
 #include "src/cluster/data_serving.h"
 #include "src/cluster/job.h"
 #include "src/cluster/server.h"
+#include "src/cluster/shard_plan.h"
 #include "src/cluster/straggler.h"
 #include "src/common/rng.h"
 #include "src/models/loss_curve.h"
@@ -36,6 +37,7 @@
 #include "src/sched/placement.h"
 #include "src/sched/scheduler.h"
 #include "src/sched/scheduler_registry.h"
+#include "src/sched/sharded_round.h"
 #include "src/sched/what_if.h"
 #include "src/sim/event_kernel.h"
 #include "src/sim/fault_injector.h"
@@ -187,6 +189,36 @@ struct SimulatorConfig {
   // vectors. Outputs are bit-identical either way; false restores the dense
   // scans (baseline mode for benchmarks).
   bool sparse_placement = true;
+  // Two-phase sharded scheduling rounds (docs/ALGORITHMS.md §18): servers are
+  // partitioned into `shards` rack-aligned contiguous pools. Allocation first
+  // runs locally per shard — in parallel on the job thread pool, each shard
+  // against its proportional capacity slice — to warm the speed-surface memo
+  // tables; a serial cross-shard fixup pass then allocates over the full
+  // cluster on the warmed tables, migrating grants across shard boundaries
+  // until no cross-shard marginal gain remains. Placement (kOptimusPack only)
+  // keeps one lazy server heap per shard and merges them with a tournament
+  // pop that reproduces the global most-free order. Decisions, RunMetrics,
+  // event traces, and the deterministic metric catalog are bitwise identical
+  // for every (shards, threads) combination; 1 = the unsharded round.
+  int shards = 1;
+  // Rack width in contiguous server ids (the scenario DSL's
+  // `cluster.rack_size`) used to align shard boundaries; 0 = one rack spans
+  // the cluster, letting shard boundaries fall anywhere.
+  int rack_size = 0;
+  // Streaming job admission: arrival specs are held in a pending queue and
+  // each Job record is materialized only when the simulation clock reaches
+  // its arrival, then retired (heavy state freed, placement buffers recycled
+  // through the spare pool, a compact RetiredJob record kept for the final
+  // aggregation) once it completes — peak memory tracks the ACTIVE job set
+  // instead of the full trace length. Requires the spec list to be sorted by
+  // arrival time (workload generators emit time-ordered traces); outputs are
+  // bitwise identical to the batch-materialized run.
+  bool streaming = false;
+  // Hash-only event trace: records update the trace's running FNV digest and
+  // count but are not stored, so the trace costs O(1) memory at million-job
+  // scale. The digest is maintained (identically) in both modes, so sweeps
+  // can compare traces across configurations either way.
+  bool trace_hash_only = false;
 
   // Field-by-field validation. Appends one "field: problem" message per
   // violated constraint to `errors` (when non-null) and returns whether the
@@ -263,6 +295,11 @@ class Simulator {
   const RunMetrics& metrics() const { return metrics_; }
   // Lifecycle event log of the run so far.
   const EventTrace& trace() const { return trace_; }
+  // Two-phase sharded-round counters (all zero when knobs.shards <= 1).
+  const ShardedRoundStats& sharded_stats() const { return sharded_stats_; }
+  // Jobs materialized so far: the full workload in batch mode, only the
+  // admitted prefix under streaming admission (retired slots still count).
+  int materialized_jobs() const { return static_cast<int>(jobs_.size()); }
   // Invariant-audit results of the run so far (empty when audit is off).
   const InvariantAuditor& auditor() const { return auditor_; }
   // Observability views. The registry holds the named metric catalog (empty
@@ -394,6 +431,30 @@ class Simulator {
   void RebuildSegments();
 
   void ActivateArrivals();
+  // Constructor-identical per-job initialization (RNG streams split from the
+  // run seed by job id, param blocks, data serving, ground-truth epoch
+  // count); appends the runtime to jobs_. Shared by the constructor,
+  // SubmitJob, and streaming materialization, so a job is bitwise the same
+  // object no matter which path created it.
+  void MaterializeSpec(const JobSpec& spec);
+  // Streaming admission: materializes every pending spec whose arrival time
+  // is <= t, in queue (spec) order. No-op when the queue head is later.
+  void MaterializeArrivals(double t);
+  size_t pending_remaining() const {
+    return pending_specs_.size() - pending_next_;
+  }
+  // Retires the completed runtime in jobs_[idx]: folds the state the final
+  // aggregation and the metrics walks need into the retired records, hands
+  // the auditor its NoteRetired, recycles placement buffers through the
+  // spare pool, and frees the runtime (jobs_[idx] becomes null; every loop
+  // over jobs_ skips null slots).
+  void RetireJob(size_t idx);
+  // Retires every completed, not-yet-retired runtime. No-op unless
+  // config_.streaming. The interval engine sweeps at the end of each step;
+  // the event engine sweeps at rounds after RefreshModels, so a completed
+  // job's final trained span still feeds its models exactly as in the batch
+  // run before the runtime is freed.
+  void RetireCompleted();
   // Scheduler view of a job (estimates only).
   SchedJob MakeSchedJob(JobRuntime* jr) const;
   // Scheduler inputs of a round at the current instant: partitions active
@@ -458,11 +519,41 @@ class Simulator {
   bool placeable_cap_valid_ = false;
   std::vector<std::unique_ptr<JobRuntime>> jobs_;
   std::map<int, size_t> job_index_;  // job id -> index in jobs_
+
+  // --- Streaming admission (config_.streaming) ------------------------------
+  // Specs not yet materialized, in non-decreasing arrival order;
+  // pending_next_ is the queue head (consumed slots release their heap
+  // state). Empty unless streaming is on.
+  std::vector<JobSpec> pending_specs_;
+  size_t pending_next_ = 0;
+  // Compact stand-in for a retired runtime: everything Run()'s final
+  // aggregation reads from a completed job. retired_[i] pairs with jobs_[i]
+  // (null once retired); sized lazily on first retirement.
+  struct RetiredJob {
+    bool valid = false;
+    bool killed = false;
+    double arrival_time_s = 0.0;
+    double completion_time_s = 0.0;
+    double jct_s = 0.0;
+    double total_stall_s = 0.0;
+  };
+  std::vector<RetiredJob> retired_;
+  int retired_count_ = 0;
+  // Fit-stat totals of retired runtimes, folded into SampleObservability's
+  // live-job walk so the exported counters match the batch run (integer
+  // sums, so folding an aggregate preserves the totals bitwise).
+  ModelFitStats retired_conv_stats_;
+  ModelFitStats retired_speed_stats_;
   std::unique_ptr<ThreadPool> pool_;  // per-job parallelism (see threads)
   // Greedy-round counters the Optimus allocator accumulates across rounds;
   // declared before allocator_, which captures a pointer to it.
   OptimusAllocRoundStats alloc_stats_;
   std::unique_ptr<Allocator> allocator_;
+  // Rack-aligned server partition for the two-phase sharded round
+  // (config_.shards; a single-shard plan routes every call through the
+  // unsharded code paths) and the round's profiling counters.
+  ShardPlan shard_plan_;
+  ShardedRoundStats sharded_stats_;
   StragglerModel straggler_;
   std::unique_ptr<FaultInjector> faults_;
   InvariantAuditor auditor_;
@@ -534,6 +625,13 @@ class Simulator {
     Counter* speedmodel_nnls_iterations = nullptr;
     Counter* events_processed = nullptr;
     Counter* events_by_kind[kNumSimEventKinds] = {};
+    // Sharded-round profile (quarantined: registered with the wall_* tail).
+    Counter* shard_rounds = nullptr;
+    Counter* shard_local_grants = nullptr;
+    Counter* shard_local_evals = nullptr;
+    Counter* shard_warmed_points = nullptr;
+    Counter* shard_migrated_jobs = nullptr;
+    Counter* shard_migrated_tasks = nullptr;
     Gauge* sim_time = nullptr;
     Gauge* running_tasks = nullptr;
     Histogram* jct_seconds = nullptr;

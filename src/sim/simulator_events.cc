@@ -22,10 +22,20 @@
 namespace optimus {
 
 void Simulator::EnqueueStaticEvents() {
-  events_.reserve(jobs_.size() * 2 + 64);
+  events_.reserve((jobs_.size() + pending_remaining()) * 2 + 64);
   for (const auto& jr : jobs_) {
+    if (jr == nullptr) {
+      continue;
+    }
     events_.Push({jr->job.spec().arrival_time_s, SimEventKind::kArrival,
                   jr->job.id(), 0});
+  }
+  // Streaming admission: unmaterialized specs get their arrival events up
+  // front (the times are known; only the JobRuntime construction is deferred
+  // to the event itself, via ActivateArrivals -> MaterializeArrivals).
+  for (size_t i = pending_next_; i < pending_specs_.size(); ++i) {
+    events_.Push({pending_specs_[i].arrival_time_s, SimEventKind::kArrival,
+                  pending_specs_[i].id, 0});
   }
   // One kFaultPlan event per distinct scripted edge time; the handler applies
   // every transition due at that instant, so duplicates would be redundant.
@@ -161,7 +171,9 @@ void Simulator::ProcessEpochBatch(const std::vector<SimKernelEvent>& batch) {
       const auto it = job_index_.find(static_cast<int>(event.job_id));
       OPTIMUS_CHECK(it != job_index_.end());
       JobRuntime* jr = jobs_[it->second].get();
-      if (!jr->seg_active || jr->gen != event.gen) {
+      // A retired job's slot is null; any epoch event it left behind is stale
+      // by definition (retirement requires completion, which bumped the gen).
+      if (jr == nullptr || !jr->seg_active || jr->gen != event.gen) {
         ++events_stale_dropped_;
         continue;
       }
@@ -251,7 +263,8 @@ void Simulator::HandleFaultPlanEvent(double t) {
   // job's segment, invalidating its pending epoch event).
   if (faults_->servers_down() > 0) {
     for (auto& jr : jobs_) {
-      if (!jr->arrived || jr->job.state() == JobState::kCompleted ||
+      if (jr == nullptr || !jr->arrived ||
+          jr->job.state() == JobState::kCompleted ||
           jr->job.placement().empty()) {
         continue;
       }
@@ -280,7 +293,7 @@ void Simulator::HandleFaultPlanEvent(double t) {
   // old speed up to t, recompute with the same round noise draw, reschedule.
   if (slow_changed) {
     for (auto& jr : jobs_) {
-      if (!jr->seg_active) {
+      if (jr == nullptr || !jr->seg_active) {
         continue;
       }
       SettleJob(jr.get(), t);
@@ -303,13 +316,15 @@ void Simulator::HandleFaultPlanEvent(double t) {
 void Simulator::RefreshModels() {
   if (config_.oracle_estimates) {
     for (auto& jr : jobs_) {
-      jr->ran_since_round = false;
+      if (jr != nullptr) {
+        jr->ran_since_round = false;
+      }
     }
     return;
   }
   std::vector<JobRuntime*> dirty;
   for (auto& jr : jobs_) {
-    if (jr->ran_since_round) {
+    if (jr != nullptr && jr->ran_since_round) {
       dirty.push_back(jr.get());
       jr->ran_since_round = false;
     }
@@ -342,7 +357,8 @@ void Simulator::RebuildSegments() {
   // and exactly one new epoch event each.
   std::vector<JobRuntime*> running;
   for (auto& jr : jobs_) {
-    if (!jr->arrived || jr->job.state() == JobState::kCompleted) {
+    if (jr == nullptr || !jr->arrived ||
+        jr->job.state() == JobState::kCompleted) {
       continue;
     }
     ++jr->gen;
@@ -442,7 +458,8 @@ void Simulator::HandleRoundEvent(double t) {
   // own events before that round fires.)
   bool any_active = false;
   for (const auto& jr : jobs_) {
-    if (jr->arrived && jr->job.state() != JobState::kCompleted) {
+    if (jr != nullptr && jr->arrived &&
+        jr->job.state() != JobState::kCompleted) {
       any_active = true;
       break;
     }
@@ -450,9 +467,13 @@ void Simulator::HandleRoundEvent(double t) {
   if (!any_active) {
     double next_arrival = std::numeric_limits<double>::infinity();
     for (const auto& jr : jobs_) {
-      if (!jr->arrived) {
+      if (jr != nullptr && !jr->arrived) {
         next_arrival = std::min(next_arrival, jr->job.spec().arrival_time_s);
       }
+    }
+    if (pending_remaining() > 0) {
+      next_arrival = std::min(next_arrival,
+                              pending_specs_[pending_next_].arrival_time_s);
     }
     if (!std::isfinite(next_arrival)) {
       return;  // nothing left anywhere: no further rounds
@@ -471,7 +492,7 @@ void Simulator::HandleRoundEvent(double t) {
   {
     ScopedTimer timer(&profiler_, phase_events_);
     for (auto& jr : jobs_) {
-      if (jr->seg_active) {
+      if (jr != nullptr && jr->seg_active) {
         SettleJob(jr.get(), t);
       }
     }
@@ -480,6 +501,11 @@ void Simulator::HandleRoundEvent(double t) {
     ScopedTimer timer(&profiler_, phase_events_);
     RefreshModels();
   }
+  // Retire only after the refresh: a job that completed since the last round
+  // still carries its final trained span, which the refresh above folds into
+  // its models exactly as the batch engine does. Retiring earlier would skip
+  // that fit and diverge the model counters from the batch run.
+  RetireCompleted();
 
   // The shared policy path, verbatim: fault pipeline (periodic checkpoints,
   // stochastic task failures, eviction scan — scripted edges already fired as
@@ -526,8 +552,9 @@ void Simulator::StepEventsUntil(double horizon) {
   }
 
   std::vector<SimKernelEvent> batch;
-  while (completed_ < static_cast<int>(jobs_.size()) && !events_.empty() &&
-         events_.Top().time_s <= horizon &&
+  while ((completed_ < static_cast<int>(jobs_.size()) ||
+          pending_remaining() > 0) &&
+         !events_.empty() && events_.Top().time_s <= horizon &&
          events_.Top().time_s < config_.max_sim_time_s) {
     {
       ScopedTimer timer(&profiler_, phase_events_);

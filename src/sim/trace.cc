@@ -1,5 +1,6 @@
 #include "src/sim/trace.h"
 
+#include <cstring>
 #include <ostream>
 
 #include "src/common/logging.h"
@@ -40,24 +41,73 @@ const char* SimEventTypeName(SimEventType type) {
   return "unknown";
 }
 
-void EventTrace::Reserve(size_t n) { records_.reserve(records_.size() + n); }
+void EventTrace::Reserve(size_t n) {
+  if (!hash_only_) {
+    records_.reserve(records_.size() + n);
+  }
+}
 
 EventTrace::RawRecord& EventTrace::Push(double time_s, SimEventType type,
                                         int job_id, int num_ps, int num_workers) {
-  OPTIMUS_CHECK(records_.empty() || time_s >= records_.back().time_s - 1e-9)
+  OPTIMUS_CHECK(recorded_ == 0 || time_s >= last_time_s_ - 1e-9)
       << "events must be recorded in time order: new "
       << SimEventTypeName(type) << "@" << time_s << " job=" << job_id
-      << " after " << SimEventTypeName(records_.back().type) << "@"
-      << records_.back().time_s << " job=" << records_.back().job_id;
+      << " after " << SimEventTypeName(last_type_) << "@" << last_time_s_
+      << " job=" << last_job_id_;
+  last_time_s_ = time_s;
+  last_type_ = type;
+  last_job_id_ = job_id;
+  if (hash_only_) {
+    scratch_ = {time_s, type, job_id, num_ps, num_workers};
+    return scratch_;
+  }
   records_.push_back({time_s, type, job_id, num_ps, num_workers});
   return records_.back();
+}
+
+void EventTrace::Seal(const RawRecord& r, const std::string* detail) {
+  constexpr uint64_t kFnvPrime = 1099511628211ULL;
+  const auto mix_byte = [this](uint8_t b) {
+    digest_ = (digest_ ^ b) * kFnvPrime;
+  };
+  const auto mix = [&mix_byte](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  };
+  uint64_t time_bits = 0;
+  std::memcpy(&time_bits, &r.time_s, sizeof(time_bits));
+  mix(time_bits);
+  mix(static_cast<uint64_t>(r.type));
+  mix(static_cast<uint64_t>(static_cast<int64_t>(r.job_id)));
+  mix(static_cast<uint64_t>(static_cast<int64_t>(r.num_ps)));
+  mix(static_cast<uint64_t>(static_cast<int64_t>(r.num_workers)));
+  mix(static_cast<uint64_t>(r.detail_kind));
+  if (detail != nullptr) {
+    mix(static_cast<uint64_t>(detail->size()));
+    for (char c : *detail) {
+      mix_byte(static_cast<uint8_t>(c));
+    }
+  } else if (r.detail_kind == DetailKind::kFactor) {
+    uint64_t factor_bits = 0;
+    std::memcpy(&factor_bits, &r.num_arg, sizeof(factor_bits));
+    mix(factor_bits);
+  } else {
+    mix(static_cast<uint64_t>(r.int_arg));
+  }
+  ++recorded_;
 }
 
 void EventTrace::Record(double time_s, SimEventType type, int job_id, int num_ps,
                         int num_workers, std::string detail) {
   RawRecord& r = Push(time_s, type, job_id, num_ps, num_workers);
-  if (!detail.empty()) {
-    r.detail_kind = DetailKind::kString;
+  if (detail.empty()) {
+    Seal(r, nullptr);
+    return;
+  }
+  r.detail_kind = DetailKind::kString;
+  Seal(r, &detail);
+  if (!hash_only_) {
     r.int_arg = static_cast<int64_t>(strings_.size());
     strings_.push_back(std::move(detail));
   }
@@ -68,6 +118,7 @@ void EventTrace::RecordEpochs(double time_s, SimEventType type, int job_id,
   RawRecord& r = Push(time_s, type, job_id, num_ps, num_workers);
   r.detail_kind = DetailKind::kEpochs;
   r.int_arg = epochs;
+  Seal(r, nullptr);
 }
 
 void EventTrace::RecordServer(double time_s, SimEventType type, int job_id,
@@ -75,6 +126,7 @@ void EventTrace::RecordServer(double time_s, SimEventType type, int job_id,
   RawRecord& r = Push(time_s, type, job_id, 0, 0);
   r.detail_kind = DetailKind::kServer;
   r.int_arg = server_id;
+  Seal(r, nullptr);
 }
 
 void EventTrace::RecordFactor(double time_s, SimEventType type, int job_id,
@@ -82,6 +134,7 @@ void EventTrace::RecordFactor(double time_s, SimEventType type, int job_id,
   RawRecord& r = Push(time_s, type, job_id, 0, 0);
   r.detail_kind = DetailKind::kFactor;
   r.num_arg = factor;
+  Seal(r, nullptr);
 }
 
 void EventTrace::Materialize() const {

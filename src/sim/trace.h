@@ -60,8 +60,22 @@ struct SimEvent {
 class EventTrace {
  public:
   // Pre-sizes the raw event buffer (one reservation per run beats repeated
-  // regrowth at cluster scale).
+  // regrowth at cluster scale). No-op in hash-only mode.
   void Reserve(size_t n);
+
+  // Hash-only mode: records update the running digest (and the record count)
+  // but are not stored, so a million-job run's trace costs O(1) memory.
+  // events()/ForJob()/WriteCsv() then see only the records stored while
+  // storage was on. The digest itself is identical in both modes.
+  void set_hash_only(bool hash_only) { hash_only_ = hash_only; }
+  bool hash_only() const { return hash_only_; }
+
+  // Running FNV-1a digest over the canonical fields of every record so far
+  // (time bits, type, job, ps, workers, detail kind and payload — for string
+  // details, the string bytes). Maintained in both modes: two runs produced
+  // identical traces iff their digests and sizes match, which lets
+  // determinism sweeps compare traces without holding them.
+  uint64_t digest() const { return digest_; }
 
   void Record(double time_s, SimEventType type, int job_id, int num_ps = 0,
               int num_workers = 0, std::string detail = "");
@@ -75,7 +89,8 @@ class EventTrace {
   void RecordFactor(double time_s, SimEventType type, int job_id, double factor);
 
   const std::vector<SimEvent>& events() const;
-  size_t size() const { return records_.size(); }
+  // Records ever recorded (counted in hash-only mode too).
+  size_t size() const { return recorded_; }
 
   // Events of one job, in time order.
   std::vector<SimEvent> ForJob(int job_id) const;
@@ -103,6 +118,10 @@ class EventTrace {
 
   RawRecord& Push(double time_s, SimEventType type, int job_id, int num_ps,
                   int num_workers);
+  // Folds the record's canonical fields into the digest and counts it. For
+  // kString details the bytes of `detail` are folded (never the pool index,
+  // which is a storage artifact); `detail` is null for every other kind.
+  void Seal(const RawRecord& r, const std::string* detail);
   // Converts raw records [materialized_, records_.size()) into SimEvents.
   void Materialize() const;
 
@@ -110,6 +129,15 @@ class EventTrace {
   std::vector<std::string> strings_;  // pooled free-form detail strings
   mutable std::vector<SimEvent> events_;
   mutable size_t materialized_ = 0;
+  bool hash_only_ = false;
+  uint64_t digest_ = 14695981039346656037ULL;  // FNV-1a offset basis
+  size_t recorded_ = 0;
+  // Time-order check state (records_ is empty in hash-only mode).
+  double last_time_s_ = 0.0;
+  SimEventType last_type_ = SimEventType::kArrival;
+  int last_job_id_ = 0;
+  // Scratch slot Push hands out in hash-only mode instead of growing records_.
+  RawRecord scratch_;
 };
 
 }  // namespace optimus

@@ -248,6 +248,8 @@ SimulatorConfig ScenarioSpec::MakeSimConfig(const std::string& policy,
   std::string error;
   OPTIMUS_CHECK(ApplySchedulerPolicy(policy, &config, &error)) << error;
   config.seed = seed + static_cast<uint64_t>(repeat);
+  // Shard boundaries align to the scenario's rack layout (0 = one rack).
+  config.rack_size = cluster.rack_size;
   return config;
 }
 
@@ -616,8 +618,10 @@ class ScenarioParser {
     }
     CheckKeys(obj, path,
               {"interval_s", "stragglers", "oracle", "background_share",
-               "audit", "max_sim_time_s", "engine"});
+               "audit", "max_sim_time_s", "engine", "shards", "streaming"});
     ReadDouble(obj, "interval_s", path, &out->interval_s);
+    ReadIntField(obj, "shards", path, &out->shards);
+    ReadBool(obj, "streaming", path, &out->streaming);
     ReadDouble(obj, "stragglers", path,
                &out->straggler.injection_prob_per_interval);
     ReadBool(obj, "oracle", path, &out->oracle_estimates);
@@ -702,6 +706,23 @@ class ScenarioParser {
     }
     if (const JsonValue* v = root.Find("cluster")) {
       ParseCluster(*v, &spec->cluster);
+    }
+    // shards ranges over the cluster, which is only known now (knobs parse
+    // first); diagnose against the actual server count, at the knob's
+    // position.
+    if (const JsonValue* knobs = root.Find("knobs")) {
+      const JsonValue* sh =
+          knobs->is_object() ? knobs->Find("shards") : nullptr;
+      if (sh != nullptr) {
+        const int num_servers = spec->cluster.NumServers();
+        if (spec->sim.shards < 1 || spec->sim.shards > num_servers) {
+          Error(*sh, "knobs.shards",
+                "must be in [1, " + std::to_string(num_servers) +
+                    "] (cluster has " + std::to_string(num_servers) +
+                    " server(s); got " + std::to_string(spec->sim.shards) +
+                    ")");
+        }
+      }
     }
     spec->workload.arrivals.interval_s = spec->sim.interval_s;
     if (const JsonValue* v = root.Find("workload")) {

@@ -1,0 +1,438 @@
+// Shard invariance: the two-phase sharded scheduling round, the sharded
+// placement fast path, streaming admission, and the hash-only trace must all
+// be output-invariant — bitwise — against their unsharded / batch / storage
+// counterparts, for every (shards, threads) combination, on the golden
+// scenarios (including the committed fault plans).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/server.h"
+#include "src/cluster/shard_plan.h"
+#include "src/common/rng.h"
+#include "src/sched/optimus_allocator.h"
+#include "src/sched/placement.h"
+#include "src/sched/sharded_round.h"
+#include "src/sched/speed_surface.h"
+#include "src/sim/simulator.h"
+#include "src/sim/workload.h"
+#include "src/workload/scenario.h"
+
+namespace optimus {
+namespace {
+
+std::string ScenarioPath(const std::string& name) {
+  return std::string(OPTIMUS_SOURCE_DIR) + "/scenarios/" + name;
+}
+
+// Everything a run computes, for bitwise comparison across configurations.
+struct RunOutputs {
+  RunMetrics metrics;
+  uint64_t trace_digest = 0;
+  size_t trace_records = 0;
+  int64_t audit_checks = 0;
+  int64_t audit_violations = 0;
+};
+
+RunOutputs RunScenario(const ScenarioSpec& scenario, int shards, int threads,
+                       SimEngine engine, bool streaming = false,
+                       bool hash_only = false) {
+  SimulatorConfig config = scenario.MakeSimConfig("optimus");
+  config.shards = shards;
+  config.threads = threads;
+  config.engine = engine;
+  config.streaming = streaming;
+  config.trace_hash_only = hash_only;
+  config.audit = true;
+  Simulator sim(config, scenario.cluster.Build(), scenario.JobsForRepeat());
+  RunOutputs out;
+  out.metrics = sim.Run();
+  out.trace_digest = sim.trace().digest();
+  out.trace_records = sim.trace().size();
+  out.audit_checks = out.metrics.audit_checks;
+  out.audit_violations = out.metrics.audit_violations;
+  return out;
+}
+
+void ExpectBitwiseEqual(const RunOutputs& a, const RunOutputs& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.metrics.completed_jobs, b.metrics.completed_jobs) << label;
+  EXPECT_EQ(a.metrics.jcts, b.metrics.jcts) << label;
+  EXPECT_EQ(a.metrics.avg_jct_s, b.metrics.avg_jct_s) << label;
+  EXPECT_EQ(a.metrics.makespan_s, b.metrics.makespan_s) << label;
+  EXPECT_EQ(a.metrics.total_scalings, b.metrics.total_scalings) << label;
+  EXPECT_EQ(a.metrics.straggler_replacements, b.metrics.straggler_replacements)
+      << label;
+  EXPECT_EQ(a.metrics.job_evictions, b.metrics.job_evictions) << label;
+  EXPECT_EQ(a.metrics.task_failures, b.metrics.task_failures) << label;
+  EXPECT_EQ(a.metrics.rolled_back_steps, b.metrics.rolled_back_steps) << label;
+  EXPECT_EQ(a.metrics.events_processed, b.metrics.events_processed) << label;
+  EXPECT_EQ(a.audit_violations, b.audit_violations) << label;
+  EXPECT_EQ(a.trace_digest, b.trace_digest) << label;
+  EXPECT_EQ(a.trace_records, b.trace_records) << label;
+}
+
+// ---------------------------------------------------------------------------
+// ShardPlan
+// ---------------------------------------------------------------------------
+
+TEST(ShardPlanTest, DealsRackAlignedRanges) {
+  // 10 servers, racks of 4 -> 3 rack units; 2 shards -> units split 1/2,
+  // boundaries never inside a rack.
+  const ShardPlan plan = ShardPlan::Build(2, 10, 4);
+  ASSERT_EQ(plan.num_shards(), 2);
+  EXPECT_EQ(plan.range(0).first, 0);
+  EXPECT_EQ(plan.range(0).second, 4);
+  EXPECT_EQ(plan.range(1).first, 4);
+  EXPECT_EQ(plan.range(1).second, 10);
+  EXPECT_EQ(plan.ShardOf(3), 0);
+  EXPECT_EQ(plan.ShardOf(4), 1);
+  EXPECT_EQ(plan.ShardOf(9), 1);
+}
+
+TEST(ShardPlanTest, CoversEveryServerExactlyOnce) {
+  for (const int shards : {1, 2, 3, 7, 8}) {
+    for (const int rack : {0, 1, 5, 16}) {
+      const int n = 37;
+      const ShardPlan plan = ShardPlan::Build(shards, n, rack);
+      std::vector<int> owner(n, -1);
+      for (int s = 0; s < plan.num_shards(); ++s) {
+        for (int i = plan.range(s).first; i < plan.range(s).second; ++i) {
+          EXPECT_EQ(owner[i], -1) << "server " << i << " in two shards";
+          owner[i] = s;
+        }
+      }
+      for (int i = 0; i < n; ++i) {
+        EXPECT_NE(owner[i], -1) << "server " << i << " unassigned (shards="
+                                << shards << " rack=" << rack << ")";
+        EXPECT_EQ(owner[i], plan.ShardOf(i));
+      }
+    }
+  }
+}
+
+TEST(ShardPlanTest, ClampsShardCountToServers) {
+  EXPECT_EQ(ShardPlan::Build(16, 3, 0).num_shards(), 3);
+  EXPECT_EQ(ShardPlan::Build(0, 3, 0).num_shards(), 1);
+  // One rack unit cannot split: every shard beyond the first is empty but
+  // the ranges still cover the cluster.
+  const ShardPlan one_rack = ShardPlan::Build(4, 8, 8);
+  int covered = 0;
+  for (int s = 0; s < one_rack.num_shards(); ++s) {
+    covered += one_rack.range(s).second - one_rack.range(s).first;
+  }
+  EXPECT_EQ(covered, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Compact JobPlacement
+// ---------------------------------------------------------------------------
+
+TEST(CompactPlacementTest, CompactAndDenseFormsAgree) {
+  JobPlacement dense;
+  dense.workers_per_server = {0, 2, 0, 1};
+  dense.ps_per_server = {1, 0, 0, 2};
+
+  JobPlacement compact;
+  compact.used_servers = {0, 1, 3};
+  compact.used_workers = {0, 2, 1};
+  compact.used_ps = {1, 0, 2};
+
+  EXPECT_FALSE(dense.compact());
+  EXPECT_TRUE(compact.compact());
+  EXPECT_FALSE(compact.empty());
+  EXPECT_EQ(dense.TotalWorkers(), compact.TotalWorkers());
+  EXPECT_EQ(dense.TotalPs(), compact.TotalPs());
+
+  std::map<size_t, std::pair<int, int>> from_dense, from_compact;
+  dense.ForEachUsed(
+      [&](size_t s, int w, int p) { from_dense[s] = {w, p}; });
+  compact.ForEachUsed(
+      [&](size_t s, int w, int p) { from_compact[s] = {w, p}; });
+  EXPECT_EQ(from_dense, from_compact);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded placement fast path vs. the legacy global heap
+// ---------------------------------------------------------------------------
+
+TEST(ShardedPlacementTest, DecisionsMatchLegacyPlacement) {
+  Rng rng(17);
+  for (const int shards : {1, 2, 4}) {
+    for (int trial = 0; trial < 3; ++trial) {
+      const int n_servers = 32;
+      std::vector<Server> legacy_servers =
+          BuildUniformCluster(n_servers, Resources(16, 80, 0, 1));
+      std::vector<Server> sharded_servers = legacy_servers;
+
+      std::vector<PlacementJobInput> jobs;
+      const int n_jobs = 12;
+      for (int j = 0; j < n_jobs; ++j) {
+        PlacementJobInput in;
+        in.job_id = j;
+        in.alloc.num_ps = static_cast<int>(rng.UniformInt(1, 4));
+        in.alloc.num_workers = static_cast<int>(rng.UniformInt(1, 6));
+        in.worker_demand = Resources(2.5, 10, 0, 0.15);
+        in.ps_demand = Resources(2.5, 10, 0, 0.15);
+        jobs.push_back(in);
+      }
+
+      const PlacementResult legacy =
+          PlaceJobs(PlacementPolicy::kOptimusPack, jobs, &legacy_servers);
+      const ShardPlan plan = ShardPlan::Build(shards, n_servers, 8);
+      const PlacementResult sharded =
+          PlaceJobsSharded(plan, jobs, &sharded_servers);
+
+      EXPECT_EQ(legacy.unplaced, sharded.unplaced);
+      ASSERT_EQ(legacy.placements.size(), sharded.placements.size());
+      for (const auto& [id, placement] : legacy.placements) {
+        const auto it = sharded.placements.find(id);
+        ASSERT_NE(it, sharded.placements.end()) << "job " << id;
+        std::map<size_t, std::pair<int, int>> a, b;
+        placement.ForEachUsed(
+            [&](size_t s, int w, int p) { a[s] = {w, p}; });
+        it->second.ForEachUsed(
+            [&](size_t s, int w, int p) { b[s] = {w, p}; });
+        EXPECT_EQ(a, b) << "job " << id << " shards=" << shards;
+        EXPECT_TRUE(it->second.compact());
+      }
+      ASSERT_EQ(legacy.effective_alloc.size(), sharded.effective_alloc.size());
+      for (const auto& [id, alloc] : legacy.effective_alloc) {
+        const auto it = sharded.effective_alloc.find(id);
+        ASSERT_NE(it, sharded.effective_alloc.end());
+        EXPECT_EQ(alloc.num_ps, it->second.num_ps);
+        EXPECT_EQ(alloc.num_workers, it->second.num_workers);
+      }
+      // The servers end in the same free state either way.
+      for (int s = 0; s < n_servers; ++s) {
+        EXPECT_TRUE(legacy_servers[s].Free() == sharded_servers[s].Free())
+            << "server " << s << " shards=" << shards;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase sharded allocation vs. the canonical allocator
+// ---------------------------------------------------------------------------
+
+TEST(ShardedAllocateTest, BitwiseMatchesUnshardedAllocator) {
+  const int n_servers = 24;
+  const Resources capacity =
+      TotalCapacity(BuildUniformCluster(n_servers, Resources(16, 80, 0, 1)));
+
+  std::vector<SchedJob> jobs;
+  for (int j = 0; j < 10; ++j) {
+    SchedJob job;
+    job.job_id = j;
+    job.worker_demand = Resources(2.5, 10, 0, 0.15);
+    job.ps_demand = Resources(2.5, 10, 0, 0.15);
+    job.max_ps = 8;
+    job.max_workers = 8;
+    job.remaining_epochs = 5.0 + j;
+    // Deterministic synthetic speed with diminishing returns; jobs sharing
+    // (j % 3) share a surface signature.
+    const double scale = 1.0 + (j % 3);
+    job.speed = [scale](int p, int w) {
+      return scale * (1.0 - 1.0 / (1.0 + p)) * (1.0 - 1.0 / (1.0 + w));
+    };
+    job.speed_signature = static_cast<uint64_t>(j % 3) + 1;
+    jobs.push_back(std::move(job));
+  }
+
+  OptimusAllocRoundStats baseline_stats;
+  OptimusAllocatorOptions baseline_opts;
+  baseline_opts.stats = &baseline_stats;
+  OptimusAllocator baseline(baseline_opts);
+  SpeedSurfaceSet baseline_surfaces;
+  const AllocationMap want = baseline.Allocate(jobs, capacity, &baseline_surfaces);
+
+  ThreadPool pool(2);
+  for (const int shards : {1, 2, 4}) {
+    for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool}) {
+      const ShardPlan plan = ShardPlan::Build(shards, n_servers, 0);
+      OptimusAllocRoundStats fixup_stats;
+      OptimusAllocatorOptions fixup_opts;
+      fixup_opts.stats = &fixup_stats;
+      OptimusAllocator fixup(fixup_opts);
+      SpeedSurfaceSet surfaces;
+      ShardedRoundStats stats;
+      const AllocationMap got = ShardedAllocate(
+          plan, jobs, capacity, fixup,
+          [](OptimusAllocRoundStats* s) -> std::unique_ptr<Allocator> {
+            OptimusAllocatorOptions o;
+            o.stats = s;
+            return std::make_unique<OptimusAllocator>(o);
+          },
+          &surfaces, p, &stats);
+      ASSERT_EQ(want.size(), got.size()) << "shards=" << shards;
+      for (const auto& [id, alloc] : want) {
+        const auto it = got.find(id);
+        ASSERT_NE(it, got.end()) << "job " << id;
+        EXPECT_EQ(alloc.num_ps, it->second.num_ps)
+            << "job " << id << " shards=" << shards;
+        EXPECT_EQ(alloc.num_workers, it->second.num_workers)
+            << "job " << id << " shards=" << shards;
+      }
+      // The fixup pass must consume exactly the baseline's round effort and
+      // surface counters (warm memo points count as evals when first
+      // consumed, making the counters shard-invariant by construction).
+      EXPECT_EQ(fixup_stats.pops, baseline_stats.pops) << "shards=" << shards;
+      EXPECT_EQ(fixup_stats.grants, baseline_stats.grants);
+      EXPECT_EQ(surfaces.probes(), baseline_surfaces.probes());
+      EXPECT_EQ(surfaces.evals(), baseline_surfaces.evals());
+      EXPECT_EQ(surfaces.num_surfaces(), baseline_surfaces.num_surfaces());
+      if (shards > 1) {
+        EXPECT_GT(stats.local_grants, 0);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end shard x thread invariance on the golden scenarios
+// ---------------------------------------------------------------------------
+
+class GoldenScenarioInvariance : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenScenarioInvariance, ShardsAndThreadsAreBitwiseInvariant) {
+  ScenarioSpec scenario;
+  std::string error;
+  ASSERT_TRUE(LoadScenarioFile(ScenarioPath(GetParam()), &scenario, &error))
+      << error;
+
+  for (const SimEngine engine : {SimEngine::kInterval, SimEngine::kEvents}) {
+    const RunOutputs reference = RunScenario(scenario, 1, 1, engine);
+    EXPECT_EQ(reference.audit_violations, 0);
+    for (const int shards : {1, 2, 4, 8}) {
+      for (const int threads : {1, 2, 8}) {
+        if (shards == 1 && threads == 1) {
+          continue;
+        }
+        const RunOutputs run = RunScenario(scenario, shards, threads, engine);
+        ExpectBitwiseEqual(
+            run, reference,
+            std::string(GetParam()) + " " + SimEngineName(engine) +
+                " shards=" + std::to_string(shards) +
+                " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+// The four golden scenarios; rack_outage carries the committed fault plan
+// (a scripted rack outage + task failures), scale_smoke a rack outage plus a
+// slowdown burst under streaming admission.
+INSTANTIATE_TEST_SUITE_P(Golden, GoldenScenarioInvariance,
+                         ::testing::Values("fig11_testbed.json",
+                                           "rack_outage.json",
+                                           "poisson_hetero60.json",
+                                           "diurnal_heavytail.json"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           return name.substr(0, name.find('.'));
+                         });
+
+// ---------------------------------------------------------------------------
+// Streaming admission parity
+// ---------------------------------------------------------------------------
+
+TEST(StreamingAdmissionTest, BatchAndStreamingAreBitwiseIdentical) {
+  ScenarioSpec scenario;
+  std::string error;
+  ASSERT_TRUE(LoadScenarioFile(ScenarioPath("rack_outage.json"), &scenario,
+                               &error))
+      << error;
+  for (const SimEngine engine : {SimEngine::kInterval, SimEngine::kEvents}) {
+    const RunOutputs batch =
+        RunScenario(scenario, 2, 2, engine, /*streaming=*/false);
+    const RunOutputs streaming =
+        RunScenario(scenario, 2, 2, engine, /*streaming=*/true);
+    ExpectBitwiseEqual(streaming, batch,
+                       std::string("streaming ") + SimEngineName(engine));
+  }
+}
+
+TEST(StreamingAdmissionTest, RejectsUnsortedSpecsAndOnlineSubmit) {
+  SimulatorConfig config;
+  config.streaming = true;
+  std::vector<Server> servers = BuildUniformCluster(4, Resources(16, 80, 0, 1));
+
+  WorkloadConfig workload;
+  workload.num_jobs = 4;
+  Rng rng(3);
+  std::vector<JobSpec> specs = GenerateWorkload(workload, &rng);
+  ASSERT_EQ(specs.size(), 4u);
+  std::swap(specs[0], specs[3]);  // break the arrival order
+  EXPECT_DEATH(Simulator(config, servers, specs),
+               "sorted by arrival");
+
+  std::swap(specs[0], specs[3]);
+  Simulator sim(config, servers, specs);
+  std::string why;
+  JobSpec late = specs[0];
+  late.id = 99;
+  late.arrival_time_s = 1e9;
+  EXPECT_FALSE(sim.SubmitJob(late, &why));
+  EXPECT_NE(why.find("streaming"), std::string::npos) << why;
+}
+
+TEST(StreamingAdmissionTest, RetiresCompletedJobsAndKeepsAccounting) {
+  ScenarioSpec scenario;
+  std::string error;
+  ASSERT_TRUE(LoadScenarioFile(ScenarioPath("fig11_testbed.json"), &scenario,
+                               &error))
+      << error;
+  SimulatorConfig config = scenario.MakeSimConfig("optimus");
+  config.streaming = true;
+  config.audit = true;
+  Simulator sim(config, scenario.cluster.Build(), scenario.JobsForRepeat());
+  const RunMetrics metrics = sim.Run();
+  EXPECT_EQ(metrics.audit_violations, 0);
+  EXPECT_GT(metrics.completed_jobs, 0);
+  // Completed jobs were retired: their runtime slots are gone but the
+  // aggregate metrics still count them.
+  EXPECT_EQ(static_cast<int>(metrics.jcts.size()), metrics.completed_jobs);
+}
+
+// ---------------------------------------------------------------------------
+// Hash-only trace mode
+// ---------------------------------------------------------------------------
+
+TEST(TraceHashOnlyTest, DigestMatchesStorageMode) {
+  ScenarioSpec scenario;
+  std::string error;
+  ASSERT_TRUE(LoadScenarioFile(ScenarioPath("rack_outage.json"), &scenario,
+                               &error))
+      << error;
+  const RunOutputs stored = RunScenario(scenario, 2, 1, SimEngine::kEvents,
+                                        /*streaming=*/false,
+                                        /*hash_only=*/false);
+  const RunOutputs hashed = RunScenario(scenario, 2, 1, SimEngine::kEvents,
+                                        /*streaming=*/false,
+                                        /*hash_only=*/true);
+  EXPECT_EQ(stored.trace_digest, hashed.trace_digest);
+  EXPECT_EQ(stored.trace_records, hashed.trace_records);
+}
+
+TEST(TraceHashOnlyTest, HashModeStoresNothing) {
+  EventTrace trace;
+  trace.set_hash_only(true);
+  trace.Record(1.0, SimEventType::kArrival, 7);
+  trace.RecordEpochs(2.0, SimEventType::kCompleted, 7, 1, 2, 11);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_TRUE(trace.events().empty());
+  EXPECT_NE(trace.digest(), 14695981039346656037ULL);  // moved off the basis
+
+  EventTrace stored;
+  stored.Record(1.0, SimEventType::kArrival, 7);
+  stored.RecordEpochs(2.0, SimEventType::kCompleted, 7, 1, 2, 11);
+  EXPECT_EQ(stored.digest(), trace.digest());
+  EXPECT_EQ(stored.events().size(), 2u);
+}
+
+}  // namespace
+}  // namespace optimus
