@@ -51,6 +51,7 @@ struct RowResult {
   int64_t requests = 0;
   int64_t errors = 0;
   double wall_s = 0.0;
+  double sim_s = 0.0;  // simulated seconds covered by the replayed session
   double p50_s = 0.0;
   double p95_s = 0.0;
   double p99_s = 0.0;
@@ -90,6 +91,7 @@ RowResult RunRow(const std::string& log, int threads) {
                                       &session->simulator().series(),
                                       &session->simulator().flight_recorder(),
                                       options);
+  row.sim_s = session->simulator().now_s();
   return row;
 }
 
@@ -136,7 +138,9 @@ int main(int argc, char** argv) {
     obj.Set("threads", threads);
     obj.Set("requests", row.requests);
     obj.Set("errors", row.errors);
-    obj.Set("wall_s", row.wall_s);
+    // Shared perf schema (wall_s, sim_s, sim_s_per_wall_s, peak_rss_mib) so
+    // BENCH_serve.json lines up with the other BENCH_*.json files.
+    SetPerfColumns(&obj, row.wall_s, row.sim_s);
     obj.Set("requests_per_s", static_cast<double>(row.requests) / row.wall_s);
     obj.Set("p50_latency_s", row.p50_s);
     obj.Set("p95_latency_s", row.p95_s);

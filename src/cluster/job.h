@@ -25,6 +25,10 @@ struct JobSpec {
   int id = 0;
   const ModelSpec* model = nullptr;
   TrainingMode mode = TrainingMode::kSync;
+  // Communication architecture: parameter-server (the paper's setting) or
+  // ring all-reduce. All-reduce jobs are always synchronous and run no PS
+  // tasks (the scheduler treats max_ps as 0 and ps_demand as zero).
+  CommMode comm = CommMode::kParameterServer;
   // Convergence threshold delta: relative per-epoch training-loss decrease
   // below which an epoch counts toward convergence (§6.1 varies it in
   // [0.01, 0.05]).

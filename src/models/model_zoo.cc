@@ -26,6 +26,16 @@ const char* TrainingModeName(TrainingMode mode) {
   return "UNKNOWN";
 }
 
+const char* CommModeName(CommMode comm) {
+  switch (comm) {
+    case CommMode::kParameterServer:
+      return "ps";
+    case CommMode::kAllReduce:
+      return "allreduce";
+  }
+  return "UNKNOWN";
+}
+
 int64_t ModelSpec::StepsPerEpoch(int global_batch) const {
   OPTIMUS_CHECK_GT(global_batch, 0);
   return std::max<int64_t>(1, dataset_examples / global_batch);

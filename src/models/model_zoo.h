@@ -33,6 +33,16 @@ enum class TrainingMode {
 
 const char* TrainingModeName(TrainingMode mode);
 
+// Distributed-training communication architecture. Parameter-server jobs run
+// dedicated PS tasks (Eqn 2); ring all-reduce jobs exchange gradients
+// worker-to-worker over a logical ring and run no PS tasks at all.
+enum class CommMode {
+  kParameterServer,
+  kAllReduce,
+};
+
+const char* CommModeName(CommMode comm);
+
 // Ground-truth per-step compute costs on one worker / parameter-server
 // container (the paper's testbed uses 5-CPU-core, 10-GB containers).
 // These instantiate the terms of Eqn 2.

@@ -1,0 +1,280 @@
+#include "src/net/network_model.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace optimus {
+
+const char* NetworkModelName(NetworkConfig::Model model) {
+  switch (model) {
+    case NetworkConfig::Model::kFlat:
+      return "flat";
+    case NetworkConfig::Model::kTopology:
+      return "topology";
+    case NetworkConfig::Model::kContention:
+      return "contention";
+  }
+  return "UNKNOWN";
+}
+
+bool ParseNetworkModelName(const std::string& name, NetworkConfig::Model* out) {
+  if (name == "flat") {
+    *out = NetworkConfig::Model::kFlat;
+  } else if (name == "topology") {
+    *out = NetworkConfig::Model::kTopology;
+  } else if (name == "contention") {
+    *out = NetworkConfig::Model::kContention;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<NetworkModel> NetworkModel::Create(const NetworkConfig& config,
+                                                   int n_servers, int rack_size) {
+  if (config.model == NetworkConfig::Model::kFlat) {
+    return nullptr;
+  }
+  return std::make_unique<NetworkModel>(config, n_servers, rack_size);
+}
+
+NetworkModel::NetworkModel(const NetworkConfig& config, int n_servers,
+                           int rack_size)
+    : config_(config), n_servers_(n_servers), rack_size_(rack_size) {
+  OPTIMUS_CHECK_GT(n_servers_, 0);
+  OPTIMUS_CHECK_GT(config_.nic_bps, 0.0);
+  OPTIMUS_CHECK_GE(config_.oversubscription, 1.0);
+  num_racks_ = rack_size_ > 0 ? (n_servers_ + rack_size_ - 1) / rack_size_ : 0;
+  link_capacity_.assign(static_cast<size_t>(n_servers_ + num_racks_), 0.0);
+  for (int s = 0; s < n_servers_; ++s) {
+    link_capacity_[static_cast<size_t>(s)] = config_.nic_bps;
+  }
+  for (int r = 0; r < num_racks_; ++r) {
+    // The uplink carries the whole rack's north-south traffic; the
+    // oversubscription ratio thins it relative to the sum of its NICs.
+    link_capacity_[static_cast<size_t>(n_servers_ + r)] =
+        static_cast<double>(rack_size_) * config_.nic_bps / config_.oversubscription;
+  }
+  link_utilization_.assign(link_capacity_.size(), 0.0);
+  stats_.num_links = static_cast<int>(link_capacity_.size());
+}
+
+int NetworkModel::RackOf(int server) const {
+  return rack_size_ > 0 ? server / rack_size_ : -1;
+}
+
+double NetworkModel::LinkCapacity(int link) const {
+  OPTIMUS_CHECK_GE(link, 0);
+  OPTIMUS_CHECK_LT(link, static_cast<int>(link_capacity_.size()));
+  return link_capacity_[static_cast<size_t>(link)];
+}
+
+void NetworkModel::BeginRound() {
+  flows_.clear();
+  job_bandwidth_.clear();
+}
+
+void NetworkModel::AddJob(int job_id, const JobPlacement& placement) {
+  // Collect the job's occupied servers (ascending: ForEachUsed guarantees
+  // server order) and whether it spans more than one rack.
+  int first_server = -1;
+  int servers_used = 0;
+  int first_rack = -1;
+  bool spans_racks = false;
+  placement.ForEachUsed([&](size_t s, int w_k, int p_k) {
+    if (w_k <= 0 && p_k <= 0) {
+      return;
+    }
+    ++servers_used;
+    if (first_server < 0) {
+      first_server = static_cast<int>(s);
+      first_rack = RackOf(first_server);
+    } else if (RackOf(static_cast<int>(s)) != first_rack) {
+      spans_racks = true;
+    }
+  });
+  if (servers_used <= 1) {
+    return;  // single-server job: no network traffic
+  }
+  placement.ForEachUsed([&](size_t s, int w_k, int p_k) {
+    if (w_k <= 0 && p_k <= 0) {
+      return;
+    }
+    Flow flow;
+    flow.job = job_id;
+    flow.nic_link = static_cast<int>(s);
+    flow.uplink = spans_racks && num_racks_ > 0
+                      ? n_servers_ + RackOf(static_cast<int>(s))
+                      : -1;
+    flows_.push_back(flow);
+  });
+}
+
+void NetworkModel::Solve() {
+  ++stats_.solves;
+  stats_.flows += static_cast<int64_t>(flows_.size());
+  if (config_.model == NetworkConfig::Model::kTopology) {
+    SolveTopology();
+  } else {
+    SolveContention();
+  }
+
+  // A job's effective bandwidth is its slowest flow (the Theorem-1 worst-task
+  // rule: the step waits for the most constrained transfer). Count flows
+  // that ended below their isolated rate as contended.
+  for (const Flow& flow : flows_) {
+    double isolated = link_capacity_[static_cast<size_t>(flow.nic_link)];
+    if (flow.uplink >= 0) {
+      isolated =
+          std::min(isolated, link_capacity_[static_cast<size_t>(flow.uplink)]);
+    }
+    if (flow.rate < isolated * (1.0 - 1e-9)) {
+      ++stats_.contended_flows;
+    }
+    auto [it, inserted] = job_bandwidth_.try_emplace(flow.job, flow.rate);
+    if (!inserted) {
+      it->second = std::min(it->second, flow.rate);
+    }
+  }
+  UpdateUtilization();
+}
+
+// Per-job isolation: every job sees an empty fabric. Its k flows through a
+// rack uplink split that uplink k ways; NICs carry one flow each.
+void NetworkModel::SolveTopology() {
+  // Per-uplink flow counts, computed per job. Flows are grouped by job
+  // (AddJob appends a job's flows contiguously, jobs arrive in id order).
+  size_t i = 0;
+  while (i < flows_.size()) {
+    const int job = flows_[i].job;
+    size_t end = i;
+    std::unordered_map<int, int> uplink_flows;
+    while (end < flows_.size() && flows_[end].job == job) {
+      if (flows_[end].uplink >= 0) {
+        ++uplink_flows[flows_[end].uplink];
+      }
+      ++end;
+    }
+    for (size_t f = i; f < end; ++f) {
+      Flow& flow = flows_[f];
+      double rate = link_capacity_[static_cast<size_t>(flow.nic_link)];
+      if (flow.uplink >= 0) {
+        const double share =
+            link_capacity_[static_cast<size_t>(flow.uplink)] /
+            static_cast<double>(uplink_flows[flow.uplink]);
+        rate = std::min(rate, share);
+      }
+      flow.rate = rate;
+    }
+    i = end;
+  }
+}
+
+// Global max-min fair share by progressive filling: repeatedly saturate the
+// link with the smallest per-flow fair share, freeze its flows at that
+// share, release their capacity claims elsewhere, and continue. The
+// bottleneck order is resolved by (share, link id), so the outcome is a pure
+// function of the registered flows.
+void NetworkModel::SolveContention() {
+  const size_t n_links = link_capacity_.size();
+  std::vector<double> remaining(link_capacity_);
+  std::vector<int> active(n_links, 0);
+  std::vector<std::vector<int>> link_flows(n_links);
+  for (size_t f = 0; f < flows_.size(); ++f) {
+    Flow& flow = flows_[f];
+    flow.frozen = false;
+    flow.rate = 0.0;
+    link_flows[static_cast<size_t>(flow.nic_link)].push_back(static_cast<int>(f));
+    ++active[static_cast<size_t>(flow.nic_link)];
+    if (flow.uplink >= 0) {
+      link_flows[static_cast<size_t>(flow.uplink)].push_back(static_cast<int>(f));
+      ++active[static_cast<size_t>(flow.uplink)];
+    }
+  }
+
+  // Lazy min-heap of (fair share, link id); stale entries are re-verified on
+  // pop against the link's current share.
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  auto share_of = [&](size_t l) {
+    return active[l] > 0 ? remaining[l] / static_cast<double>(active[l]) : 0.0;
+  };
+  for (size_t l = 0; l < n_links; ++l) {
+    if (active[l] > 0) {
+      heap.emplace(share_of(l), static_cast<int>(l));
+    }
+  }
+  while (!heap.empty()) {
+    const auto [share, link] = heap.top();
+    heap.pop();
+    const size_t l = static_cast<size_t>(link);
+    if (active[l] == 0 || share != share_of(l)) {
+      continue;  // stale entry
+    }
+    // Freeze every unfrozen flow through this bottleneck at the fair share.
+    for (const int fi : link_flows[l]) {
+      Flow& flow = flows_[static_cast<size_t>(fi)];
+      if (flow.frozen) {
+        continue;
+      }
+      flow.frozen = true;
+      flow.rate = share;
+      for (const int path_link : {flow.nic_link, flow.uplink}) {
+        if (path_link < 0) {
+          continue;
+        }
+        const size_t pl = static_cast<size_t>(path_link);
+        remaining[pl] = std::max(0.0, remaining[pl] - share);
+        --active[pl];
+        if (pl != l && active[pl] > 0) {
+          heap.emplace(share_of(pl), path_link);
+        }
+      }
+    }
+  }
+}
+
+void NetworkModel::UpdateUtilization() {
+  std::fill(link_utilization_.begin(), link_utilization_.end(), 0.0);
+  for (const Flow& flow : flows_) {
+    link_utilization_[static_cast<size_t>(flow.nic_link)] += flow.rate;
+    if (flow.uplink >= 0) {
+      link_utilization_[static_cast<size_t>(flow.uplink)] += flow.rate;
+    }
+  }
+  double max_util = 0.0;
+  double sum_util = 0.0;
+  for (size_t l = 0; l < link_utilization_.size(); ++l) {
+    link_utilization_[l] /= link_capacity_[l];
+    max_util = std::max(max_util, link_utilization_[l]);
+    sum_util += link_utilization_[l];
+  }
+  stats_.max_link_utilization = max_util;
+  stats_.mean_link_utilization =
+      link_utilization_.empty()
+          ? 0.0
+          : sum_util / static_cast<double>(link_utilization_.size());
+}
+
+double NetworkModel::BandwidthFor(int job_id) const {
+  if (auto it = job_bandwidth_.find(job_id); it != job_bandwidth_.end()) {
+    return it->second;
+  }
+  return config_.nic_bps;
+}
+
+double NetworkModel::ServerWeight(int server) const {
+  OPTIMUS_CHECK_GE(server, 0);
+  OPTIMUS_CHECK_LT(server, n_servers_);
+  double util = link_utilization_[static_cast<size_t>(server)];
+  if (const int rack = RackOf(server); rack >= 0) {
+    util = std::max(util,
+                    link_utilization_[static_cast<size_t>(n_servers_ + rack)]);
+  }
+  return std::max(1e-6, 1.0 - std::min(util, 1.0));
+}
+
+}  // namespace optimus

@@ -62,8 +62,15 @@ BlockAssignment MxnetAssigner::Assign(const ParamBlockSizes& blocks, int num_ps,
   return assignment;
 }
 
-BlockAssignment PaaAssigner::Assign(const ParamBlockSizes& blocks, int num_ps) const {
+BlockAssignment PaaAssigner::Assign(const ParamBlockSizes& blocks, int num_ps,
+                                    const std::vector<double>* ps_weights) const {
   OPTIMUS_CHECK_GT(num_ps, 0);
+  if (ps_weights != nullptr) {
+    OPTIMUS_CHECK_EQ(static_cast<int>(ps_weights->size()), num_ps);
+    for (double w : *ps_weights) {
+      OPTIMUS_CHECK_GT(w, 0.0);
+    }
+  }
   BlockAssignment assignment;
   assignment.num_ps = num_ps;
 
@@ -87,10 +94,24 @@ BlockAssignment PaaAssigner::Assign(const ParamBlockSizes& blocks, int num_ps) c
     requests[ps] += 1;
   };
 
+  // Weighted load of a PS: raw parameter count when no weights are given
+  // (historical path, integer compare), assigned/weight otherwise.
   auto least_loaded_ps = [&]() {
     int best = 0;
+    if (ps_weights == nullptr) {
+      for (int ps = 1; ps < num_ps; ++ps) {
+        if (assigned[ps] < assigned[best]) {
+          best = ps;
+        }
+      }
+      return best;
+    }
+    double best_load =
+        static_cast<double>(assigned[0]) / (*ps_weights)[0];
     for (int ps = 1; ps < num_ps; ++ps) {
-      if (assigned[ps] < assigned[best]) {
+      const double load = static_cast<double>(assigned[ps]) / (*ps_weights)[ps];
+      if (load < best_load) {
+        best_load = load;
         best = ps;
       }
     }

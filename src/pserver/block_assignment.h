@@ -74,7 +74,13 @@ class PaaAssigner {
   // paper's default is 1%).
   explicit PaaAssigner(double tiny_fraction = 0.01) : tiny_fraction_(tiny_fraction) {}
 
-  BlockAssignment Assign(const ParamBlockSizes& blocks, int num_ps) const;
+  // `ps_weights` (optional) biases the least-loaded choice toward parameter
+  // servers on less congested links: each PS carries a weight in (0, 1] and
+  // "load" compares assigned[ps] / weight[ps], so a PS at weight 0.5 looks
+  // twice as loaded as its raw parameter count. Null (the default) keeps the
+  // unweighted comparison and is bit-identical to the historical assignment.
+  BlockAssignment Assign(const ParamBlockSizes& blocks, int num_ps,
+                         const std::vector<double>* ps_weights = nullptr) const;
 
  private:
   double tiny_fraction_;

@@ -45,7 +45,8 @@ namespace {
 double CrossServerTransferTime(const StepTimeInputs& in, const CommConfig& config,
                                double max_ps_bytes, double concurrency_factor) {
   const double total_bytes = static_cast<double>(in.model->ParamBytes());
-  const double bw = config.container_bandwidth_bps;
+  const double bw =
+      in.net_bw_bps > 0.0 ? in.net_bw_bps : config.container_bandwidth_bps;
   const int p = in.num_ps;
   const int w = in.num_workers;
   const JobPlacement& placement = EffectivePlacement(in);
@@ -83,11 +84,46 @@ double CrossServerTransferTime(const StepTimeInputs& in, const CommConfig& confi
   return 2.0 * worst;
 }
 
+// Ring all-reduce transfer time: each of the w workers sends and receives
+// (w-1)/w of the model across the 2(w-1) phases of the ring, gated by the
+// slowest link. A single-worker ring — or one whose workers share one server
+// — never touches the network.
+double AllReduceTransferTime(const StepTimeInputs& in, const CommConfig& config) {
+  const int w = in.num_workers;
+  if (w <= 1) {
+    return 0.0;
+  }
+  const JobPlacement& placement = EffectivePlacement(in);
+  if (!placement.empty()) {
+    int servers_used = 0;
+    placement.ForEachUsed([&](size_t /*k*/, int w_k, int /*p_k*/) {
+      if (w_k > 0) {
+        ++servers_used;
+      }
+    });
+    if (servers_used <= 1) {
+      return 0.0;
+    }
+  }
+  const double bw =
+      in.net_bw_bps > 0.0 ? in.net_bw_bps : config.container_bandwidth_bps;
+  const double total_bytes = static_cast<double>(in.model->ParamBytes());
+  return 2.0 * static_cast<double>(w - 1) / static_cast<double>(w) *
+         total_bytes / bw;
+}
+
 }  // namespace
 
 StepTimeBreakdown ComputeStepTime(const StepTimeInputs& in, const CommConfig& config) {
   OPTIMUS_CHECK(in.model != nullptr);
-  OPTIMUS_CHECK_GE(in.num_ps, 1);
+  const bool allreduce = in.comm == CommMode::kAllReduce;
+  if (allreduce) {
+    OPTIMUS_CHECK_EQ(in.num_ps, 0) << "all-reduce jobs run no PS tasks";
+    OPTIMUS_CHECK(in.mode == TrainingMode::kSync)
+        << "all-reduce jobs are synchronous";
+  } else {
+    OPTIMUS_CHECK_GE(in.num_ps, 1);
+  }
   OPTIMUS_CHECK_GE(in.num_workers, 1);
   OPTIMUS_CHECK_GT(in.slowest_worker_factor, 0.0);
   const JobPlacement& placement = EffectivePlacement(in);
@@ -99,6 +135,23 @@ StepTimeBreakdown ComputeStepTime(const StepTimeInputs& in, const CommConfig& co
   const ModelSpec& model = *in.model;
   const int p = in.num_ps;
   const int w = in.num_workers;
+
+  if (allreduce) {
+    // Ring all-reduce: compute terms as in Eqn 2, transfer over the ring,
+    // no PS update or PS-side overhead terms.
+    const int global = in.global_batch > 0 ? in.global_batch : model.default_sync_batch;
+    const double m = static_cast<double>(global) / static_cast<double>(w);
+    const double m_eff = std::max(m, model.compute.min_effective_batch);
+    StepTimeBreakdown out;
+    out.forward_s =
+        m_eff * model.compute.fwd_time_per_example_s / in.slowest_worker_factor;
+    out.backward_s = model.compute.back_time_s / in.slowest_worker_factor;
+    out.transfer_s = AllReduceTransferTime(in, config);
+    out.update_s = 0.0;
+    out.overhead_s = model.compute.overhead_per_worker_s * static_cast<double>(w);
+    out.total_s = out.forward_s + out.backward_s + out.transfer_s + out.overhead_s;
+    return out;
+  }
 
   // Per-worker mini-batch size.
   double m = 0.0;

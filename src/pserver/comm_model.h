@@ -99,6 +99,12 @@ struct JobPlacement {
 struct StepTimeInputs {
   const ModelSpec* model = nullptr;
   TrainingMode mode = TrainingMode::kSync;
+  // Communication architecture. Ring all-reduce jobs run zero PS tasks
+  // (num_ps == 0) and exchange gradients worker-to-worker:
+  //   T_transfer = 2*(w-1)/w * S / B_min
+  // over the slowest link of the ring; the update and PS-side overhead terms
+  // vanish. All-reduce is synchronous by construction.
+  CommMode comm = CommMode::kParameterServer;
   int num_ps = 1;
   int num_workers = 1;
   // Global batch M (sync). When <= 0 the model default is used.
@@ -116,6 +122,11 @@ struct StepTimeInputs {
   const JobPlacement* placement_ref = nullptr;
   // Speed factor of the slowest worker (1.0 = healthy; 0.5 = half speed).
   double slowest_worker_factor = 1.0;
+  // Effective per-container network bandwidth (bytes/s) resolved by a
+  // network model (src/net/): the fair share of the job's most contended
+  // link. <= 0 selects CommConfig::container_bandwidth_bps — the flat
+  // Eqn-2 constant — which keeps the default arithmetic bit-identical.
+  double net_bw_bps = 0.0;
 };
 
 // The placement a step-time computation should use: the borrowed reference

@@ -13,10 +13,26 @@ namespace optimus {
 
 namespace {
 
-// One DRF/Tetris allocation unit for a job: 1 PS + 1 worker.
-Resources UnitDemand(const SchedJob& job) { return job.worker_demand + job.ps_demand; }
+// One DRF/Tetris allocation unit for a job: 1 PS + 1 worker for
+// parameter-server jobs, a single worker for all-reduce jobs (max_ps == 0:
+// no PS tasks exist, so a unit is just a worker).
+Resources UnitDemand(const SchedJob& job) {
+  return job.max_ps > 0 ? job.worker_demand + job.ps_demand : job.worker_demand;
+}
 
-int MaxUnits(const SchedJob& job) { return std::min(job.max_ps, job.max_workers); }
+int MaxUnits(const SchedJob& job) {
+  return job.max_ps > 0 ? std::min(job.max_ps, job.max_workers) : job.max_workers;
+}
+
+// u units, shaped for the job's communication mode.
+Allocation UnitsAllocation(const SchedJob& job, int u) {
+  return {job.max_ps > 0 ? u : 0, u};
+}
+
+// Estimated speed at u units (the p == 0 row for all-reduce jobs).
+double UnitSpeed(SpeedSurface* surface, const SchedJob& job, int u) {
+  return surface->Speed(job.max_ps > 0 ? u : 0, u);
+}
 
 }  // namespace
 
@@ -59,7 +75,7 @@ AllocationMap DrfAllocator::Allocate(const std::vector<SchedJob>& jobs,
 
   for (size_t i = 0; i < jobs.size(); ++i) {
     if (units[i] > 0) {
-      result[jobs[i].job_id] = {units[i], units[i]};
+      result[jobs[i].job_id] = UnitsAllocation(jobs[i], units[i]);
     }
   }
   return result;
@@ -85,7 +101,7 @@ AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
   double max_duration = 0.0;
   double max_footprint = 0.0;
   for (size_t i = 0; i < jobs.size(); ++i) {
-    const double f = surf[i]->Speed(1, 1);
+    const double f = UnitSpeed(surf[i], jobs[i], 1);
     duration[i] = f > 0.0 ? jobs[i].remaining_epochs / f
                           : std::numeric_limits<double>::infinity();
     footprint[i] = UnitDemand(jobs[i]).DominantShare(capacity);
@@ -123,8 +139,8 @@ AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
     while (units[i] < MaxUnits(job) && capacity.Fits(used + unit)) {
       const int u = units[i];
       if (u >= 1) {
-        const double f_now = surf[i]->Speed(u, u);
-        const double f_next = surf[i]->Speed(u + 1, u + 1);
+        const double f_now = UnitSpeed(surf[i], job, u);
+        const double f_next = UnitSpeed(surf[i], job, u + 1);
         if (f_next <= f_now * (1.0 + options_.min_speedup)) {
           break;  // past the speed-efficiency knee
         }
@@ -145,8 +161,8 @@ AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
       const Resources unit = UnitDemand(job);
       if (units[i] < MaxUnits(job) && capacity.Fits(used + unit)) {
         if (units[i] >= 1) {
-          const double f_now = surf[i]->Speed(units[i], units[i]);
-          const double f_next = surf[i]->Speed(units[i] + 1, units[i] + 1);
+          const double f_now = UnitSpeed(surf[i], job, units[i]);
+          const double f_next = UnitSpeed(surf[i], job, units[i] + 1);
           if (f_next <= f_now * (1.0 + options_.min_speedup)) {
             continue;
           }
@@ -160,7 +176,7 @@ AllocationMap TetrisAllocator::Allocate(const std::vector<SchedJob>& jobs,
 
   for (size_t i = 0; i < jobs.size(); ++i) {
     if (units[i] > 0) {
-      result[jobs[i].job_id] = {units[i], units[i]};
+      result[jobs[i].job_id] = UnitsAllocation(jobs[i], units[i]);
     }
   }
   return result;
@@ -179,8 +195,8 @@ AllocationMap FifoAllocator::Allocate(const std::vector<SchedJob>& jobs,
     int units = 0;
     while (units < MaxUnits(job) && capacity.Fits(used + unit)) {
       if (units >= 1) {
-        const double f_now = surface->Speed(units, units);
-        const double f_next = surface->Speed(units + 1, units + 1);
+        const double f_now = UnitSpeed(surface, job, units);
+        const double f_next = UnitSpeed(surface, job, units + 1);
         if (f_next <= f_now * (1.0 + min_speedup_)) {
           break;
         }
@@ -189,7 +205,7 @@ AllocationMap FifoAllocator::Allocate(const std::vector<SchedJob>& jobs,
       ++units;
     }
     if (units > 0) {
-      result[job.job_id] = {units, units};
+      result[job.job_id] = UnitsAllocation(job, units);
     }
   }
   return result;

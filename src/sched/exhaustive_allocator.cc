@@ -28,8 +28,8 @@ struct SearchState {
 };
 
 double OptionCost(const SchedJob& job, SpeedSurface* surface, const Allocation& alloc) {
-  if (!alloc.IsActive()) {
-    const double f_min = surface->Speed(1, 1);
+  if (!ActiveAllocation(alloc, job.comm)) {
+    const double f_min = surface->Speed(job.max_ps > 0 ? 1 : 0, 1);
     if (f_min <= 0.0 || job.remaining_epochs <= 0.0) {
       return 0.0;
     }
@@ -56,10 +56,13 @@ void Search(SearchState* state, size_t index, const Resources& used, double cost
       << "instance too large for exhaustive search";
 
   const SchedJob& job = (*state->jobs)[index];
-  // Enumerate all feasible allocations for this job, plus "nothing".
+  // Enumerate all feasible allocations for this job, plus "nothing". An
+  // all-reduce job (max_ps == 0) enumerates worker counts along its single
+  // p == 0 row.
+  const bool wants_ps = job.max_ps > 0;
   for (int p = 0; p <= job.max_ps; ++p) {
-    const int w_limit = p == 0 ? 0 : job.max_workers;
-    for (int w = (p == 0 ? 0 : 1); w <= w_limit; ++w) {
+    const int w_limit = (p == 0 && wants_ps) ? 0 : job.max_workers;
+    for (int w = ((p == 0 && wants_ps) ? 0 : 1); w <= w_limit; ++w) {
       const Allocation alloc{p, w};
       const Resources next_used = used + AllocationDemand(job, alloc);
       if (!state->capacity.Fits(next_used)) {
@@ -113,7 +116,7 @@ AllocationMap ExhaustiveAllocator::Allocate(const std::vector<SchedJob>& jobs,
 
   AllocationMap result;
   for (size_t i = 0; i < jobs.size(); ++i) {
-    if (state.best[i].IsActive()) {
+    if (ActiveAllocation(state.best[i], jobs[i].comm)) {
       result[jobs[i].job_id] = state.best[i];
     }
   }

@@ -16,8 +16,10 @@ Resources AllocationDemand(const SchedJob& job, const Allocation& alloc) {
 namespace {
 
 // Estimated completion time at an allocation; infinity when speed is zero.
+// All-reduce jobs (max_ps == 0) live on the p == 0 row.
 double CompletionTime(const SchedJob& job, SpeedSurface* surface, int p, int w) {
-  if (p < 1 || w < 1) {
+  const int min_ps = job.max_ps > 0 ? 1 : 0;
+  if (p < min_ps || w < 1) {
     return std::numeric_limits<double>::infinity();
   }
   const double f = surface->Speed(p, w);
@@ -114,15 +116,18 @@ AllocationMap OptimusAllocator::Allocate(const std::vector<SchedJob>& jobs,
   OptimusAllocRoundStats* stats =
       options_.stats != nullptr ? options_.stats : &local_stats;
 
-  // Seed every job with (1 PS, 1 worker) while capacity lasts, in input
-  // (arrival) order; jobs that do not fit stay pending this interval.
+  // Seed every job with (1 PS, 1 worker) — or a single worker for all-reduce
+  // jobs, which run no PS tasks — while capacity lasts, in input (arrival)
+  // order; jobs that do not fit stay pending this interval.
   std::vector<bool> active(jobs.size(), false);
   std::vector<SpeedSurface*> surf(jobs.size(), nullptr);
   for (size_t i = 0; i < jobs.size(); ++i) {
-    const Resources seed = jobs[i].worker_demand + jobs[i].ps_demand;
+    const int seed_ps = jobs[i].max_ps > 0 ? 1 : 0;
+    const Resources seed =
+        jobs[i].worker_demand + jobs[i].ps_demand * seed_ps;
     if (capacity.Fits(used + seed)) {
       used += seed;
-      alloc[i] = {1, 1};
+      alloc[i] = {seed_ps, 1};
       active[i] = true;
       surf[i] = surfaces->Surface(jobs[i]);
     }

@@ -16,6 +16,8 @@ const char* PlacementPolicyName(PlacementPolicy policy) {
       return "load-balance";
     case PlacementPolicy::kTetrisPack:
       return "tetris-pack";
+    case PlacementPolicy::kRackPack:
+      return "rack-pack";
   }
   return "unknown";
 }
@@ -173,6 +175,62 @@ bool PlaceOptimus(const PlacementJobInput& job, std::vector<Server>* servers,
   }
   pool->Push(candidates);
   return placed;
+}
+
+// Rack-aware Theorem-1 variant: tries to pack the whole job under one edge
+// switch so its traffic never crosses a rack uplink. Racks are tried in
+// descending free-CPU order (ties: lower rack id first); within a rack,
+// candidates are its available servers in descending (free_cpu, lower index
+// first) order, packed onto the smallest k that fits. When no single rack
+// can hold the job, falls back to the global Optimus scheme.
+bool PlaceRackAware(const PlacementJobInput& job, int rack_size,
+                    std::vector<Server>* servers, ServerPool* pool,
+                    JobPlacement* placement) {
+  if (rack_size <= 0) {
+    return PlaceOptimus(job, servers, pool, placement);
+  }
+  const int n = static_cast<int>(servers->size());
+  const int num_racks = (n + rack_size - 1) / rack_size;
+
+  std::vector<std::pair<double, int>> rack_order;  // (free cpu sum, rack)
+  rack_order.reserve(static_cast<size_t>(num_racks));
+  for (int r = 0; r < num_racks; ++r) {
+    double free_sum = 0.0;
+    const int begin = r * rack_size;
+    const int end = std::min(n, begin + rack_size);
+    for (int s = begin; s < end; ++s) {
+      if ((*servers)[static_cast<size_t>(s)].available()) {
+        free_sum += (*servers)[static_cast<size_t>(s)].Free().cpu();
+      }
+    }
+    rack_order.push_back({free_sum, r});
+  }
+  std::stable_sort(rack_order.begin(), rack_order.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  const int tasks = job.alloc.num_workers + job.alloc.num_ps;
+  std::vector<size_t> candidates;
+  for (const auto& [free_sum, r] : rack_order) {
+    candidates.clear();
+    const int begin = r * rack_size;
+    const int end = std::min(n, begin + rack_size);
+    for (int s = begin; s < end; ++s) {
+      if ((*servers)[static_cast<size_t>(s)].available()) {
+        candidates.push_back(static_cast<size_t>(s));
+      }
+    }
+    std::stable_sort(candidates.begin(), candidates.end(), [&](size_t a, size_t b) {
+      return (*servers)[a].Free().cpu() > (*servers)[b].Free().cpu();
+    });
+    const int max_k = std::min<int>(static_cast<int>(candidates.size()), tasks);
+    for (int k = 1; k <= max_k; ++k) {
+      if (TryEvenPlacement(job, candidates, k, servers, placement)) {
+        return true;
+      }
+    }
+  }
+  // No rack can hold the job alone: spill across racks the Theorem-1 way.
+  return PlaceOptimus(job, servers, pool, placement);
 }
 
 enum class PickRule { kMostFree, kTightestFit };
@@ -489,8 +547,9 @@ bool PlaceOptimusSharded(const PlacementJobInput& job, std::vector<Server>* serv
 
 PlacementResult PlaceJobs(PlacementPolicy policy,
                           const std::vector<PlacementJobInput>& jobs,
-                          std::vector<Server> servers, bool shrink_to_fit) {
-  return PlaceJobs(policy, jobs, &servers, shrink_to_fit);
+                          std::vector<Server> servers, bool shrink_to_fit,
+                          int rack_size) {
+  return PlaceJobs(policy, jobs, &servers, shrink_to_fit, rack_size);
 }
 
 PlacementResult PlaceJobsSharded(const ShardPlan& plan,
@@ -518,7 +577,7 @@ PlacementResult PlaceJobsSharded(const ShardPlan& plan,
   PackScratch scratch;
   for (size_t idx : job_order) {
     PlacementJobInput job = jobs[idx];
-    if (!job.alloc.IsActive()) {
+    if (!ActiveAllocation(job.alloc, job.comm)) {
       continue;
     }
 
@@ -538,10 +597,11 @@ PlacementResult PlaceJobsSharded(const ShardPlan& plan,
     while (true) {
       placed = PlaceOptimusSharded(job, &servers, &pool, &scratch, &placement);
       if (placed || !shrink_to_fit ||
-          (job.alloc.num_ps == 1 && job.alloc.num_workers == 1)) {
+          (job.alloc.num_ps <= 1 && job.alloc.num_workers == 1)) {
         break;
       }
-      job.alloc.num_ps = std::max(1, job.alloc.num_ps / 2);
+      job.alloc.num_ps =
+          job.alloc.num_ps > 0 ? std::max(1, job.alloc.num_ps / 2) : 0;
       job.alloc.num_workers = std::max(1, job.alloc.num_workers / 2);
     }
 
@@ -558,7 +618,8 @@ PlacementResult PlaceJobsSharded(const ShardPlan& plan,
 
 PlacementResult PlaceJobs(PlacementPolicy policy,
                           const std::vector<PlacementJobInput>& jobs,
-                          std::vector<Server>* servers_in, bool shrink_to_fit) {
+                          std::vector<Server>* servers_in, bool shrink_to_fit,
+                          int rack_size) {
   PlacementResult result;
   std::vector<Server>& servers = *servers_in;
   const size_t n_servers = servers.size();
@@ -579,7 +640,7 @@ PlacementResult PlaceJobs(PlacementPolicy policy,
   ServerPool pool(&servers);
   for (size_t idx : job_order) {
     PlacementJobInput job = jobs[idx];
-    if (!job.alloc.IsActive()) {
+    if (!ActiveAllocation(job.alloc, job.comm)) {
       continue;  // job got no resources this interval; nothing to place
     }
 
@@ -622,12 +683,16 @@ PlacementResult PlaceJobs(PlacementPolicy policy,
         case PlacementPolicy::kTetrisPack:
           placed = PlacePerTask(job, PickRule::kTightestFit, &servers, &placement);
           break;
+        case PlacementPolicy::kRackPack:
+          placed = PlaceRackAware(job, rack_size, &servers, &pool, &placement);
+          break;
       }
       if (placed || !shrink_to_fit ||
-          (job.alloc.num_ps == 1 && job.alloc.num_workers == 1)) {
+          (job.alloc.num_ps <= 1 && job.alloc.num_workers == 1)) {
         break;
       }
-      job.alloc.num_ps = std::max(1, job.alloc.num_ps / 2);
+      job.alloc.num_ps =
+          job.alloc.num_ps > 0 ? std::max(1, job.alloc.num_ps / 2) : 0;
       job.alloc.num_workers = std::max(1, job.alloc.num_workers / 2);
     }
 

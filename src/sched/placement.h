@@ -10,6 +10,11 @@
 //    every task goes to the currently least-loaded server that fits it.
 //  - kTetrisPack: fragmentation-minimizing packing used by the Tetris
 //    baseline: every task goes to the *tightest* fitting server (best fit).
+//  - kRackPack: the rack-aware Theorem-1 variant. When the cluster has a
+//    rack layout (`rack_size` > 0), each job is first packed entirely under
+//    one edge switch — racks tried in descending free-capacity order — so
+//    its traffic never crosses an oversubscribed uplink; jobs no single rack
+//    can hold fall back to the global kOptimusPack scheme.
 //
 // Jobs that cannot be placed under a policy are reported back; the simulator
 // pauses them until the next interval (§4.2).
@@ -31,6 +36,7 @@ enum class PlacementPolicy {
   kOptimusPack,
   kLoadBalance,
   kTetrisPack,
+  kRackPack,
 };
 
 const char* PlacementPolicyName(PlacementPolicy policy);
@@ -47,6 +53,8 @@ struct PlacementJobInput {
   // cost on large clusters. The pointee is left moved-from; callers must not
   // read it again before reassigning it. Placement decisions are unaffected.
   JobPlacement* recycle = nullptr;
+  // All-reduce jobs (num_ps == 0) are placeable with workers alone.
+  CommMode comm = CommMode::kParameterServer;
 };
 
 struct PlacementResult {
@@ -67,9 +75,12 @@ struct PlacementResult {
 // `shrink_to_fit` (the default), such a job is retried at repeatedly halved
 // (p, w) down to (1, 1) before being declared unplaced — without it, a
 // deterministic allocator can pause the same job forever.
+// `rack_size` feeds the kRackPack policy's rack layout (0 = no racks: the
+// policy degrades to kOptimusPack); other policies ignore it.
 PlacementResult PlaceJobs(PlacementPolicy policy,
                           const std::vector<PlacementJobInput>& jobs,
-                          std::vector<Server> servers, bool shrink_to_fit = true);
+                          std::vector<Server> servers, bool shrink_to_fit = true,
+                          int rack_size = 0);
 
 // In-place variant: mutates `*servers` directly instead of consuming a copy.
 // Lets a caller that reschedules every round keep one scratch server vector
@@ -78,7 +89,8 @@ PlacementResult PlaceJobs(PlacementPolicy policy,
 // by-value overload.
 PlacementResult PlaceJobs(PlacementPolicy policy,
                           const std::vector<PlacementJobInput>& jobs,
-                          std::vector<Server>* servers, bool shrink_to_fit = true);
+                          std::vector<Server>* servers, bool shrink_to_fit = true,
+                          int rack_size = 0);
 
 // Sharded fast path for the Optimus packing policy. Placement DECISIONS are
 // identical to PlaceJobs(kOptimusPack, ...) — it differs only in how they

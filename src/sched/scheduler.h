@@ -25,6 +25,10 @@ using SpeedEstimate = std::function<double(int num_ps, int num_workers)>;
 struct SchedJob {
   int job_id = 0;
   TrainingMode mode = TrainingMode::kSync;
+  // Communication architecture. All-reduce jobs carry max_ps == 0 and a
+  // zero ps_demand: they are scheduled (and their speed surfaces probed)
+  // along the p == 0 row only.
+  CommMode comm = CommMode::kParameterServer;
   Resources worker_demand;
   Resources ps_demand;
   int max_ps = 32;
@@ -55,6 +59,16 @@ struct Allocation {
 
 // job_id -> allocation. Jobs absent from the map received nothing.
 using AllocationMap = std::map<int, Allocation>;
+
+// Whether `alloc` actually runs a job of the given communication mode:
+// parameter-server jobs need at least one PS and one worker; all-reduce jobs
+// need only workers (their num_ps is always 0).
+inline bool ActiveAllocation(const Allocation& alloc, CommMode comm) {
+  if (comm == CommMode::kAllReduce) {
+    return alloc.num_workers > 0;
+  }
+  return alloc.IsActive();
+}
 
 // Sum of the resources an allocation consumes for one job.
 Resources AllocationDemand(const SchedJob& job, const Allocation& alloc);

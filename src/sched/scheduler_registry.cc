@@ -42,6 +42,26 @@ void RegisterBuiltins(SchedulerRegistry* registry) {
   }
   {
     SchedulerPolicyInfo info;
+    info.name = "optimus_rack";
+    info.display_name = "Optimus (rack-aware)";
+    info.description =
+        "Optimus allocation with rack-aware Theorem-1 placement: each job is "
+        "packed under one edge switch when any rack fits it, so its traffic "
+        "avoids oversubscribed uplinks";
+    info.allocator_family = AllocatorPolicy::kOptimus;
+    info.placement = PlacementPolicy::kRackPack;
+    info.use_paa = true;
+    info.straggler_handling = true;
+    info.young_job_priority_factor = 0.95;
+    info.factory = [](OptimusAllocRoundStats* stats) -> std::unique_ptr<Allocator> {
+      OptimusAllocatorOptions options;
+      options.stats = stats;
+      return std::make_unique<OptimusAllocator>(options);
+    };
+    registry->Register(std::move(info));
+  }
+  {
+    SchedulerPolicyInfo info;
     info.name = "drf";
     info.display_name = "DRF";
     info.description =

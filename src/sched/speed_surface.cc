@@ -1,5 +1,6 @@
 #include "src/sched/speed_surface.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -13,22 +14,24 @@ SpeedSurface::SpeedSurface(SpeedEstimate speed, int max_ps, int max_workers,
       max_ps_(max_ps),
       max_workers_(max_workers),
       cache_enabled_(cache_enabled) {
-  OPTIMUS_CHECK_GE(max_ps_, 1);
+  // max_ps == 0 is the all-reduce grid: the single p == 0 row.
+  OPTIMUS_CHECK_GE(max_ps_, 0);
   OPTIMUS_CHECK_GE(max_workers_, 1);
   OPTIMUS_CHECK(speed_ != nullptr);
 }
 
 double SpeedSurface::Speed(int p, int w) {
   ++probes_;
-  if (!cache_enabled_ || p < 1 || p > max_ps_ || w < 1 || w > max_workers_) {
+  const int min_p = max_ps_ == 0 ? 0 : 1;
+  if (!cache_enabled_ || p < min_p || p > std::max(max_ps_, min_p) || w < 1 ||
+      w > max_workers_) {
     ++evals_;
     return speed_(p, w);
   }
   if (grid_.empty()) {
-    grid_.assign(static_cast<size_t>(max_ps_) * max_workers_,
-                 std::numeric_limits<double>::quiet_NaN());
+    grid_.assign(GridSize(), std::numeric_limits<double>::quiet_NaN());
   }
-  const size_t idx = static_cast<size_t>(p - 1) * max_workers_ + (w - 1);
+  const size_t idx = static_cast<size_t>(p - min_p) * max_workers_ + (w - 1);
   double& cell = grid_[idx];
   if (std::isnan(cell)) {
     ++evals_;
@@ -48,8 +51,7 @@ int64_t SpeedSurface::AbsorbFrom(const SpeedSurface& other) {
     return 0;
   }
   if (grid_.empty()) {
-    grid_.assign(static_cast<size_t>(max_ps_) * max_workers_,
-                 std::numeric_limits<double>::quiet_NaN());
+    grid_.assign(GridSize(), std::numeric_limits<double>::quiet_NaN());
   }
   int64_t copied = 0;
   for (size_t i = 0; i < grid_.size(); ++i) {

@@ -7,7 +7,8 @@
 // exhaustive allocator revisits each configuration across branches, and
 // what-if admission runs two full allocations over the same jobs. A
 // SpeedSurface lazily caches f(p, w) over the job's feasible
-// [1..max_ps] x [1..max_workers] grid in a flat array so each point is
+// [1..max_ps] x [1..max_workers] grid (the single p == 0 row for all-reduce
+// jobs, whose max_ps is 0) in a flat array so each point is
 // evaluated at most once per round; a SpeedSurfaceSet owns the surfaces of
 // one round and can share a single surface between jobs that declare
 // identical speed functions (SchedJob::speed_signature).
@@ -61,6 +62,12 @@ class SpeedSurface {
   int64_t evals() const { return evals_; }
 
  private:
+  // Grid rows: [1..max_ps] for PS jobs, the single p == 0 row for all-reduce
+  // jobs (max_ps == 0).
+  size_t GridSize() const {
+    return static_cast<size_t>(max_ps_ == 0 ? 1 : max_ps_) * max_workers_;
+  }
+
   SpeedEstimate speed_;
   int max_ps_;
   int max_workers_;

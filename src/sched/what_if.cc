@@ -18,7 +18,8 @@ std::map<int, double> CompletionTimes(const std::vector<SchedJob>& jobs,
   std::map<int, double> out;
   for (const SchedJob& job : jobs) {
     double t = std::numeric_limits<double>::infinity();
-    if (auto it = alloc.find(job.job_id); it != alloc.end() && it->second.IsActive()) {
+    if (auto it = alloc.find(job.job_id);
+        it != alloc.end() && ActiveAllocation(it->second, job.comm)) {
       const double f =
           surfaces->Surface(job)->Speed(it->second.num_ps, it->second.num_workers);
       if (f > 0.0) {
@@ -58,7 +59,7 @@ WhatIfResult EvaluateAdmission(const Allocator& allocator,
   result.with_job_completion_s = CompletionTimes(existing, admitted, &surfaces);
 
   if (auto it = admitted.find(candidate.job_id);
-      it != admitted.end() && it->second.IsActive()) {
+      it != admitted.end() && ActiveAllocation(it->second, candidate.comm)) {
     result.admitted = true;
     result.new_job_alloc = it->second;
     const double f =

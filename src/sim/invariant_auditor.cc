@@ -57,7 +57,8 @@ InvariantAuditor::Census InvariantAuditor::CheckJobScalars(
       Report(now_s, "state", os.str());
     }
     if (job.state == JobState::kRunning &&
-        (job.num_ps <= 0 || job.num_workers <= 0)) {
+        ((job.comm != CommMode::kAllReduce && job.num_ps <= 0) ||
+         job.num_workers <= 0)) {
       std::ostringstream os;
       os << "job " << job.job_id << " is running with allocation (" << job.num_ps
          << ", " << job.num_workers << ")";

@@ -66,6 +66,9 @@ class InvariantAuditor {
     Resources ps_demand;
     Resources worker_demand;
     const JobPlacement* placement = nullptr;  // may be null or empty
+    // All-reduce jobs legitimately run with zero PS tasks; the running-state
+    // allocation check is comm-aware.
+    CommMode comm = CommMode::kParameterServer;
   };
 
   // Job-state census at check time, as the metrics layer counts it.

@@ -147,6 +147,13 @@ bool SimulatorConfig::Validate(std::vector<std::string>* errors) const {
     bad("rack_size",
         "must be >= 0 (0 = one rack; got " + std::to_string(rack_size) + ")");
   }
+  if (!(std::isfinite(net.nic_bps) && net.nic_bps > 0.0)) {
+    bad("net.nic_bps", "must be > 0 (got " + std::to_string(net.nic_bps) + ")");
+  }
+  if (!(std::isfinite(net.oversubscription) && net.oversubscription >= 1.0)) {
+    bad("net.oversubscription",
+        "must be >= 1 (got " + std::to_string(net.oversubscription) + ")");
+  }
   if (obs.flight_recorder_depth < 0) {
     bad("obs.flight_recorder_depth",
         "must be >= 0 (got " + std::to_string(obs.flight_recorder_depth) + ")");
@@ -238,6 +245,10 @@ Simulator::Simulator(SimulatorConfig config, std::vector<Server> servers,
   shard_plan_ = ShardPlan::Build(config_.shards,
                                  static_cast<int>(servers_.size()),
                                  config_.rack_size);
+  // Null under the flat model: every comm-model call then falls back to the
+  // Eqn-2 constant and the run is bitwise identical to the pre-fabric code.
+  net_ = NetworkModel::Create(config_.net, static_cast<int>(servers_.size()),
+                              config_.rack_size);
   faults_ = std::make_unique<FaultInjector>(config_.fault,
                                             static_cast<int>(servers_.size()));
   auditor_.SetClusterSize(servers_.size());
@@ -400,6 +411,26 @@ void Simulator::SetupObservability() {
     m_.completed_epochs = registry_.AddHistogram(
         "optimus_completed_epochs", "Epochs at convergence for completed jobs.",
         {5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0});
+    // Network-fabric metrics register only when a non-flat model is live:
+    // flat runs keep the historical catalog byte-identical (the committed
+    // metrics.prom golden), and the fabric values are deterministic
+    // (placement-driven serial solves), so within a fabric config the
+    // catalog remains a stable prefix across threads/shards/engines.
+    if (net_ != nullptr) {
+      m_.net_solves = c("optimus_net_solves_total",
+                        "Network fair-share solves (one per round).");
+      m_.net_flows = c("optimus_net_flows_total",
+                       "Flows registered with the network model, cumulative.");
+      m_.net_contended_flows =
+          c("optimus_net_contended_flows_total",
+            "Flows held below their isolated rate by link sharing.");
+      m_.net_max_link_util = registry_.AddGauge(
+          "optimus_net_max_link_utilization",
+          "Most utilized fabric link after the last solve (0-1).");
+      m_.net_mean_link_util = registry_.AddGauge(
+          "optimus_net_mean_link_utilization",
+          "Mean utilization over all fabric links after the last solve (0-1).");
+    }
     // Sharded-round counters describe HOW the round computed its
     // (bitwise-invariant) answer, so they vary with config_.shards. They are
     // quarantined here, between the deterministic catalog prefix and the
@@ -505,6 +536,14 @@ void Simulator::SampleObservability() {
   m_.shard_migrated_jobs->Set(static_cast<double>(sharded_stats_.migrated_jobs));
   m_.shard_migrated_tasks->Set(
       static_cast<double>(sharded_stats_.migrated_tasks));
+  if (net_ != nullptr && m_.net_solves != nullptr) {
+    const NetworkStats& ns = net_->stats();
+    m_.net_solves->Set(static_cast<double>(ns.solves));
+    m_.net_flows->Set(static_cast<double>(ns.flows));
+    m_.net_contended_flows->Set(static_cast<double>(ns.contended_flows));
+    m_.net_max_link_util->Set(ns.max_link_utilization);
+    m_.net_mean_link_util->Set(ns.mean_link_utilization);
+  }
   m_.sim_time->Set(now_s_);
 
   if (config_.obs.per_interval_series) {
@@ -549,11 +588,16 @@ void Simulator::InitSpeedModel(JobRuntime* jr) {
   // configurations (§3.2 "Model fitting"). The measured speeds come from the
   // ground-truth model under balanced PS load and unknown placement.
   Rng* noise = &jr->rng;
-  SpeedOracle oracle = [this, spec, noise](int p, int w) {
+  // All-reduce jobs run no PS tasks: their speed lives on the single p == 0
+  // row of the comm model, which the fitted SpeedModel stores under p = 1
+  // (its Eqn-3/4 grid starts at one PS). Pre-run samples therefore pin p.
+  const bool allreduce = spec.comm == CommMode::kAllReduce;
+  SpeedOracle oracle = [this, spec, noise, allreduce](int p, int w) {
     StepTimeInputs in;
     in.model = spec.model;
     in.mode = spec.mode;
-    in.num_ps = p;
+    in.comm = spec.comm;
+    in.num_ps = allreduce ? 0 : p;
     in.num_workers = w;
     in.global_batch = spec.GlobalBatch();
     in.async_minibatch = spec.AsyncMinibatch();
@@ -561,8 +605,9 @@ void Simulator::InitSpeedModel(JobRuntime* jr) {
            noise->LogNormalFactor(config_.speed_measure_noise_sd);
   };
   Rng sampler_rng = jr->rng.Split(77);
-  InitializeSpeedModel(jr->speed.get(), oracle, config_.pre_run_samples, spec.max_ps,
-                       spec.max_workers, &sampler_rng);
+  InitializeSpeedModel(jr->speed.get(), oracle, config_.pre_run_samples,
+                       allreduce ? 1 : spec.max_ps, spec.max_workers,
+                       &sampler_rng);
 }
 
 void Simulator::ActivateArrivals() {
@@ -631,10 +676,18 @@ SchedJob Simulator::MakeSchedJob(JobRuntime* jr) const {
   SchedJob sj;
   sj.job_id = spec.id;
   sj.mode = spec.mode;
+  sj.comm = spec.comm;
   sj.worker_demand = spec.worker_demand;
   sj.ps_demand = spec.ps_demand;
   sj.max_ps = spec.max_ps;
   sj.max_workers = spec.max_workers;
+  // All-reduce jobs run no PS tasks: the scheduler sees a zero PS cap and a
+  // zero PS demand, so every allocator works along the p == 0 row.
+  const bool allreduce = spec.comm == CommMode::kAllReduce;
+  if (allreduce) {
+    sj.max_ps = 0;
+    sj.ps_demand = Resources();
+  }
   sj.remaining_epochs = EstimateRemainingEpochs(*jr);
 
   const double spe = static_cast<double>(spec.StepsPerEpoch());
@@ -647,11 +700,12 @@ SchedJob Simulator::MakeSchedJob(JobRuntime* jr) const {
     // Fig 15 measures.
     const double err = ErrorFactor(*jr, config_.error.speed_error) - 1.0;
     const CommConfig comm = config_.comm;
-    const double span = static_cast<double>(spec.max_ps + spec.max_workers);
+    const double span = static_cast<double>(sj.max_ps + sj.max_workers);
     sj.speed = [spec, spe, err, comm, span](int p, int w) {
       StepTimeInputs in;
       in.model = spec.model;
       in.mode = spec.mode;
+      in.comm = spec.comm;
       in.num_ps = p;
       in.num_workers = w;
       in.global_batch = spec.GlobalBatch();
@@ -668,6 +722,12 @@ SchedJob Simulator::MakeSchedJob(JobRuntime* jr) const {
       sig = MixSignature(sig, static_cast<uint64_t>(spec.GlobalBatch()));
       sig = MixSignature(sig, static_cast<uint64_t>(spec.AsyncMinibatch()));
       sig = MixSignature(sig, static_cast<uint64_t>(spec.StepsPerEpoch()));
+      if (allreduce) {
+        // The all-reduce speed function differs from the PS one for the same
+        // model profile; fold comm in only for non-default modes so PS jobs
+        // keep their historical signatures (and shard partitions) bitwise.
+        sig = MixSignature(sig, static_cast<uint64_t>(spec.comm) + 1);
+      }
       sj.speed_signature = sig != 0 ? sig : 1;
     }
   } else if (config_.naive_linear_speed) {
@@ -679,6 +739,16 @@ SchedJob Simulator::MakeSchedJob(JobRuntime* jr) const {
         return 0.0;
       }
       return model->Estimate(1, 1) * static_cast<double>(w) / spe;
+    };
+  } else if (allreduce) {
+    // Fitted all-reduce estimates live on the model's p = 1 row (the grid the
+    // pre-run samples and interval measurements were pinned to).
+    SpeedModel* model = jr->speed.get();
+    sj.speed = [model, spe](int /*p*/, int w) {
+      if (model == nullptr || !model->fitted()) {
+        return 0.0;
+      }
+      return model->Estimate(1, w) / spe;
     };
   } else {
     SpeedModel* model = jr->speed.get();
@@ -705,7 +775,24 @@ void Simulator::RecomputeLoad(JobRuntime* jr) {
     return;
   }
   if (config_.use_paa) {
-    jr->load = ComputeLoadMetrics(PaaAssigner().Assign(jr->blocks, p));
+    // Contention-aware tie-break: with a live network model, PS indices are
+    // weighted by their server's link headroom (last solve) so PAA's
+    // least-loaded choice drifts off congested links. PS index k maps to a
+    // server via the canonical placement order (ForEachUsed ascending server
+    // ids, consecutive indices per server). Null weights (flat model, or a
+    // placement not yet applied) keep the unweighted, bit-identical path.
+    std::vector<double> weights;
+    if (net_ != nullptr && !jr->job.placement().empty()) {
+      weights.reserve(static_cast<size_t>(p));
+      jr->job.placement().ForEachUsed([&](size_t s, int /*w_k*/, int p_k) {
+        for (int k = 0; k < p_k; ++k) {
+          weights.push_back(net_->ServerWeight(static_cast<int>(s)));
+        }
+      });
+    }
+    const std::vector<double>* w =
+        static_cast<int>(weights.size()) == p ? &weights : nullptr;
+    jr->load = ComputeLoadMetrics(PaaAssigner().Assign(jr->blocks, p, w));
   } else {
     Rng assign_rng = jr->rng.Split(static_cast<uint64_t>(p) + 7);
     jr->load = ComputeLoadMetrics(MxnetAssigner().Assign(jr->blocks, p, &assign_rng));
@@ -715,12 +802,14 @@ void Simulator::RecomputeLoad(JobRuntime* jr) {
 
 double Simulator::TrueSpeed(const JobRuntime& jr) const {
   const JobSpec& spec = jr.job.spec();
-  if (jr.job.num_ps() <= 0 || jr.job.num_workers() <= 0) {
+  const bool allreduce = spec.comm == CommMode::kAllReduce;
+  if (jr.job.num_workers() <= 0 || (!allreduce && jr.job.num_ps() <= 0)) {
     return 0.0;
   }
   StepTimeInputs in;
   in.model = spec.model;
   in.mode = spec.mode;
+  in.comm = spec.comm;
   in.num_ps = jr.job.num_ps();
   in.num_workers = jr.job.num_workers();
   in.global_batch = spec.GlobalBatch();
@@ -729,7 +818,42 @@ double Simulator::TrueSpeed(const JobRuntime& jr) const {
   in.load_valid = jr.load_valid;
   in.placement_ref = &jr.job.placement();  // borrow; avoids 2 vector copies
   in.slowest_worker_factor = jr.job.slowest_worker_factor();
+  in.net_bw_bps = jr.net_bw_bps;  // 0 under the flat model (Eqn-2 constant)
   return TrainingSpeed(in, config_.comm);
+}
+
+bool Simulator::RefreshNetwork() {
+  if (net_ == nullptr) {
+    return false;  // flat model: the Eqn-2 constant, nothing to solve
+  }
+  // Serial by construction: runs after scheduling (and after fault-edge
+  // evictions on the event engine), never inside a parallel phase, and the
+  // solve itself is a pure function of the job-ordered placements — so the
+  // resolved bandwidths are bitwise identical across threads and shards.
+  net_->BeginRound();
+  for (const auto& jr : jobs_) {
+    if (jr == nullptr || !jr->arrived ||
+        jr->job.state() != JobState::kRunning || jr->job.placement().empty()) {
+      continue;
+    }
+    net_->AddJob(jr->job.id(), jr->job.placement());
+  }
+  net_->Solve();
+  bool changed = false;
+  for (auto& jr : jobs_) {
+    if (jr == nullptr || !jr->arrived) {
+      continue;
+    }
+    double bw = 0.0;
+    if (jr->job.state() == JobState::kRunning && !jr->job.placement().empty()) {
+      bw = net_->BandwidthFor(jr->job.id());
+    }
+    if (bw != jr->net_bw_bps) {
+      jr->net_bw_bps = bw;
+      changed = true;
+    }
+  }
+  return changed;
 }
 
 double Simulator::BackgroundShare(double t) const {
@@ -907,7 +1031,8 @@ void Simulator::RunAudit() {
     const Job& job = jr->job;
     views.push_back({job.id(), job.state(), job.steps_done(), job.num_ps(),
                      job.num_workers(), job.spec().ps_demand,
-                     job.spec().worker_demand, &job.placement()});
+                     job.spec().worker_demand, &job.placement(),
+                     job.spec().comm});
   }
   counts.completed_metric = metrics_.completed_jobs;
   counts.retired = retired_count_;
@@ -1063,10 +1188,11 @@ void Simulator::ScheduleActiveJobs() {
       }
       const Allocation old_alloc{jr->job.num_ps(), jr->job.num_workers()};
       Allocation& next = it->second;
-      if (!old_alloc.IsActive() || !next.IsActive() || next == old_alloc) {
+      const SchedJob& sj = sched_jobs[i];
+      if (!ActiveAllocation(old_alloc, sj.comm) ||
+          !ActiveAllocation(next, sj.comm) || next == old_alloc) {
         continue;
       }
-      const SchedJob& sj = sched_jobs[i];
       const double f_old = sj.speed(old_alloc.num_ps, old_alloc.num_workers);
       const double f_new = sj.speed(next.num_ps, next.num_workers);
       if (f_old <= 0.0 || f_new <= 0.0) {
@@ -1103,7 +1229,8 @@ void Simulator::ScheduleActiveJobs() {
                       {jr->job.num_ps(), jr->job.num_workers()},
                       jr->job.spec().worker_demand,
                       jr->job.spec().ps_demand,
-                      donor(jr)});
+                      donor(jr),
+                      jr->job.spec().comm});
   }
   for (JobRuntime* jr : schedulable) {
     Allocation a;
@@ -1111,7 +1238,8 @@ void Simulator::ScheduleActiveJobs() {
       a = it->second;
     }
     inputs.push_back({jr->job.id(), a, jr->job.spec().worker_demand,
-                      jr->job.spec().ps_demand, donor(jr)});
+                      jr->job.spec().ps_demand, donor(jr),
+                      jr->job.spec().comm});
   }
   // Sharded placement keeps one lazy heap per shard and pops via a
   // tournament reproducing the global most-free order, with compact
@@ -1120,9 +1248,11 @@ void Simulator::ScheduleActiveJobs() {
   const bool sharded_placement =
       shard_plan_.num_shards() > 1 &&
       config_.placement == PlacementPolicy::kOptimusPack;
-  PlacementResult placed = sharded_placement
-                               ? PlaceJobsSharded(shard_plan_, inputs, &servers)
-                               : PlaceJobs(config_.placement, inputs, &servers);
+  PlacementResult placed =
+      sharded_placement
+          ? PlaceJobsSharded(shard_plan_, inputs, &servers)
+          : PlaceJobs(config_.placement, inputs, &servers,
+                      /*shrink_to_fit=*/true, config_.rack_size);
 
   // Index the placement result once instead of two map lookups per job: the
   // two maps carry identical key sets (both filled on successful placement),
@@ -1153,7 +1283,8 @@ void Simulator::ScheduleActiveJobs() {
     const int id = jr->job.id();
     JobPlacement* placement = placement_by_index[job_idx];
     const Allocation a = alloc_by_index[job_idx];
-    const bool placeable = placement != nullptr && a.IsActive();
+    const bool placeable =
+        placement != nullptr && ActiveAllocation(a, jr->job.spec().comm);
 
     const int old_ps = jr->job.num_ps();
     const JobState old_state = jr->job.state();
@@ -1319,7 +1450,11 @@ void Simulator::AdvanceJob(JobRuntime* jr, AdvanceOutcome* out) {
     if (jr->multi_conv != nullptr) {
       jr->multi_conv->Fit();
     }
-    jr->speed->AddSample(job.num_ps(), job.num_workers(), speed);
+    // All-reduce measurements land on the model's p = 1 row (the grid its
+    // estimates are read from; the job itself runs zero PS tasks).
+    const int sample_ps =
+        spec.comm == CommMode::kAllReduce ? 1 : job.num_ps();
+    jr->speed->AddSample(sample_ps, job.num_workers(), speed);
     jr->speed->Fit();
   }
 
@@ -1328,6 +1463,7 @@ void Simulator::AdvanceJob(JobRuntime* jr, AdvanceOutcome* out) {
   StepTimeInputs in;
   in.model = spec.model;
   in.mode = spec.mode;
+  in.comm = spec.comm;
   in.num_ps = job.num_ps();
   in.num_workers = job.num_workers();
   in.global_batch = spec.GlobalBatch();
@@ -1336,6 +1472,7 @@ void Simulator::AdvanceJob(JobRuntime* jr, AdvanceOutcome* out) {
   in.load_valid = jr->load_valid;
   in.placement_ref = &job.placement();
   in.slowest_worker_factor = job.slowest_worker_factor();
+  in.net_bw_bps = jr->net_bw_bps;
   const StepTimeBreakdown b = ComputeStepTime(in, config_.comm);
   if (b.total_s > 0.0) {
     jr->last_worker_util = 100.0 * (b.forward_s + b.backward_s) / b.total_s;
@@ -1495,6 +1632,9 @@ bool Simulator::StepInterval() {
   {
     ScopedTimer timer(&profiler_, phase_schedule_);
     ScheduleActiveJobs();
+    // Placements are final for the interval: resolve per-job bandwidths over
+    // them before anyone trains at TrueSpeed.
+    RefreshNetwork();
   }
   {
     ScopedTimer timer(&profiler_, phase_advance_);
@@ -1729,10 +1869,15 @@ WhatIfResult Simulator::WhatIf(const JobSpec& candidate) {
   SchedJob cand;
   cand.job_id = candidate.id;
   cand.mode = candidate.mode;
+  cand.comm = candidate.comm;
   cand.worker_demand = candidate.worker_demand;
   cand.ps_demand = candidate.ps_demand;
   cand.max_ps = candidate.max_ps;
   cand.max_workers = candidate.max_workers;
+  if (candidate.comm == CommMode::kAllReduce) {
+    cand.max_ps = 0;
+    cand.ps_demand = Resources();
+  }
   cand.remaining_epochs = config_.default_remaining_epochs;
   const JobSpec spec = candidate;
   const double spe = static_cast<double>(spec.StepsPerEpoch());
@@ -1741,6 +1886,7 @@ WhatIfResult Simulator::WhatIf(const JobSpec& candidate) {
     StepTimeInputs in;
     in.model = spec.model;
     in.mode = spec.mode;
+    in.comm = spec.comm;
     in.num_ps = p;
     in.num_workers = w;
     in.global_batch = spec.GlobalBatch();

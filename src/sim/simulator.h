@@ -27,6 +27,7 @@
 #include "src/common/rng.h"
 #include "src/models/loss_curve.h"
 #include "src/models/param_blocks.h"
+#include "src/net/network_model.h"
 #include "src/obs/exporters.h"
 #include "src/obs/phase_profiler.h"
 #include "src/perfmodel/convergence_model.h"
@@ -97,6 +98,14 @@ struct SimulatorConfig {
   PlacementPolicy placement = PlacementPolicy::kOptimusPack;
   double interval_s = 600.0;
   CommConfig comm;
+  // Network fidelity model (src/net): `flat` (the default) keeps the
+  // CommConfig flat per-container bandwidth and is bitwise identical to the
+  // pre-network-model simulator; `topology` and `contention` derive per-job
+  // bandwidths from a NIC/rack-uplink fabric built over `rack_size`-wide
+  // racks. Per-job bandwidths are refreshed serially at scheduling rounds
+  // (and fault edges, on the event engine), so outputs stay bitwise
+  // identical across thread counts and shard counts.
+  NetworkConfig net;
   CheckpointConfig checkpoint;
   StragglerConfig straggler;
   // PAA (§5.3) vs MXNet-default parameter-block assignment.
@@ -297,6 +306,9 @@ class Simulator {
   const EventTrace& trace() const { return trace_; }
   // Two-phase sharded-round counters (all zero when knobs.shards <= 1).
   const ShardedRoundStats& sharded_stats() const { return sharded_stats_; }
+  // Network fabric model driving per-job bandwidths; null under the flat
+  // (exact-compat) model. Stats are cumulative over the run's solves.
+  const NetworkModel* network() const { return net_.get(); }
   // Jobs materialized so far: the full workload in batch mode, only the
   // admitted prefix under streaming admission (retired slots still count).
   int materialized_jobs() const { return static_cast<int>(jobs_.size()); }
@@ -336,6 +348,9 @@ class Simulator {
     // the training/noise streams of an un-faulted run.
     Rng fault_rng{0};
     int error_sign = 1;
+    // Per-container bandwidth (bytes/s) the network model resolved for this
+    // job at the last RefreshNetwork; 0 = use the flat CommConfig bandwidth.
+    double net_bw_bps = 0.0;
     bool arrived = false;
     bool killed = false;  // cancelled via KillJob; excluded from JCT stats
     bool lr_drop_handled = false;   // convergence model restarted at the drop
@@ -490,6 +505,11 @@ class Simulator {
   // already moved out or never sized.
   void HarvestPlacement(Job* job);
   void RunAudit();
+  // Re-solves the network model over the current placements and refreshes
+  // each running job's net_bw_bps. Serial (runs after scheduling and after
+  // fault-edge evictions); no-op under the flat model. Returns true when any
+  // job's bandwidth changed.
+  bool RefreshNetwork();
   // Fraction of every server reserved for the background workload at time t.
   double BackgroundShare(double t) const;
   void RecomputeLoad(JobRuntime* jr);
@@ -554,6 +574,8 @@ class Simulator {
   // unsharded code paths) and the round's profiling counters.
   ShardPlan shard_plan_;
   ShardedRoundStats sharded_stats_;
+  // Network fabric model; null under the flat (exact-compat) model.
+  std::unique_ptr<NetworkModel> net_;
   StragglerModel straggler_;
   std::unique_ptr<FaultInjector> faults_;
   InvariantAuditor auditor_;
@@ -625,6 +647,12 @@ class Simulator {
     Counter* speedmodel_nnls_iterations = nullptr;
     Counter* events_processed = nullptr;
     Counter* events_by_kind[kNumSimEventKinds] = {};
+    // Network fabric (src/net): all zero under the flat model.
+    Counter* net_solves = nullptr;
+    Counter* net_flows = nullptr;
+    Counter* net_contended_flows = nullptr;
+    Gauge* net_max_link_util = nullptr;
+    Gauge* net_mean_link_util = nullptr;
     // Sharded-round profile (quarantined: registered with the wall_* tail).
     Counter* shard_rounds = nullptr;
     Counter* shard_local_grants = nullptr;

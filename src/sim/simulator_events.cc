@@ -261,6 +261,7 @@ void Simulator::HandleFaultPlanEvent(double t) {
   // training then, not at the next boundary (EvictJob settles nothing — the
   // rollback discards the un-checkpointed span anyway — and deactivates the
   // job's segment, invalidating its pending epoch event).
+  bool evicted_any = false;
   if (faults_->servers_down() > 0) {
     for (auto& jr : jobs_) {
       if (jr == nullptr || !jr->arrived ||
@@ -285,13 +286,19 @@ void Simulator::HandleFaultPlanEvent(double t) {
         // jobs whose checkpoint is fresher than their anchor.
         SettleJob(jr.get(), t);
         EvictJob(jr.get(), detail);
+        evicted_any = true;
       }
     }
   }
 
+  // Evicted jobs released their flows: re-solve the fabric so survivors run
+  // at the freed-link bandwidths from the crash instant onward, re-anchoring
+  // their segments exactly like a slowdown edge. No-op under the flat model.
+  const bool bw_changed = evicted_any && RefreshNetwork();
+
   // A slowdown edge changes every active segment's speed: settle each at the
   // old speed up to t, recompute with the same round noise draw, reschedule.
-  if (slow_changed) {
+  if (slow_changed || bw_changed) {
     for (auto& jr : jobs_) {
       if (jr == nullptr || !jr->seg_active) {
         continue;
@@ -363,8 +370,10 @@ void Simulator::RebuildSegments() {
     }
     ++jr->gen;
     jr->seg_active = false;
+    // All-reduce jobs run with zero PS tasks; workers alone make them live.
+    const bool needs_ps = jr->job.spec().comm != CommMode::kAllReduce;
     if (jr->job.state() == JobState::kRunning && jr->job.num_workers() > 0 &&
-        jr->job.num_ps() > 0) {
+        (!needs_ps || jr->job.num_ps() > 0)) {
       running.push_back(jr.get());
     }
   }
@@ -382,6 +391,7 @@ void Simulator::RebuildSegments() {
     StepTimeInputs in;
     in.model = spec.model;
     in.mode = spec.mode;
+    in.comm = spec.comm;
     in.num_ps = job.num_ps();
     in.num_workers = job.num_workers();
     in.global_batch = spec.GlobalBatch();
@@ -390,6 +400,7 @@ void Simulator::RebuildSegments() {
     in.load_valid = jr->load_valid;
     in.placement_ref = &job.placement();
     in.slowest_worker_factor = job.slowest_worker_factor();
+    in.net_bw_bps = jr->net_bw_bps;
     const StepTimeBreakdown b = ComputeStepTime(in, config_.comm);
     if (b.total_s > 0.0) {
       jr->last_worker_util = 100.0 * (b.forward_s + b.backward_s) / b.total_s;
@@ -404,7 +415,10 @@ void Simulator::RebuildSegments() {
     jr->seg_speed = speed;
     jr->seg_next_epoch =
         static_cast<int64_t>(job.steps_done() / spe) + 1;
-    jr->seg_sample_ps = job.num_ps();
+    // All-reduce measurements land on the fitted model's p = 1 row (the job
+    // itself runs zero PS tasks), matching the interval engine's feeding.
+    jr->seg_sample_ps =
+        spec.comm == CommMode::kAllReduce ? 1 : job.num_ps();
     jr->seg_sample_workers = job.num_workers();
     jr->seg_sample_speed = speed;
     next_time[i] = t + job.stall_remaining_s() +
@@ -517,6 +531,9 @@ void Simulator::HandleRoundEvent(double t) {
   {
     ScopedTimer timer(&profiler_, phase_schedule_);
     ScheduleActiveJobs();
+    // Placements are final for the round: resolve per-job bandwidths before
+    // RebuildSegments computes segment speeds from them.
+    RefreshNetwork();
   }
   {
     ScopedTimer timer(&profiler_, phase_events_);

@@ -108,6 +108,13 @@ bool WorkloadSpec::Validate(std::vector<std::string>* errors) const {
         errors, &valid);
   Check(sizes.target_steps_per_epoch >= 0,
         "sizes.target_steps_per_epoch: must be >= 0", errors, &valid);
+  Check(std::isfinite(allreduce_fraction) && allreduce_fraction >= 0.0 &&
+            allreduce_fraction <= 1.0,
+        "allreduce_fraction: must be in [0, 1]", errors, &valid);
+  Check(comm == CommMode::kParameterServer || !forced_mode.has_value() ||
+            *forced_mode == TrainingMode::kSync,
+        "comm: allreduce jobs are always synchronous (mode must be sync)",
+        errors, &valid);
   Check(IsProbRange(delta_lo, delta_hi),
         "delta: need 0 < delta_lo <= delta_hi <= 1", errors, &valid);
   Check(patience >= 1, "patience: must be >= 1", errors, &valid);
@@ -309,6 +316,18 @@ std::vector<JobSpec> GenerateJobs(const WorkloadSpec& spec, Rng* rng) {
                         SizeMultiplier(spec.sizes, &job_rng);
     job.max_ps = spec.max_ps;
     job.max_workers = spec.max_workers;
+    // Communication architecture. The all-reduce flip draws after every
+    // existing attribute draw, and only when the fraction is nonzero, so
+    // PS-only workloads keep their historical RNG streams bit-for-bit.
+    job.comm = spec.comm;
+    if (job.comm == CommMode::kParameterServer &&
+        spec.allreduce_fraction > 0.0 &&
+        job_rng.Bernoulli(spec.allreduce_fraction)) {
+      job.comm = CommMode::kAllReduce;
+    }
+    if (job.comm == CommMode::kAllReduce) {
+      job.mode = TrainingMode::kSync;
+    }
     jobs.push_back(job);
   }
   return jobs;

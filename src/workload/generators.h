@@ -89,6 +89,16 @@ struct WorkloadSpec {
   ModelMixSpec models;
   // nullopt = each job flips a fair coin between sync and async (§6.1).
   std::optional<TrainingMode> forced_mode;
+  // Base communication architecture for every job. All-reduce jobs are always
+  // synchronous (the ring has no staleness notion), so comm = allreduce
+  // overrides the mode coin with kSync.
+  CommMode comm = CommMode::kParameterServer;
+  // When > 0, each PS-mode job independently flips to ring all-reduce with
+  // this probability (the mixed-fabric workloads of the network scenarios).
+  // The flip draws from the job's own attribute stream *after* all existing
+  // draws and only when the fraction is nonzero, so historical workloads'
+  // RNG streams are unperturbed.
+  double allreduce_fraction = 0.0;
   // Convergence-threshold range (§6.1: 1%..5%).
   double delta_lo = 0.01;
   double delta_hi = 0.05;

@@ -498,9 +498,9 @@ class ScenarioParser {
       return;
     }
     CheckKeys(obj, path,
-              {"jobs", "arrivals", "sizes", "models", "mode", "delta_lo",
-               "delta_hi", "patience", "worker_demand", "ps_demand", "max_ps",
-               "max_workers"});
+              {"jobs", "arrivals", "sizes", "models", "mode", "comm",
+               "allreduce_fraction", "delta_lo", "delta_hi", "patience",
+               "worker_demand", "ps_demand", "max_ps", "max_workers"});
     ReadIntField(obj, "jobs", path, &out->num_jobs);
     if (const JsonValue* v = obj.Find("arrivals")) {
       ParseArrivals(*v, &out->arrivals);
@@ -525,6 +525,27 @@ class ScenarioParser {
               "unknown mode \"" + mode + "\" (expected sync, async, mixed)");
       }
     }
+    if (const JsonValue* v = obj.Find("comm")) {
+      std::string comm;
+      ReadString(obj, "comm", path, &comm);
+      if (comm == "ps") {
+        out->comm = CommMode::kParameterServer;
+      } else if (comm == "allreduce") {
+        out->comm = CommMode::kAllReduce;
+      } else if (v->is_string()) {
+        Error(*v, path + ".comm",
+              "unknown comm architecture \"" + comm +
+                  "\" (expected ps, allreduce)");
+      }
+      // Ring all-reduce has no staleness notion: an async mode request
+      // contradicts it, and silently overriding would hide the typo.
+      if (out->comm == CommMode::kAllReduce && out->forced_mode.has_value() &&
+          *out->forced_mode == TrainingMode::kAsync) {
+        Error(*v, path + ".comm",
+              "allreduce jobs are always synchronous; remove mode: \"async\"");
+      }
+    }
+    ReadDouble(obj, "allreduce_fraction", path, &out->allreduce_fraction);
     ReadDouble(obj, "delta_lo", path, &out->delta_lo);
     ReadDouble(obj, "delta_hi", path, &out->delta_hi);
     ReadIntField(obj, "patience", path, &out->patience);
@@ -533,6 +554,14 @@ class ScenarioParser {
     }
     if (const JsonValue* v = obj.Find("ps_demand")) {
       ParseResources(*v, path + ".ps_demand", &out->ps_demand);
+      // All-reduce jobs run no PS tasks; a hand-written PS demand would be
+      // silently discarded by the scheduler, so reject the contradiction.
+      if (out->comm == CommMode::kAllReduce &&
+          !(out->ps_demand == Resources())) {
+        Error(*v, path + ".ps_demand",
+              "comm: \"allreduce\" jobs run no PS tasks; drop ps_demand or "
+              "set it to all zeros");
+      }
     }
     ReadIntField(obj, "max_ps", path, &out->max_ps);
     ReadIntField(obj, "max_workers", path, &out->max_workers);
@@ -609,6 +638,37 @@ class ScenarioParser {
     ReadDouble(obj, "checkpoint_period_s", path, &out->checkpoint_period_s);
   }
 
+  void ParseNetwork(const JsonValue& obj, NetworkConfig* out) {
+    const std::string path = "network";
+    if (!obj.is_object()) {
+      Error(obj, path,
+            std::string("expected an object, got ") + JsonTypeName(obj.type()));
+      return;
+    }
+    CheckKeys(obj, path, {"model", "nic_bps", "oversubscription"});
+    std::string model = NetworkModelName(out->model);
+    ReadString(obj, "model", path, &model);
+    if (!ParseNetworkModelName(model, &out->model)) {
+      Error(*obj.Find("model"), path + ".model",
+            "unknown network model \"" + model +
+                "\" (expected flat, topology, contention)");
+    }
+    ReadDouble(obj, "nic_bps", path, &out->nic_bps);
+    if (const JsonValue* v = obj.Find("nic_bps")) {
+      if (!(std::isfinite(out->nic_bps) && out->nic_bps > 0.0)) {
+        Error(*v, path + ".nic_bps", "must be a finite number > 0");
+      }
+    }
+    ReadDouble(obj, "oversubscription", path, &out->oversubscription);
+    if (const JsonValue* v = obj.Find("oversubscription")) {
+      if (!(std::isfinite(out->oversubscription) &&
+            out->oversubscription >= 1.0)) {
+        Error(*v, path + ".oversubscription",
+              "must be >= 1 (1 = non-blocking fabric)");
+      }
+    }
+  }
+
   void ParseKnobs(const JsonValue& obj, SimulatorConfig* out) {
     const std::string path = "knobs";
     if (!obj.is_object()) {
@@ -645,7 +705,8 @@ class ScenarioParser {
     }
     CheckKeys(root, "scenario",
               {"schema", "name", "description", "seed", "repeats", "policy",
-               "policies", "workload", "cluster", "faults", "knobs"});
+               "policies", "workload", "cluster", "network", "faults",
+               "knobs"});
     const JsonValue* schema = root.Find("schema");
     if (schema == nullptr) {
       Error(root, "schema", std::string("missing (expected \"") +
@@ -706,6 +767,9 @@ class ScenarioParser {
     }
     if (const JsonValue* v = root.Find("cluster")) {
       ParseCluster(*v, &spec->cluster);
+    }
+    if (const JsonValue* v = root.Find("network")) {
+      ParseNetwork(*v, &spec->sim.net);
     }
     // shards ranges over the cluster, which is only known now (knobs parse
     // first); diagnose against the actual server count, at the knob's

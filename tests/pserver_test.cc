@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <numeric>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -155,6 +156,67 @@ TEST(PaaAssignerTest, BalanceImprovesOrMatchesMxnetAcrossZoo) {
       (void)mx_requests;
     }
   }
+}
+
+TEST(JobPlacementTest, ForEachUsedHonorsDenseVectorsWithUsedServerIndex) {
+  // Dense vectors plus a used_servers index: iteration must follow the index
+  // (O(tasks)) yet read counts from the dense vectors.
+  JobPlacement placement;
+  placement.workers_per_server = {1, 0, 2, 0};
+  placement.ps_per_server = {0, 0, 1, 0};
+  placement.used_servers = {0, 2};
+  std::vector<std::tuple<size_t, int, int>> visited;
+  placement.ForEachUsed([&](size_t s, int w, int p) {
+    visited.emplace_back(s, w, p);
+  });
+  const std::vector<std::tuple<size_t, int, int>> expected = {{0, 1, 0},
+                                                              {2, 2, 1}};
+  EXPECT_EQ(visited, expected);
+  EXPECT_FALSE(placement.compact());
+  EXPECT_EQ(placement.TotalWorkers(), 3);
+  EXPECT_EQ(placement.TotalPs(), 1);
+}
+
+TEST(JobPlacementTest, ForEachUsedScansDenseVectorsWithoutIndex) {
+  // Hand-built placements (no used_servers) fall back to the dense scan and
+  // must skip servers with no tasks.
+  JobPlacement placement;
+  placement.workers_per_server = {0, 2, 0, 1};
+  placement.ps_per_server = {0, 0, 0, 1};
+  std::vector<size_t> servers;
+  placement.ForEachUsed([&](size_t s, int, int) { servers.push_back(s); });
+  EXPECT_EQ(servers, (std::vector<size_t>{1, 3}));
+}
+
+TEST(JobPlacementTest, CompactFormCountsAndIterates) {
+  // Structure-of-arrays form: no dense vectors at all; totals and iteration
+  // come from the parallel used_* arrays.
+  JobPlacement placement;
+  placement.used_servers = {3, 7};
+  placement.used_workers = {2, 1};
+  placement.used_ps = {0, 1};
+  EXPECT_TRUE(placement.compact());
+  EXPECT_FALSE(placement.empty());
+  EXPECT_EQ(placement.TotalWorkers(), 3);
+  EXPECT_EQ(placement.TotalPs(), 1);
+  std::vector<std::tuple<size_t, int, int>> visited;
+  placement.ForEachUsed([&](size_t s, int w, int p) {
+    visited.emplace_back(s, w, p);
+  });
+  const std::vector<std::tuple<size_t, int, int>> expected = {{3, 2, 0},
+                                                              {7, 1, 1}};
+  EXPECT_EQ(visited, expected);
+}
+
+TEST(JobPlacementTest, EmptyPlacementHasZeroTotals) {
+  const JobPlacement placement;
+  EXPECT_TRUE(placement.empty());
+  EXPECT_FALSE(placement.compact());
+  EXPECT_EQ(placement.TotalWorkers(), 0);
+  EXPECT_EQ(placement.TotalPs(), 0);
+  int visits = 0;
+  placement.ForEachUsed([&](size_t, int, int) { ++visits; });
+  EXPECT_EQ(visits, 0);
 }
 
 TEST(LoadMetricsTest, BalancedHelper) {

@@ -381,6 +381,88 @@ TEST(ScenarioTest, TypeMismatchesAreDiagnosed) {
   EXPECT_NE(error.find("non-integral"), std::string::npos) << error;
 }
 
+TEST(ScenarioTest, NetworkBlockParsesAndDefaultsToFlat) {
+  ScenarioSpec spec;
+  std::string error;
+  // No network block: the flat (exact-compat) model.
+  ASSERT_TRUE(ParseScenario(kValidScenario, "t", &spec, &error)) << error;
+  EXPECT_EQ(spec.sim.net.model, NetworkConfig::Model::kFlat);
+
+  ASSERT_TRUE(ParseScenario(
+      R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+          "network": {"model": "contention", "nic_bps": 125e6,
+                      "oversubscription": 4.0}})",
+      "t", &spec, &error))
+      << error;
+  EXPECT_EQ(spec.sim.net.model, NetworkConfig::Model::kContention);
+  EXPECT_DOUBLE_EQ(spec.sim.net.nic_bps, 125e6);
+  EXPECT_DOUBLE_EQ(spec.sim.net.oversubscription, 4.0);
+}
+
+TEST(ScenarioTest, NetworkBlockErrorsCarryPositions) {
+  const struct {
+    const char* json;
+    const char* needle;
+  } cases[] = {
+      {"{\n  \"schema\": \"scenario-v1\",\n  \"name\": \"x\",\n"
+       "  \"policy\": \"optimus\",\n"
+       "  \"network\": {\"oversubscription\": 0.5}\n}",
+       "net.json:5"},
+      {R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+           "network": {"oversubscription": 0.5}})",
+       "network.oversubscription: must be >= 1"},
+      {R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+           "network": {"model": "fat-tree"}})",
+       "unknown network model \"fat-tree\""},
+      {R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+           "network": {"oversub": 4.0}})",
+       "unknown key \"oversub\""},
+      {R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+           "network": {"nic_bps": -1}})",
+       "network.nic_bps: must be a finite number > 0"},
+  };
+  for (const auto& c : cases) {
+    ScenarioSpec spec;
+    std::string error;
+    EXPECT_FALSE(ParseScenario(c.json, "net.json", &spec, &error)) << c.json;
+    EXPECT_NE(error.find(c.needle), std::string::npos) << error;
+  }
+}
+
+TEST(ScenarioTest, CommArchitectureParsesAndValidates) {
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseScenario(
+      R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+          "workload": {"comm": "allreduce"}})",
+      "t", &spec, &error))
+      << error;
+  EXPECT_EQ(spec.workload.comm, CommMode::kAllReduce);
+
+  const struct {
+    const char* json;
+    const char* needle;
+  } cases[] = {
+      {R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+           "workload": {"comm": "ring"}})",
+       "unknown comm architecture \"ring\""},
+      {R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+           "workload": {"comm": "allreduce", "mode": "async"}})",
+       "allreduce jobs are always synchronous"},
+      {R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+           "workload": {"comm": "allreduce",
+                        "ps_demand": {"cpu": 4, "memory_gb": 8}}})",
+       "run no PS tasks"},
+      {R"({"schema": "scenario-v1", "name": "x", "policy": "optimus",
+           "workload": {"allreduce_fraction": 1.5}})",
+       "allreduce_fraction"},
+  };
+  for (const auto& c : cases) {
+    EXPECT_FALSE(ParseScenario(c.json, "t", &spec, &error)) << c.json;
+    EXPECT_NE(error.find(c.needle), std::string::npos) << error;
+  }
+}
+
 TEST(ScenarioTest, SeedRoundTripReplaysIdenticalJobs) {
   ScenarioSpec a;
   ScenarioSpec b;
@@ -426,13 +508,15 @@ TEST(ScenarioTest, MakeSimConfigAppliesPolicyPerCell) {
 
 TEST(SchedulerRegistryTest, EveryRegisteredPolicyConstructs) {
   const std::vector<std::string> names = SchedulerRegistry::Global().Names();
-  ASSERT_GE(names.size(), 5u);
-  // Canonical built-ins, in registration order.
+  ASSERT_GE(names.size(), 6u);
+  // Canonical built-ins, in registration order (the rack-aware Theorem-1
+  // variant registers right after the policy it refines).
   EXPECT_EQ(names[0], "optimus");
-  EXPECT_EQ(names[1], "drf");
-  EXPECT_EQ(names[2], "tetris");
-  EXPECT_EQ(names[3], "fifo");
-  EXPECT_EQ(names[4], "srtf");
+  EXPECT_EQ(names[1], "optimus_rack");
+  EXPECT_EQ(names[2], "drf");
+  EXPECT_EQ(names[3], "tetris");
+  EXPECT_EQ(names[4], "fifo");
+  EXPECT_EQ(names[5], "srtf");
   for (const std::string& name : names) {
     const SchedulerPolicyInfo* info = SchedulerRegistry::Global().Find(name);
     ASSERT_NE(info, nullptr) << name;

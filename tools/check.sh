@@ -46,6 +46,16 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
   --scenario="${repo_root}/scenarios/scale_smoke.json" \
   --json=BENCH_scale_smoke.json
 
+# Network smoke: fabric models + ring all-reduce (docs/NETWORK.md). Runs the
+# optimus vs optimus_rack comparison on the oversubscribed fabric and sweeps
+# (engine, shards, threads) cells over both committed network scenarios;
+# exits 3 on any cross-configuration divergence or if rack-aware placement
+# stops beating the baseline.
+"${build_dir}/bench/bench_net" --smoke \
+  --fabric_scenario="${repo_root}/scenarios/oversubscribed_fabric.json" \
+  --allreduce_scenario="${repo_root}/scenarios/allreduce_mix.json" \
+  --json=BENCH_net_smoke.json
+
 # Observability smoke: registry/flight recorder on vs off; exits nonzero
 # if observability perturbs the simulation or exports diverge across
 # thread counts.
@@ -67,6 +77,18 @@ grep -q '"format": "optimus-sweep-report-v1"' BENCH_scenarios_smoke.json || {
 for f in "${repo_root}"/scenarios/*.json "${repo_root}"/scenarios/smoke/*.json; do
   grep -q '"schema": "scenario-v1"' "${f}" || {
     echo "${f} is missing \"schema\": \"scenario-v1\"" >&2; exit 1;
+  }
+done
+
+# The committed network scenarios must carry a network block naming a model
+# the parser knows (docs/SCENARIOS.md, `network` key).
+for f in oversubscribed_fabric allreduce_mix; do
+  grep -q '"network"' "${repo_root}/scenarios/${f}.json" || {
+    echo "scenarios/${f}.json is missing its \"network\" block" >&2; exit 1;
+  }
+  grep -Eq '"model": "(flat|topology|contention)"' \
+    "${repo_root}/scenarios/${f}.json" || {
+    echo "scenarios/${f}.json has an unknown network model" >&2; exit 1;
   }
 done
 
