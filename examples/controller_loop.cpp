@@ -112,7 +112,8 @@ int main() {
         continue;
       }
       auto it = decision.allocations.find(job.spec.id);
-      if (it == decision.allocations.end() || !it->second.IsActive()) {
+      if (it == decision.allocations.end() ||
+          !ActiveAllocation(it->second, job.spec.comm)) {
         allocs[job.spec.id] = "paused";
         continue;
       }

@@ -28,6 +28,31 @@ int64_t JobSpec::StepsPerEpoch() const {
   return std::max<int64_t>(1, static_cast<int64_t>(examples / batch));
 }
 
+int JobSpec::BatchMin() const {
+  OPTIMUS_CHECK(model != nullptr);
+  return batch_min > 0 ? batch_min : model->min_global_batch;
+}
+
+int JobSpec::BatchMax() const {
+  OPTIMUS_CHECK(model != nullptr);
+  return batch_max > 0 ? batch_max : model->max_global_batch;
+}
+
+double JobSpec::CpuSensitivity() const {
+  OPTIMUS_CHECK(model != nullptr);
+  return cpu_sensitivity >= 0.0 ? cpu_sensitivity : model->cpu_sensitivity;
+}
+
+double JobSpec::MemSensitivity() const {
+  OPTIMUS_CHECK(model != nullptr);
+  return mem_sensitivity >= 0.0 ? mem_sensitivity : model->mem_sensitivity;
+}
+
+double JobSpec::GradNoiseScale() const {
+  OPTIMUS_CHECK(model != nullptr);
+  return model->grad_noise_scale;
+}
+
 const char* JobStateName(JobState state) {
   switch (state) {
     case JobState::kPending:

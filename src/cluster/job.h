@@ -52,10 +52,29 @@ struct JobSpec {
   // restarts its online convergence fitting.
   std::optional<LearningRateDrop> lr_drop;
 
+  // Admissible global-batch range for batch-adaptive policies (sync jobs
+  // only). 0 selects the model's advertised range; a job-level batch_min ==
+  // batch_max pins the batch (disables adaptivity).
+  int batch_min = 0;
+  int batch_max = 0;
+  // Per-job sensitivity overrides for resource-sensitive policies; negative
+  // (the default) selects the model's profile.
+  double cpu_sensitivity = -1.0;
+  double mem_sensitivity = -1.0;
+
   int GlobalBatch() const;
   int AsyncMinibatch() const;
   // Steps per epoch after dataset downscaling (>= 1).
   int64_t StepsPerEpoch() const;
+
+  // Resolved batch-adaptivity range / sensitivity profile (job override, else
+  // model default).
+  int BatchMin() const;
+  int BatchMax() const;
+  double CpuSensitivity() const;
+  double MemSensitivity() const;
+  // Gradient noise scale phi of the model's statistical-efficiency curve.
+  double GradNoiseScale() const;
 };
 
 enum class JobState {
@@ -105,6 +124,13 @@ class Job {
   // Returns true when this constitutes a scaling event.
   bool SetAllocation(int num_ps, int num_workers, JobPlacement placement);
 
+  // Scheduler-chosen global batch override (batch-adaptive policies). 0 =
+  // run at the configured spec batch. Epoch bookkeeping stays denominated in
+  // reference-batch steps; the override only changes the job's effective
+  // speed (see Simulator::TrueSpeed).
+  int batch_override() const { return batch_override_; }
+  void set_batch_override(int batch) { batch_override_ = batch; }
+
   // --- Checkpoint / rollback (fault tolerance, §5.4) -----------------------
   // Records the current progress (steps plus convergence bookkeeping) as the
   // latest durable checkpoint. Called on every scaling event (Optimus saves
@@ -149,6 +175,7 @@ class Job {
   int num_ps_ = 0;
   JobPlacement placement_;
   bool ever_allocated_ = false;
+  int batch_override_ = 0;
 
   double checkpoint_steps_ = 0.0;
   int64_t checkpoint_epochs_recorded_ = 0;

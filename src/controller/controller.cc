@@ -32,7 +32,8 @@ void OptimusController::ReportObservation(const JobObservation& observation) {
     job.convergence.AddSample(sample.step, sample.loss);
   }
   job.convergence.Fit();
-  if (observation.measured_speed > 0.0 && job.current.IsActive()) {
+  if (observation.measured_speed > 0.0 &&
+      ActiveAllocation(job.current, job.spec.comm)) {
     job.speed.AddSample(job.current.num_ps, job.current.num_workers,
                         observation.measured_speed);
     job.speed.Fit();
@@ -88,6 +89,7 @@ SchedJob OptimusController::MakeSchedJob(const ManagedJob& job) const {
   SchedJob sj;
   sj.job_id = job.spec.id;
   sj.mode = job.spec.mode;
+  sj.comm = job.spec.comm;
   sj.worker_demand = job.spec.worker_demand;
   sj.ps_demand = job.spec.ps_demand;
   sj.max_ps = job.spec.max_ps;
@@ -132,7 +134,7 @@ ScheduleDecision OptimusController::Schedule(const std::vector<Server>& servers)
   std::vector<const ManagedJob*> frozen;
   std::vector<const ManagedJob*> schedulable;
   for (const auto& [id, job] : jobs_) {
-    if (job.current.IsActive() &&
+    if (ActiveAllocation(job.current, job.spec.comm) &&
         !ScalingAllowed(job.rescalings, options_.checkpoint)) {
       frozen.push_back(&job);
       capacity -= job.spec.worker_demand * job.current.num_workers +
@@ -168,8 +170,8 @@ ScheduleDecision OptimusController::Schedule(const std::vector<Server>& servers)
     if (auto it = placed.effective_alloc.find(id); it != placed.effective_alloc.end()) {
       a = it->second;
     }
-    if (a.IsActive()) {
-      if (job.current.IsActive() && !(a == job.current)) {
+    if (ActiveAllocation(a, job.spec.comm)) {
+      if (ActiveAllocation(job.current, job.spec.comm) && !(a == job.current)) {
         ++job.rescalings;
       }
       job.current = a;

@@ -195,6 +195,46 @@ std::vector<ModelSpec> BuildZoo() {
                       .val_gap = 0.08, .max_accuracy = 0.88},
       /*num_param_blocks=*/86));
 
+  // Batch-adaptivity and resource-sensitivity profiles, consumed only by the
+  // policies that opt in (goodput reads the batch range + noise scale,
+  // synergy reads the sensitivities); every pre-existing policy ignores them,
+  // so adding them perturbs no fixed-batch trajectory. Batch ranges span
+  // [M0/2, 4*M0]; phi (gradient noise scale, in examples) is larger for the
+  // communication-heavy models that benefit from large batches; sensitivity
+  // slopes are flat for the small / embedding-dominated models whose step
+  // time is dominated by network transfer rather than local compute.
+  struct PolicyProfile {
+    const char* name;
+    int min_batch;
+    int max_batch;
+    double phi;
+    double cpu_sensitivity;
+    double mem_sensitivity;
+  };
+  constexpr PolicyProfile kProfiles[] = {
+      {"ResNext-110", 64, 512, 384.0, 0.9, 0.7},
+      {"ResNet-50", 64, 512, 512.0, 1.0, 0.9},
+      {"Inception-BN", 32, 256, 192.0, 0.9, 0.8},
+      {"KAGGLE", 32, 256, 128.0, 0.6, 0.5},
+      {"CNN-rand", 25, 200, 100.0, 0.5, 0.4},
+      {"DSSM", 128, 1024, 768.0, 0.5, 0.5},
+      {"RNN-LSTM-Dropout", 64, 512, 256.0, 0.8, 0.6},
+      {"Seq2Seq", 64, 512, 640.0, 0.8, 0.7},
+      {"DeepSpeech2", 16, 128, 96.0, 1.0, 1.0},
+  };
+  for (ModelSpec& spec : zoo) {
+    for (const PolicyProfile& profile : kProfiles) {
+      if (spec.name == profile.name) {
+        spec.min_global_batch = profile.min_batch;
+        spec.max_global_batch = profile.max_batch;
+        spec.grad_noise_scale = profile.phi;
+        spec.cpu_sensitivity = profile.cpu_sensitivity;
+        spec.mem_sensitivity = profile.mem_sensitivity;
+        break;
+      }
+    }
+  }
+
   return zoo;
 }
 

@@ -107,6 +107,23 @@ struct ModelSpec {
   int64_t dominant_block_params = 0;
   double bytes_per_param = 4.0;
 
+  // --- Batch-adaptivity surface (Pollux-style goodput policies) ----------
+  // Admissible global-batch range for synchronous training when a policy is
+  // allowed to co-adapt the batch with the allocation. 0/0 = the model does
+  // not advertise a range (the batch stays fixed at the configured value).
+  int min_global_batch = 0;
+  int max_global_batch = 0;
+  // Gradient-noise-scale parameter phi of the statistical-efficiency model
+  // E(b) = (phi + M0) / (phi + b), in examples. Larger phi = efficiency
+  // decays more slowly with batch size (large-batch friendly).
+  double grad_noise_scale = 0.0;
+
+  // --- Per-resource sensitivity profile (Synergy-style policies) ---------
+  // How strongly step time depends on the CPU / memory grant, in [0, 1]
+  // (1 = fully sensitive). Jobs may override per-job via JobSpec.
+  double cpu_sensitivity = 1.0;
+  double mem_sensitivity = 1.0;
+
   int64_t TotalParams() const { return static_cast<int64_t>(params_millions * 1e6); }
   int64_t ParamBytes() const {
     return static_cast<int64_t>(params_millions * 1e6 * bytes_per_param);

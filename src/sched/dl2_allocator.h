@@ -1,0 +1,102 @@
+// DL2-style learned allocation: a linear policy over per-job features.
+//
+// DL2 (Peng et al., '21) replaces the hand-built marginal-gain rule with a
+// policy learned offline from traces. This reproduction keeps the same
+// skeleton as Optimus's greedy — repeatedly grant one worker or parameter
+// server to the best candidate until nothing fits — but scores candidates
+// with a linear function over a fixed feature vector instead of Eqn 9:
+//
+//   score(job, kind) = w · x(job, kind)
+//
+//   x0  bias (1.0)
+//   x1  relative completion-time reduction  (t0 - t1) / (1 + t0)
+//   x2  marginal speed gain                 f(next) - f(cur)
+//   x3  packing cheapness                   1 / (eps + dominant share of the
+//                                           added task's demand)
+//   x4  SRTF urgency                        1 / (1 + Q)
+//   x5  small-allocation bonus              1 / (1 + p + w)
+//
+// The weights are trained offline by tools/optimus_train_policy: it samples
+// deterministic synthetic allocation states, computes Optimus's Eqn-9 gain
+// as the regression target, and fits non-negative weights with the repo's
+// NNLS solver (seeded, bit-reproducible). The defaults baked in below are
+// the tool's output with its default flags; see docs/POLICIES.md.
+//
+// Inference is a pure function of the round inputs — no RNG, no global
+// state — so the policy inherits the bitwise-determinism contract for any
+// thread count, engine, or shard count.
+
+#ifndef SRC_SCHED_DL2_ALLOCATOR_H_
+#define SRC_SCHED_DL2_ALLOCATOR_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/sched/optimus_allocator.h"
+#include "src/sched/scheduler.h"
+#include "src/sched/scheduler_registry.h"
+
+namespace optimus {
+
+inline constexpr size_t kDl2NumFeatures = 6;
+using Dl2Weights = std::array<double, kDl2NumFeatures>;
+
+// The committed weights: output of `optimus_train_policy` with default flags
+// (--seed=42 --states=4000).
+Dl2Weights DefaultDl2Weights();
+
+// Feature vector for granting one more task of the given kind to a job
+// currently at (p, w) with estimated speeds f0 (current) and f1 (after the
+// grant). Shared between the allocator and the training tool so the two can
+// never drift.
+std::array<double, kDl2NumFeatures> Dl2Features(double remaining_epochs,
+                                                double f0, double f1,
+                                                const Resources& unit_demand,
+                                                const Resources& capacity,
+                                                int num_ps, int num_workers);
+
+struct Dl2AllocatorOptions {
+  Dl2Weights weights = {};
+  // When non-null, accumulates per-round counters (pops = candidates scored,
+  // grants = tasks granted).
+  OptimusAllocRoundStats* stats = nullptr;
+};
+
+class Dl2Allocator : public Allocator {
+ public:
+  explicit Dl2Allocator(Dl2AllocatorOptions options);
+
+  using Allocator::Allocate;
+  AllocationMap Allocate(const std::vector<SchedJob>& jobs, const Resources& capacity,
+                         SpeedSurfaceSet* surfaces) const override;
+
+  const char* name() const override { return "dl2"; }
+
+ private:
+  Dl2AllocatorOptions options_;
+};
+
+// The stateful factory the registry holds for the "dl2" policy: it carries
+// the trained weights, so swapping in a retrained policy means registering a
+// new factory instance — no globals involved.
+class Dl2PolicyFactory : public PolicyFactory {
+ public:
+  explicit Dl2PolicyFactory(Dl2Weights weights) : weights_(weights) {}
+
+  std::unique_ptr<Allocator> Create(OptimusAllocRoundStats* stats) const override {
+    Dl2AllocatorOptions options;
+    options.weights = weights_;
+    options.stats = stats;
+    return std::make_unique<Dl2Allocator>(options);
+  }
+
+  const Dl2Weights& weights() const { return weights_; }
+
+ private:
+  Dl2Weights weights_;
+};
+
+}  // namespace optimus
+
+#endif  // SRC_SCHED_DL2_ALLOCATOR_H_

@@ -22,6 +22,13 @@ namespace optimus {
 // Estimated job-level training speed in epochs per second at (p, w).
 using SpeedEstimate = std::function<double(int num_ps, int num_workers)>;
 
+// Estimated *physical* training speed in epochs per second at (p, w) when the
+// job runs with the given global batch size, before any statistical-efficiency
+// discount. Batch-adaptive policies combine this with BatchProgressFactor to
+// rank (batch, p, w) points by effective progress.
+using BatchSpeedEstimate =
+    std::function<double(int num_ps, int num_workers, int global_batch)>;
+
 struct SchedJob {
   int job_id = 0;
   TrainingMode mode = TrainingMode::kSync;
@@ -45,12 +52,68 @@ struct SchedJob {
   // Multiplier on the job's marginal gain (§4.1 suggests 0.95 for jobs whose
   // predictions are still unreliable).
   double priority_factor = 1.0;
+
+  // --- Batch-size decision surface (Pollux-style policies) ---------------
+  // Reference global batch M0 the epoch bookkeeping is denominated in (the
+  // job's configured batch). 0 when not applicable (async jobs).
+  int batch_ref = 0;
+  // Admissible global-batch range for batch-adaptive policies. A job is
+  // batch-adaptive only when batch_min < batch_max and batch_speed is set;
+  // otherwise the batch dimension is fixed at batch_ref.
+  int batch_min = 0;
+  int batch_max = 0;
+  // Gradient-noise-scale parameter phi of the statistical-efficiency model
+  // E(b) = (phi + M0) / (phi + b), derived from the convergence model. Larger
+  // phi means the job tolerates larger batches before efficiency decays.
+  double grad_noise_scale = 0.0;
+  // Physical steps-per-second estimate as a function of (p, w, batch); null
+  // when the speed model cannot vary the batch dimension.
+  BatchSpeedEstimate batch_speed;
+
+  // --- Per-resource sensitivity profile (Synergy-style policies) ---------
+  // How strongly the job's speed depends on its CPU / memory grant, in
+  // [0, 1]. 1.0 = fully sensitive (provision the full demand); 0.0 = flat
+  // slope (the job barely notices under-provisioning). Policies that ignore
+  // the profile treat every job as fully sensitive.
+  double cpu_sensitivity = 1.0;
+  double mem_sensitivity = 1.0;
 };
+
+// Statistical efficiency E(b) of training at global batch b relative to the
+// reference batch ref_b, under the gradient-noise-scale model
+// E(b) = (phi + ref_b) / (phi + b). E(ref_b) == 1 exactly.
+inline double StatisticalEfficiency(double grad_noise_scale, double ref_batch,
+                                    double batch) {
+  if (ref_batch <= 0.0 || batch <= 0.0) {
+    return 1.0;
+  }
+  return (grad_noise_scale + ref_batch) / (grad_noise_scale + batch);
+}
+
+// Converts physical steps/s at batch b into reference-batch steps/s:
+// one step at batch b makes b * E(b) / ref_b reference steps of progress.
+// Equals 1 exactly at b == ref_b, saturates at (phi + ref_b) / ref_b as
+// b grows — so goodput peaks at a finite batch once step time grows with b.
+inline double BatchProgressFactor(double grad_noise_scale, double ref_batch,
+                                  double batch) {
+  if (ref_batch <= 0.0 || batch <= 0.0) {
+    return 1.0;
+  }
+  return (batch * (grad_noise_scale + ref_batch)) /
+         (ref_batch * (grad_noise_scale + batch));
+}
 
 struct Allocation {
   int num_ps = 0;
   int num_workers = 0;
+  // Advisory global batch chosen by a batch-adaptive policy; 0 (the default)
+  // keeps the job's configured batch. Deliberately excluded from operator==:
+  // identity is (p, w) only, so a batch-only adjustment never looks like a
+  // scaling event (no checkpoint stall, no trace record).
+  int global_batch = 0;
 
+  // Prefer ActiveAllocation(alloc, comm) at call sites: this PS-shaped check
+  // mis-classifies all-reduce allocations, which never have parameter servers.
   bool IsActive() const { return num_ps > 0 && num_workers > 0; }
   bool operator==(const Allocation& other) const {
     return num_ps == other.num_ps && num_workers == other.num_workers;

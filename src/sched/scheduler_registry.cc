@@ -1,6 +1,9 @@
 #include "src/sched/scheduler_registry.h"
 
 #include "src/sched/baseline_allocators.h"
+#include "src/sched/dl2_allocator.h"
+#include "src/sched/goodput_allocator.h"
+#include "src/sched/synergy_allocator.h"
 
 namespace optimus {
 
@@ -14,11 +17,25 @@ const char* AllocatorPolicyName(AllocatorPolicy policy) {
       return "tetris";
     case AllocatorPolicy::kFifo:
       return "fifo";
+    case AllocatorPolicy::kGoodput:
+      return "goodput";
+    case AllocatorPolicy::kSynergy:
+      return "synergy";
+    case AllocatorPolicy::kLearned:
+      return "dl2";
   }
   return "unknown";
 }
 
 namespace {
+
+PolicyTraits OptimusTraits() {
+  PolicyTraits traits;
+  traits.use_paa = true;
+  traits.straggler_handling = true;
+  traits.young_job_priority_factor = 0.95;
+  return traits;
+}
 
 void RegisterBuiltins(SchedulerRegistry* registry) {
   {
@@ -30,14 +47,12 @@ void RegisterBuiltins(SchedulerRegistry* registry) {
         "straggler handling, 0.95 young-job damping";
     info.allocator_family = AllocatorPolicy::kOptimus;
     info.placement = PlacementPolicy::kOptimusPack;
-    info.use_paa = true;
-    info.straggler_handling = true;
-    info.young_job_priority_factor = 0.95;
-    info.factory = [](OptimusAllocRoundStats* stats) -> std::unique_ptr<Allocator> {
+    info.traits = OptimusTraits();
+    info.SetFactory([](OptimusAllocRoundStats* stats) -> std::unique_ptr<Allocator> {
       OptimusAllocatorOptions options;
       options.stats = stats;  // greedy-round counters for the metrics registry
       return std::make_unique<OptimusAllocator>(options);
-    };
+    });
     registry->Register(std::move(info));
   }
   {
@@ -50,14 +65,12 @@ void RegisterBuiltins(SchedulerRegistry* registry) {
         "avoids oversubscribed uplinks";
     info.allocator_family = AllocatorPolicy::kOptimus;
     info.placement = PlacementPolicy::kRackPack;
-    info.use_paa = true;
-    info.straggler_handling = true;
-    info.young_job_priority_factor = 0.95;
-    info.factory = [](OptimusAllocRoundStats* stats) -> std::unique_ptr<Allocator> {
+    info.traits = OptimusTraits();
+    info.SetFactory([](OptimusAllocRoundStats* stats) -> std::unique_ptr<Allocator> {
       OptimusAllocatorOptions options;
       options.stats = stats;
       return std::make_unique<OptimusAllocator>(options);
-    };
+    });
     registry->Register(std::move(info));
   }
   {
@@ -69,9 +82,9 @@ void RegisterBuiltins(SchedulerRegistry* registry) {
         "load-balanced placement, stock MXNet block assignment";
     info.allocator_family = AllocatorPolicy::kDrf;
     info.placement = PlacementPolicy::kLoadBalance;
-    info.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+    info.SetFactory([](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
       return std::make_unique<DrfAllocator>();
-    };
+    });
     registry->Register(std::move(info));
   }
   {
@@ -82,9 +95,9 @@ void RegisterBuiltins(SchedulerRegistry* registry) {
         "Tetris-like: SRTF + packing-friendliness score, best-fit placement";
     info.allocator_family = AllocatorPolicy::kTetris;
     info.placement = PlacementPolicy::kTetrisPack;
-    info.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+    info.SetFactory([](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
       return std::make_unique<TetrisAllocator>();
-    };
+    });
     registry->Register(std::move(info));
   }
   {
@@ -96,9 +109,9 @@ void RegisterBuiltins(SchedulerRegistry* registry) {
         "next (Sec 2.3's head-of-line baseline), load-balanced placement";
     info.allocator_family = AllocatorPolicy::kFifo;
     info.placement = PlacementPolicy::kLoadBalance;
-    info.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+    info.SetFactory([](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
       return std::make_unique<FifoAllocator>();
-    };
+    });
     registry->Register(std::move(info));
   }
   {
@@ -110,11 +123,66 @@ void RegisterBuiltins(SchedulerRegistry* registry) {
         "term zeroed), load-balanced placement";
     info.allocator_family = AllocatorPolicy::kTetris;
     info.placement = PlacementPolicy::kLoadBalance;
-    info.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+    info.SetFactory([](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
       TetrisAllocatorOptions options;
       options.srtf_weight = 1.0;
       return std::make_unique<TetrisAllocator>(options);
-    };
+    });
+    registry->Register(std::move(info));
+  }
+  {
+    SchedulerPolicyInfo info;
+    info.name = "goodput";
+    info.display_name = "Goodput";
+    info.description =
+        "Pollux-style goodput ascent: co-adapts global batch with (p, w) "
+        "using the statistical-efficiency model, Optimus greedy over the "
+        "composite surfaces (docs/POLICIES.md)";
+    info.allocator_family = AllocatorPolicy::kGoodput;
+    info.placement = PlacementPolicy::kOptimusPack;
+    info.traits = OptimusTraits();
+    info.traits.adapts_batch = true;
+    info.SetFactory([](OptimusAllocRoundStats* stats) -> std::unique_ptr<Allocator> {
+      GoodputAllocatorOptions options;
+      options.stats = stats;
+      return std::make_unique<GoodputAllocator>(options);
+    });
+    registry->Register(std::move(info));
+  }
+  {
+    SchedulerPolicyInfo info;
+    info.name = "synergy";
+    info.display_name = "Synergy";
+    info.description =
+        "Synergy-style resource-sensitive packing: CPU/mem demands are "
+        "deflated where the job's sensitivity slope is flat, Optimus greedy "
+        "on the deflated vectors (docs/POLICIES.md)";
+    info.allocator_family = AllocatorPolicy::kSynergy;
+    info.placement = PlacementPolicy::kOptimusPack;
+    info.traits = OptimusTraits();
+    info.traits.uses_sensitivity = true;
+    info.SetFactory([](OptimusAllocRoundStats* stats) -> std::unique_ptr<Allocator> {
+      SynergyAllocatorOptions options;
+      options.stats = stats;
+      return std::make_unique<SynergyAllocator>(options);
+    });
+    registry->Register(std::move(info));
+  }
+  {
+    SchedulerPolicyInfo info;
+    info.name = "dl2";
+    info.display_name = "DL2";
+    info.description =
+        "DL2-style learned policy: linear scorer over per-job features, "
+        "weights trained offline by tools/optimus_train_policy "
+        "(docs/POLICIES.md)";
+    info.allocator_family = AllocatorPolicy::kLearned;
+    info.placement = PlacementPolicy::kOptimusPack;
+    info.traits = OptimusTraits();
+    // The learned scorer replaces Eqn 9 outright; the young-job damping is an
+    // Eqn-9 input, so it does not apply here.
+    info.traits.young_job_priority_factor = 1.0;
+    info.factory = std::make_shared<Dl2PolicyFactory>(DefaultDl2Weights());
     registry->Register(std::move(info));
   }
 }
@@ -130,9 +198,32 @@ SchedulerRegistry& SchedulerRegistry::Global() {
   return *registry;
 }
 
-bool SchedulerRegistry::Register(SchedulerPolicyInfo info) {
-  if (info.name.empty() || info.factory == nullptr || Find(info.name) != nullptr) {
+bool SchedulerRegistry::Register(SchedulerPolicyInfo info, std::string* error) {
+  const auto reject = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "policy '" + info.name + "': " + message;
+    }
     return false;
+  };
+  if (info.name.empty()) {
+    return reject("name must be non-empty");
+  }
+  if (info.factory == nullptr) {
+    return reject("factory must be non-null");
+  }
+  if (Find(info.name) != nullptr) {
+    return reject("name is already registered");
+  }
+  if (info.traits.use_paa && info.placement != PlacementPolicy::kOptimusPack &&
+      info.placement != PlacementPolicy::kRackPack) {
+    return reject(
+        "traits.use_paa requires a packed placement (optimus_pack or "
+        "rack_pack); got placement '" +
+        std::string(PlacementPolicyName(info.placement)) + "'");
+  }
+  if (!(info.traits.young_job_priority_factor > 0.0) ||
+      info.traits.young_job_priority_factor > 1.0) {
+    return reject("traits.young_job_priority_factor must lie in (0, 1]");
   }
   if (info.display_name.empty()) {
     info.display_name = info.name;
@@ -165,7 +256,7 @@ std::unique_ptr<Allocator> SchedulerRegistry::Create(
   if (info == nullptr) {
     return nullptr;
   }
-  return info->factory(stats);
+  return info->factory->Create(stats);
 }
 
 std::string SchedulerRegistry::UnknownPolicyMessage(const std::string& name) const {

@@ -77,12 +77,14 @@ bool ApplySchedulerPolicy(const std::string& policy, SimulatorConfig* config,
     }
     return false;
   }
+  // The ONE place a policy's traits land on a SimulatorConfig; nothing else
+  // copies the toggles field by field.
   config->policy = info->name;
   config->allocator = info->allocator_family;
   config->placement = info->placement;
-  config->use_paa = info->use_paa;
-  config->straggler.handling_enabled = info->straggler_handling;
-  config->young_job_priority_factor = info->young_job_priority_factor;
+  config->use_paa = info->traits.use_paa;
+  config->straggler.handling_enabled = info->traits.straggler_handling;
+  config->young_job_priority_factor = info->traits.young_job_priority_factor;
   return true;
 }
 

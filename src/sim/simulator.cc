@@ -760,6 +760,42 @@ SchedJob Simulator::MakeSchedJob(JobRuntime* jr) const {
     };
   }
 
+  // Batch-adaptivity surface (sync jobs only): the admissible range, the
+  // statistical-efficiency parameter, and a batch-capable physical speed
+  // estimate. batch_speed scales the policy-facing estimate by the analytic
+  // step-time ratio T(M0)/T(b) — a pure function of the model profile, so it
+  // adds no RNG draws and is identical across threads/shards. Policies that
+  // ignore the batch dimension never call it.
+  if (spec.mode == TrainingMode::kSync) {
+    sj.batch_ref = spec.GlobalBatch();
+    sj.batch_min = spec.BatchMin();
+    sj.batch_max = spec.BatchMax();
+    sj.grad_noise_scale = spec.GradNoiseScale();
+    if (sj.batch_min > 0 && sj.batch_max > sj.batch_min) {
+      const SpeedEstimate base = sj.speed;
+      const CommConfig comm = config_.comm;
+      const int ref_batch = sj.batch_ref;
+      sj.batch_speed = [base, spec, comm, ref_batch](int p, int w, int b) {
+        StepTimeInputs in;
+        in.model = spec.model;
+        in.mode = spec.mode;
+        in.comm = spec.comm;
+        in.num_ps = p;
+        in.num_workers = w;
+        in.async_minibatch = spec.AsyncMinibatch();
+        in.global_batch = ref_batch;
+        const double ref_speed = TrainingSpeed(in, comm);
+        in.global_batch = b;
+        const double b_speed = TrainingSpeed(in, comm);
+        const double ratio = ref_speed > 0.0 ? b_speed / ref_speed : 1.0;
+        return base(p, w) * ratio;
+      };
+    }
+  }
+  // Sensitivity profile for resource-sensitive policies.
+  sj.cpu_sensitivity = spec.CpuSensitivity();
+  sj.mem_sensitivity = spec.MemSensitivity();
+
   const double progress =
       jr->true_total_epochs > 0.0 ? jr->job.EpochsDone() / jr->true_total_epochs : 0.0;
   if (progress < config_.young_job_progress_cutoff) {
@@ -814,12 +850,26 @@ double Simulator::TrueSpeed(const JobRuntime& jr) const {
   in.num_workers = jr.job.num_workers();
   in.global_batch = spec.GlobalBatch();
   in.async_minibatch = spec.AsyncMinibatch();
+  // A scheduler-chosen batch override (batch-adaptive policies, sync jobs)
+  // changes the physical step time AND discounts progress by the statistical
+  // efficiency of the larger batch. When unset — every pre-existing policy —
+  // this path is bitwise identical to the historical one.
+  const int batch_override =
+      spec.mode == TrainingMode::kSync ? jr.job.batch_override() : 0;
+  if (batch_override > 0) {
+    in.global_batch = batch_override;
+  }
   in.load = jr.load;
   in.load_valid = jr.load_valid;
   in.placement_ref = &jr.job.placement();  // borrow; avoids 2 vector copies
   in.slowest_worker_factor = jr.job.slowest_worker_factor();
   in.net_bw_bps = jr.net_bw_bps;  // 0 under the flat model (Eqn-2 constant)
-  return TrainingSpeed(in, config_.comm);
+  double speed = TrainingSpeed(in, config_.comm);
+  if (batch_override > 0) {
+    speed *= BatchProgressFactor(spec.GradNoiseScale(), spec.GlobalBatch(),
+                                 batch_override);
+  }
+  return speed;
 }
 
 bool Simulator::RefreshNetwork() {
@@ -1273,6 +1323,18 @@ void Simulator::ScheduleActiveJobs() {
     OPTIMUS_CHECK(ait == placed.effective_alloc.end());
   }
 
+  // Batch decisions ride on the allocator's own output (placement may
+  // rebuild Allocation structs and is not required to preserve the advisory
+  // global_batch). -1 = not schedulable this round: frozen jobs keep their
+  // current override.
+  std::vector<int> batch_by_index(jobs_.size(), -1);
+  for (JobRuntime* jr : schedulable) {
+    const auto idx = job_index_.find(jr->job.id());
+    OPTIMUS_CHECK(idx != job_index_.end());
+    const auto it = alloc.find(jr->job.id());
+    batch_by_index[idx->second] = it != alloc.end() ? it->second.global_batch : 0;
+  }
+
   // Apply decisions.
   for (size_t job_idx = 0; job_idx < jobs_.size(); ++job_idx) {
     auto& jr = jobs_[job_idx];
@@ -1302,6 +1364,13 @@ void Simulator::ScheduleActiveJobs() {
       // `placed` is dead after this loop, so the placement's server vectors
       // can move into the job instead of being copied.
       scaled = jr->job.SetAllocation(a.num_ps, a.num_workers, std::move(*placement));
+      if (batch_by_index[job_idx] >= 0) {
+        // 0 resets to the configured batch (non-adaptive policies and
+        // non-adaptive jobs); >0 is a batch-adaptive policy's choice. A
+        // batch-only change is not a scaling event: same (p, w), no
+        // checkpoint stall — the framework just feeds larger mini-batches.
+        jr->job.set_batch_override(batch_by_index[job_idx]);
+      }
       auditor_.SetPlacement(id, jr->job.spec().worker_demand,
                             jr->job.spec().ps_demand, jr->job.placement());
       jr->job.set_state(JobState::kRunning);
@@ -1321,6 +1390,7 @@ void Simulator::ScheduleActiveJobs() {
     } else {
       HarvestPlacement(&jr->job);
       jr->job.SetAllocation(0, 0, {});
+      jr->job.set_batch_override(0);
       auditor_.ClearPlacement(id);
       jr->job.set_state(jr->job.steps_done() > 0 ? JobState::kPaused
                                                  : JobState::kPending);
@@ -1454,7 +1524,38 @@ void Simulator::AdvanceJob(JobRuntime* jr, AdvanceOutcome* out) {
     // estimates are read from; the job itself runs zero PS tasks).
     const int sample_ps =
         spec.comm == CommMode::kAllReduce ? 1 : job.num_ps();
-    jr->speed->AddSample(sample_ps, job.num_workers(), speed);
+    // The fitted surface stays denominated at the configured (reference)
+    // batch: under a scheduler batch override the measured speed is converted
+    // back through the same analytic step-time ratio and efficiency factor
+    // TrueSpeed applied, so batch-adaptive rounds never contaminate the
+    // reference surface that batch_speed() scales from.
+    double sample_speed = speed;
+    const int measure_override =
+        spec.mode == TrainingMode::kSync ? job.batch_override() : 0;
+    if (measure_override > 0) {
+      StepTimeInputs min;
+      min.model = spec.model;
+      min.mode = spec.mode;
+      min.comm = spec.comm;
+      min.num_ps = job.num_ps();
+      min.num_workers = job.num_workers();
+      min.async_minibatch = spec.AsyncMinibatch();
+      min.load = jr->load;
+      min.load_valid = jr->load_valid;
+      min.placement_ref = &job.placement();
+      min.slowest_worker_factor = job.slowest_worker_factor();
+      min.net_bw_bps = jr->net_bw_bps;
+      min.global_batch = measure_override;
+      const double s_b = TrainingSpeed(min, config_.comm);
+      min.global_batch = spec.GlobalBatch();
+      const double s_ref = TrainingSpeed(min, config_.comm);
+      if (s_b > 0.0 && s_ref > 0.0) {
+        sample_speed = speed * (s_ref / s_b) /
+                       BatchProgressFactor(spec.GradNoiseScale(),
+                                           spec.GlobalBatch(), measure_override);
+      }
+    }
+    jr->speed->AddSample(sample_ps, job.num_workers(), sample_speed);
     jr->speed->Fit();
   }
 
@@ -1466,7 +1567,10 @@ void Simulator::AdvanceJob(JobRuntime* jr, AdvanceOutcome* out) {
   in.comm = spec.comm;
   in.num_ps = job.num_ps();
   in.num_workers = job.num_workers();
-  in.global_batch = spec.GlobalBatch();
+  const int util_batch_override =
+      spec.mode == TrainingMode::kSync ? job.batch_override() : 0;
+  in.global_batch =
+      util_batch_override > 0 ? util_batch_override : spec.GlobalBatch();
   in.async_minibatch = spec.AsyncMinibatch();
   in.load = jr->load;
   in.load_valid = jr->load_valid;

@@ -394,7 +394,9 @@ void Simulator::RebuildSegments() {
     in.comm = spec.comm;
     in.num_ps = job.num_ps();
     in.num_workers = job.num_workers();
-    in.global_batch = spec.GlobalBatch();
+    const int batch_override =
+        spec.mode == TrainingMode::kSync ? job.batch_override() : 0;
+    in.global_batch = batch_override > 0 ? batch_override : spec.GlobalBatch();
     in.async_minibatch = spec.AsyncMinibatch();
     in.load = jr->load;
     in.load_valid = jr->load_valid;

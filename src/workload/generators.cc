@@ -120,6 +120,18 @@ bool WorkloadSpec::Validate(std::vector<std::string>* errors) const {
   Check(patience >= 1, "patience: must be >= 1", errors, &valid);
   Check(max_ps >= 1, "max_ps: must be >= 1", errors, &valid);
   Check(max_workers >= 1, "max_workers: must be >= 1", errors, &valid);
+  Check(batch_min >= 0, "batch_min: must be >= 0", errors, &valid);
+  Check(batch_max >= 0, "batch_max: must be >= 0", errors, &valid);
+  Check(batch_min == 0 || batch_max == 0 || batch_min <= batch_max,
+        "batch_min: must be <= batch_max when both are set", errors, &valid);
+  Check(cpu_sensitivity < 0.0 ||
+            (std::isfinite(cpu_sensitivity) && cpu_sensitivity <= 1.0),
+        "cpu_sensitivity: must be in [0, 1] (or negative for model default)",
+        errors, &valid);
+  Check(mem_sensitivity < 0.0 ||
+            (std::isfinite(mem_sensitivity) && mem_sensitivity <= 1.0),
+        "mem_sensitivity: must be in [0, 1] (or negative for model default)",
+        errors, &valid);
   for (const std::string& name : models.names) {
     bool found = false;
     for (const ModelSpec& m : GetModelZoo()) {
@@ -328,6 +340,12 @@ std::vector<JobSpec> GenerateJobs(const WorkloadSpec& spec, Rng* rng) {
     if (job.comm == CommMode::kAllReduce) {
       job.mode = TrainingMode::kSync;
     }
+    // Batch bounds / sensitivity overrides copy straight from the spec (no
+    // RNG draws): historical workloads' attribute streams stay bit-for-bit.
+    job.batch_min = spec.batch_min;
+    job.batch_max = spec.batch_max;
+    job.cpu_sensitivity = spec.cpu_sensitivity;
+    job.mem_sensitivity = spec.mem_sensitivity;
     jobs.push_back(job);
   }
   return jobs;

@@ -108,6 +108,17 @@ struct WorkloadSpec {
   int max_ps = 16;
   int max_workers = 16;
 
+  // Per-job batch-adaptivity bounds for batch-aware policies (0 = model
+  // default; batch_min == batch_max pins the batch). Copied verbatim into
+  // every JobSpec — no RNG draws, so setting them never perturbs the job
+  // attribute streams.
+  int batch_min = 0;
+  int batch_max = 0;
+  // Per-job sensitivity overrides for resource-sensitive policies; negative
+  // (default) = model profile.
+  double cpu_sensitivity = -1.0;
+  double mem_sensitivity = -1.0;
+
   // Structural validation ("field: problem" messages, workload.-prefixed by
   // the scenario loader). Checks ranges and that every model name exists.
   bool Validate(std::vector<std::string>* errors) const;

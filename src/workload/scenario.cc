@@ -500,7 +500,9 @@ class ScenarioParser {
     CheckKeys(obj, path,
               {"jobs", "arrivals", "sizes", "models", "mode", "comm",
                "allreduce_fraction", "delta_lo", "delta_hi", "patience",
-               "worker_demand", "ps_demand", "max_ps", "max_workers"});
+               "worker_demand", "ps_demand", "max_ps", "max_workers",
+               "batch_min", "batch_max", "cpu_sensitivity",
+               "mem_sensitivity"});
     ReadIntField(obj, "jobs", path, &out->num_jobs);
     if (const JsonValue* v = obj.Find("arrivals")) {
       ParseArrivals(*v, &out->arrivals);
@@ -565,6 +567,12 @@ class ScenarioParser {
     }
     ReadIntField(obj, "max_ps", path, &out->max_ps);
     ReadIntField(obj, "max_workers", path, &out->max_workers);
+    // Batch-adaptivity bounds and sensitivity profile overrides (policies
+    // that ignore the batch / sensitivity dimensions never read them).
+    ReadIntField(obj, "batch_min", path, &out->batch_min);
+    ReadIntField(obj, "batch_max", path, &out->batch_max);
+    ReadDouble(obj, "cpu_sensitivity", path, &out->cpu_sensitivity);
+    ReadDouble(obj, "mem_sensitivity", path, &out->mem_sensitivity);
   }
 
   void ParseCluster(const JsonValue& obj, ClusterSpec* out) {

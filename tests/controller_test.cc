@@ -69,9 +69,9 @@ TEST(ControllerTest, RegisterScheduleLifecycle) {
 
   ScheduleDecision decision = controller.Schedule(BuildTestbed());
   ASSERT_TRUE(decision.allocations.count(0));
-  EXPECT_TRUE(decision.allocations[0].IsActive());
+  EXPECT_TRUE(ActiveAllocation(decision.allocations[0], spec.comm));
   EXPECT_TRUE(decision.placements.count(0));
-  EXPECT_TRUE(controller.CurrentAllocation(0).IsActive());
+  EXPECT_TRUE(ActiveAllocation(controller.CurrentAllocation(0), spec.comm));
 
   controller.CompleteJob(0);
   EXPECT_FALSE(controller.HasJob(0));
@@ -132,7 +132,7 @@ TEST(ControllerTest, MultipleJobsShareCluster) {
   // Every job gets resources; total tasks fit in the 60-slot testbed.
   int total_tasks = 0;
   for (const auto& [id, alloc] : decision.allocations) {
-    EXPECT_TRUE(alloc.IsActive());
+    EXPECT_TRUE(ActiveAllocation(alloc, specs[static_cast<size_t>(id)].comm));
     total_tasks += alloc.num_ps + alloc.num_workers;
   }
   EXPECT_EQ(decision.allocations.size(), 3u);
@@ -149,7 +149,7 @@ TEST(ControllerTest, CheckpointBudgetFreezesAllocation) {
 
   controller.Schedule(BuildTestbed());
   const Allocation first = controller.CurrentAllocation(0);
-  ASSERT_TRUE(first.IsActive());
+  ASSERT_TRUE(ActiveAllocation(first, spec.comm));
 
   // Force estimate changes that would normally trigger rescaling.
   Observe(&controller, spec, 10, 11);

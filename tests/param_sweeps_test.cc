@@ -285,7 +285,8 @@ TEST_P(AllocatorSweep, ZeroCapacityYieldsNothingActive) {
   auto allocator = Make(GetParam());
   const AllocationMap result = allocator->Allocate(Jobs(3), Resources());
   for (const auto& [id, alloc] : result) {
-    EXPECT_FALSE(alloc.IsActive()) << "job " << id;
+    EXPECT_FALSE(ActiveAllocation(alloc, CommMode::kParameterServer))
+        << "job " << id;
   }
 }
 

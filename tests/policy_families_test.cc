@@ -1,0 +1,511 @@
+// Policy-family tests: the batch decision surface, the sensitivity
+// observation surface, the three non-Optimus policy families (goodput /
+// synergy / dl2), and the registry's trait validation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sched/dl2_allocator.h"
+#include "src/sched/goodput_allocator.h"
+#include "src/sched/optimus_allocator.h"
+#include "src/sched/scheduler_registry.h"
+#include "src/sched/synergy_allocator.h"
+#include "src/sim/simulator.h"
+#include "src/workload/scenario.h"
+
+namespace optimus {
+namespace {
+
+std::string ScenarioPath(const std::string& name) {
+  return std::string(OPTIMUS_SOURCE_DIR) + "/scenarios/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Batch math (scheduler.h)
+// ---------------------------------------------------------------------------
+
+TEST(BatchMathTest, StatisticalEfficiencyIsOneAtReferenceAndDecays) {
+  const double phi = 500.0;
+  EXPECT_DOUBLE_EQ(StatisticalEfficiency(phi, 256.0, 256.0), 1.0);
+  EXPECT_GT(StatisticalEfficiency(phi, 256.0, 64.0), 1.0);
+  EXPECT_LT(StatisticalEfficiency(phi, 256.0, 1024.0), 1.0);
+  // Monotone decreasing in b.
+  double prev = StatisticalEfficiency(phi, 256.0, 32.0);
+  for (double b = 64.0; b <= 4096.0; b *= 2.0) {
+    const double e = StatisticalEfficiency(phi, 256.0, b);
+    EXPECT_LT(e, prev) << "b=" << b;
+    prev = e;
+  }
+  // Degenerate inputs fall back to 1.0 (no discount).
+  EXPECT_DOUBLE_EQ(StatisticalEfficiency(phi, 0.0, 512.0), 1.0);
+  EXPECT_DOUBLE_EQ(StatisticalEfficiency(phi, 256.0, 0.0), 1.0);
+}
+
+TEST(BatchMathTest, BatchProgressFactorIsExactlyOneAtReference) {
+  for (const double phi : {0.0, 1.0, 250.0, 5000.0}) {
+    for (const double ref : {32.0, 256.0, 1024.0}) {
+      EXPECT_DOUBLE_EQ(BatchProgressFactor(phi, ref, ref), 1.0)
+          << "phi=" << phi << " ref=" << ref;
+    }
+  }
+}
+
+TEST(BatchMathTest, BatchProgressFactorSaturatesAtNoiseScaleBound) {
+  const double phi = 1000.0, ref = 256.0;
+  const double bound = (phi + ref) / ref;
+  double prev = BatchProgressFactor(phi, ref, 256.0);
+  for (double b = 512.0; b <= 1 << 20; b *= 2.0) {
+    const double f = BatchProgressFactor(phi, ref, b);
+    EXPECT_GT(f, prev);
+    EXPECT_LT(f, bound);
+    prev = f;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Goodput allocator
+// ---------------------------------------------------------------------------
+
+SpeedEstimate ConcaveSpeed(double scale) {
+  return [scale](int p, int w) {
+    return scale * (1.0 - 1.0 / (1.0 + p)) * (1.0 - 1.0 / (1.0 + w));
+  };
+}
+
+SchedJob FixedBatchJob(int id) {
+  SchedJob job;
+  job.job_id = id;
+  job.worker_demand = Resources(2.5, 10, 0, 0.15);
+  job.ps_demand = Resources(2.5, 10, 0, 0.15);
+  job.max_ps = 8;
+  job.max_workers = 8;
+  job.remaining_epochs = 4.0 + id;
+  job.speed = ConcaveSpeed(1.0 + (id % 3));
+  return job;
+}
+
+TEST(GoodputAllocatorTest, BatchRungsLadderIsSortedAndBounded) {
+  SchedJob job = FixedBatchJob(0);
+  EXPECT_TRUE(GoodputAllocator::BatchRungs(job).empty());  // not adaptive
+
+  job.batch_ref = 256;
+  job.batch_min = 64;
+  job.batch_max = 1024;
+  job.grad_noise_scale = 500.0;
+  job.batch_speed = [](int, int, int) { return 1.0; };
+  const std::vector<int> rungs = GoodputAllocator::BatchRungs(job);
+  EXPECT_EQ(rungs, (std::vector<int>{64, 128, 256, 512, 1024}));
+
+  // max_rungs caps the doubling ladder but batch_max and the reference batch
+  // always survive.
+  const std::vector<int> capped = GoodputAllocator::BatchRungs(job, 3);
+  EXPECT_EQ(capped, (std::vector<int>{64, 128, 256, 1024}));
+}
+
+TEST(GoodputAllocatorTest, MatchesOptimusOnFixedBatchWorkload) {
+  std::vector<SchedJob> jobs;
+  for (int j = 0; j < 6; ++j) {
+    jobs.push_back(FixedBatchJob(j));
+  }
+  const Resources capacity(120, 1200, 0, 60);
+  const AllocationMap want = OptimusAllocator().Allocate(jobs, capacity);
+  const AllocationMap got = GoodputAllocator().Allocate(jobs, capacity);
+  ASSERT_EQ(want.size(), got.size());
+  for (const auto& [id, alloc] : want) {
+    const auto it = got.find(id);
+    ASSERT_NE(it, got.end()) << "job " << id;
+    EXPECT_EQ(alloc.num_ps, it->second.num_ps) << "job " << id;
+    EXPECT_EQ(alloc.num_workers, it->second.num_workers) << "job " << id;
+    EXPECT_EQ(it->second.global_batch, 0) << "job " << id;
+  }
+}
+
+TEST(GoodputAllocatorTest, PicksTheArgmaxEffectiveBatch) {
+  SchedJob job = FixedBatchJob(0);
+  job.batch_ref = 256;
+  job.batch_min = 64;
+  job.batch_max = 1024;
+  job.grad_noise_scale = 1000.0;
+  // Physical steps/s decays mildly with b, so larger batches win on effective
+  // progress until the statistical-efficiency decay overtakes.
+  const SpeedEstimate base = job.speed;
+  job.batch_speed = [base](int p, int w, int b) {
+    return base(p, w) * 456.0 / (200.0 + b);
+  };
+
+  const Resources capacity(120, 1200, 0, 60);
+  const AllocationMap got = GoodputAllocator().Allocate({job}, capacity);
+  ASSERT_EQ(got.size(), 1u);
+  const Allocation alloc = got.at(0);
+  ASSERT_TRUE(ActiveAllocation(alloc, job.comm));
+  EXPECT_NE(alloc.global_batch, 0);
+
+  // Recompute the argmax over the same rungs the allocator used.
+  int want_b = job.batch_ref;
+  double want_s = 0.0;
+  for (const int b : GoodputAllocator::BatchRungs(job)) {
+    const double s = job.batch_speed(alloc.num_ps, alloc.num_workers, b) *
+                     BatchProgressFactor(job.grad_noise_scale, job.batch_ref, b);
+    if (s > want_s) {
+      want_s = s;
+      want_b = b;
+    }
+  }
+  EXPECT_EQ(alloc.global_batch, want_b);
+  EXPECT_GT(want_b, job.batch_ref);  // the workload was built so bigger wins
+}
+
+// ---------------------------------------------------------------------------
+// Synergy allocator
+// ---------------------------------------------------------------------------
+
+TEST(SynergyAllocatorTest, DeflateDemandRespectsFloorAndLeavesGpusAlone) {
+  const Resources demand(8, 40, 2, 0.5);
+  const Resources same =
+      SynergyAllocator::DeflateDemand(demand, 1.0, 1.0, 0.25);
+  EXPECT_TRUE(same == demand);
+
+  const Resources flat =
+      SynergyAllocator::DeflateDemand(demand, 0.0, 0.0, 0.25);
+  EXPECT_DOUBLE_EQ(flat.cpu(), 2.0);        // 8 * 0.25
+  EXPECT_DOUBLE_EQ(flat.memory_gb(), 10.0);  // 40 * 0.25
+  EXPECT_DOUBLE_EQ(flat.gpu(), 2.0);        // untouched
+  EXPECT_DOUBLE_EQ(flat.bandwidth_gbps(), 0.5);
+
+  const Resources half =
+      SynergyAllocator::DeflateDemand(demand, 0.5, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(half.cpu(), 8.0 * (0.25 + 0.75 * 0.5));
+  EXPECT_DOUBLE_EQ(half.memory_gb(), 40.0);
+}
+
+TEST(SynergyAllocatorTest, MatchesOptimusOnFullySensitiveJobs) {
+  std::vector<SchedJob> jobs;
+  for (int j = 0; j < 5; ++j) {
+    jobs.push_back(FixedBatchJob(j));  // default 1.0 / 1.0 sensitivity
+  }
+  const Resources capacity(100, 1000, 0, 50);
+  const AllocationMap want = OptimusAllocator().Allocate(jobs, capacity);
+  const AllocationMap got = SynergyAllocator().Allocate(jobs, capacity);
+  ASSERT_EQ(want.size(), got.size());
+  for (const auto& [id, alloc] : want) {
+    EXPECT_TRUE(alloc == got.at(id)) << "job " << id;
+  }
+}
+
+TEST(SynergyAllocatorTest, CpuInsensitiveJobPacksMoreUnderCpuPressure) {
+  // CPU-dominant demand in a CPU-tight cluster: the fully sensitive job
+  // saturates the CPU budget early, the insensitive one packs past it.
+  SchedJob job = FixedBatchJob(0);
+  job.worker_demand = Resources(10, 4, 0, 0.1);
+  job.ps_demand = Resources(10, 4, 0, 0.1);
+  const Resources capacity(60, 400, 0, 40);
+
+  const AllocationMap sensitive = SynergyAllocator().Allocate({job}, capacity);
+  job.cpu_sensitivity = 0.0;
+  const AllocationMap insensitive =
+      SynergyAllocator().Allocate({job}, capacity);
+  ASSERT_EQ(sensitive.size(), 1u);
+  ASSERT_EQ(insensitive.size(), 1u);
+  const int tasks_sensitive =
+      sensitive.at(0).num_ps + sensitive.at(0).num_workers;
+  const int tasks_insensitive =
+      insensitive.at(0).num_ps + insensitive.at(0).num_workers;
+  EXPECT_GT(tasks_insensitive, tasks_sensitive);
+}
+
+// ---------------------------------------------------------------------------
+// DL2 allocator
+// ---------------------------------------------------------------------------
+
+TEST(Dl2AllocatorTest, RegistryFactoryCarriesTheTrainedWeights) {
+  const SchedulerPolicyInfo* info = SchedulerRegistry::Global().Find("dl2");
+  ASSERT_NE(info, nullptr);
+  const auto* factory =
+      dynamic_cast<const Dl2PolicyFactory*>(info->factory.get());
+  ASSERT_NE(factory, nullptr);
+  EXPECT_EQ(factory->weights(), DefaultDl2Weights());
+  // The trained policy is non-trivial: at least one non-bias weight.
+  const Dl2Weights w = DefaultDl2Weights();
+  double sum = 0.0;
+  for (size_t k = 1; k < kDl2NumFeatures; ++k) {
+    EXPECT_GE(w[k], 0.0);  // NNLS fit
+    sum += w[k];
+  }
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(Dl2AllocatorTest, DeterministicAndWithinCapacity) {
+  std::vector<SchedJob> jobs;
+  for (int j = 0; j < 6; ++j) {
+    jobs.push_back(FixedBatchJob(j));
+  }
+  const Resources capacity(50, 500, 0, 25);
+  Dl2AllocatorOptions options;
+  options.weights = DefaultDl2Weights();
+  const Dl2Allocator allocator(options);
+  const AllocationMap a = allocator.Allocate(jobs, capacity);
+  const AllocationMap b = allocator.Allocate(jobs, capacity);
+  ASSERT_EQ(a.size(), b.size());
+  Resources used;
+  for (const auto& [id, alloc] : a) {
+    EXPECT_TRUE(alloc == b.at(id)) << "job " << id;
+    used = used + AllocationDemand(jobs[static_cast<size_t>(id)], alloc);
+  }
+  EXPECT_TRUE(capacity.Fits(used));
+}
+
+// ---------------------------------------------------------------------------
+// Registry trait validation
+// ---------------------------------------------------------------------------
+
+SchedulerPolicyInfo ValidInfo(const std::string& name) {
+  SchedulerPolicyInfo info;
+  info.name = name;
+  info.SetFactory([](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+    return std::make_unique<OptimusAllocator>();
+  });
+  return info;
+}
+
+TEST(RegistryTraitsTest, RejectsPaaWithoutPackedPlacement) {
+  SchedulerPolicyInfo info = ValidInfo("paa-loadbalance");
+  info.placement = PlacementPolicy::kLoadBalance;
+  info.traits.use_paa = true;
+  std::string error;
+  EXPECT_FALSE(SchedulerRegistry::Global().Register(std::move(info), &error));
+  EXPECT_NE(error.find("policy 'paa-loadbalance'"), std::string::npos) << error;
+  EXPECT_NE(error.find("use_paa"), std::string::npos) << error;
+  EXPECT_FALSE(SchedulerRegistry::Global().Has("paa-loadbalance"));
+}
+
+TEST(RegistryTraitsTest, RejectsYoungJobFactorOutsideUnitInterval) {
+  for (const double bad : {0.0, -0.5, 1.5}) {
+    SchedulerPolicyInfo info = ValidInfo("bad-young-factor");
+    info.traits.young_job_priority_factor = bad;
+    std::string error;
+    EXPECT_FALSE(SchedulerRegistry::Global().Register(std::move(info), &error))
+        << bad;
+    EXPECT_NE(error.find("young_job_priority_factor"), std::string::npos)
+        << error;
+  }
+  EXPECT_FALSE(SchedulerRegistry::Global().Has("bad-young-factor"));
+}
+
+TEST(RegistryTraitsTest, DuplicateAndNullFactoryErrorsNameThePolicy) {
+  std::string error;
+  EXPECT_FALSE(
+      SchedulerRegistry::Global().Register(ValidInfo("optimus"), &error));
+  EXPECT_NE(error.find("policy 'optimus'"), std::string::npos) << error;
+  EXPECT_NE(error.find("already registered"), std::string::npos) << error;
+
+  SchedulerPolicyInfo no_factory;
+  no_factory.name = "null-factory";
+  EXPECT_FALSE(
+      SchedulerRegistry::Global().Register(std::move(no_factory), &error));
+  EXPECT_NE(error.find("factory"), std::string::npos) << error;
+}
+
+TEST(RegistryTraitsTest, NewPolicyTraitsMatchTheirFamilies) {
+  const SchedulerPolicyInfo* goodput =
+      SchedulerRegistry::Global().Find("goodput");
+  ASSERT_NE(goodput, nullptr);
+  EXPECT_TRUE(goodput->traits.adapts_batch);
+  EXPECT_FALSE(goodput->traits.uses_sensitivity);
+
+  const SchedulerPolicyInfo* synergy =
+      SchedulerRegistry::Global().Find("synergy");
+  ASSERT_NE(synergy, nullptr);
+  EXPECT_TRUE(synergy->traits.uses_sensitivity);
+  EXPECT_FALSE(synergy->traits.adapts_batch);
+
+  // No fixed-batch builtin claims the batch knob.
+  for (const char* name : {"optimus", "optimus_rack", "drf", "tetris", "fifo",
+                           "srtf", "dl2"}) {
+    const SchedulerPolicyInfo* info = SchedulerRegistry::Global().Find(name);
+    ASSERT_NE(info, nullptr) << name;
+    EXPECT_FALSE(info->traits.adapts_batch) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload DSL: batch bounds and sensitivity profiles
+// ---------------------------------------------------------------------------
+
+constexpr char kProfiledScenario[] = R"({
+  "schema": "scenario-v1",
+  "name": "profiled",
+  "seed": 5,
+  "policies": ["goodput"],
+  "workload": {
+    "jobs": 4,
+    "mode": "sync",
+    "batch_min": 64,
+    "batch_max": 2048,
+    "cpu_sensitivity": 0.3,
+    "mem_sensitivity": 0.8
+  },
+  "cluster": {"testbed": true}
+})";
+
+TEST(WorkloadDslTest, BatchAndSensitivityKeysReachEveryJobSpec) {
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseScenario(kProfiledScenario, "t", &spec, &error)) << error;
+  const std::vector<JobSpec> jobs = spec.JobsForRepeat();
+  ASSERT_EQ(jobs.size(), 4u);
+  for (const JobSpec& job : jobs) {
+    EXPECT_EQ(job.batch_min, 64);
+    EXPECT_EQ(job.batch_max, 2048);
+    EXPECT_DOUBLE_EQ(job.cpu_sensitivity, 0.3);
+    EXPECT_DOUBLE_EQ(job.mem_sensitivity, 0.8);
+    EXPECT_EQ(job.BatchMin(), 64);
+    EXPECT_EQ(job.BatchMax(), 2048);
+    EXPECT_DOUBLE_EQ(job.CpuSensitivity(), 0.3);
+    EXPECT_DOUBLE_EQ(job.MemSensitivity(), 0.8);
+  }
+}
+
+TEST(WorkloadDslTest, ProfiledWorkloadDrawsTheSameJobsAsUnprofiled) {
+  // The new keys must not consume RNG draws: the generated arrival times and
+  // models are bit-identical with and without them.
+  ScenarioSpec with_profile;
+  std::string error;
+  ASSERT_TRUE(ParseScenario(kProfiledScenario, "t", &with_profile, &error))
+      << error;
+  ScenarioSpec plain = with_profile;
+  plain.workload.batch_min = 0;
+  plain.workload.batch_max = 0;
+  plain.workload.cpu_sensitivity = -1.0;
+  plain.workload.mem_sensitivity = -1.0;
+  const std::vector<JobSpec> a = with_profile.JobsForRepeat();
+  const std::vector<JobSpec> b = plain.JobsForRepeat();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_time_s, b[i].arrival_time_s);
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_EQ(a[i].dataset_scale, b[i].dataset_scale);
+  }
+}
+
+TEST(WorkloadDslTest, RejectsInvalidProfiles) {
+  const struct {
+    const char* json;
+    const char* want;
+  } cases[] = {
+      {R"({"schema": "scenario-v1", "name": "x", "policies": ["optimus"],
+           "workload": {"jobs": 2, "cpu_sensitivity": 1.5},
+           "cluster": {"testbed": true}})",
+       "cpu_sensitivity"},
+      {R"({"schema": "scenario-v1", "name": "x", "policies": ["optimus"],
+           "workload": {"jobs": 2, "batch_min": 512, "batch_max": 128},
+           "cluster": {"testbed": true}})",
+       "batch"},
+  };
+  for (const auto& c : cases) {
+    ScenarioSpec spec;
+    std::string error;
+    EXPECT_FALSE(ParseScenario(c.json, "t", &spec, &error));
+    EXPECT_NE(error.find(c.want), std::string::npos) << error;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: new-policy determinism and batch-knob bit-compat
+// ---------------------------------------------------------------------------
+
+struct RunOutputs {
+  RunMetrics metrics;
+  uint64_t trace_digest = 0;
+  size_t trace_records = 0;
+};
+
+RunOutputs RunPolicy(const ScenarioSpec& scenario, const std::string& policy,
+                     SimEngine engine, int shards, int threads) {
+  SimulatorConfig config = scenario.MakeSimConfig(policy);
+  config.engine = engine;
+  config.shards = shards;
+  config.threads = threads;
+  config.audit = true;
+  Simulator sim(config, scenario.cluster.Build(), scenario.JobsForRepeat());
+  RunOutputs out;
+  out.metrics = sim.Run();
+  out.trace_digest = sim.trace().digest();
+  out.trace_records = sim.trace().size();
+  return out;
+}
+
+void ExpectBitwiseEqual(const RunOutputs& a, const RunOutputs& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.metrics.completed_jobs, b.metrics.completed_jobs) << label;
+  EXPECT_EQ(a.metrics.jcts, b.metrics.jcts) << label;
+  EXPECT_EQ(a.metrics.makespan_s, b.metrics.makespan_s) << label;
+  EXPECT_EQ(a.metrics.total_scalings, b.metrics.total_scalings) << label;
+  EXPECT_EQ(a.metrics.events_processed, b.metrics.events_processed) << label;
+  EXPECT_EQ(a.metrics.audit_violations, b.metrics.audit_violations) << label;
+  EXPECT_EQ(a.trace_digest, b.trace_digest) << label;
+  EXPECT_EQ(a.trace_records, b.trace_records) << label;
+}
+
+TEST(PolicyFamiliesEndToEndTest, NewPoliciesAreShardAndThreadInvariant) {
+  ScenarioSpec scenario;
+  std::string error;
+  ASSERT_TRUE(LoadScenarioFile(ScenarioPath("batch_adaptive.json"), &scenario,
+                               &error))
+      << error;
+  for (const char* policy : {"goodput", "synergy", "dl2"}) {
+    for (const SimEngine engine : {SimEngine::kInterval, SimEngine::kEvents}) {
+      const RunOutputs reference = RunPolicy(scenario, policy, engine, 1, 1);
+      EXPECT_EQ(reference.metrics.audit_violations, 0)
+          << policy << " " << SimEngineName(engine);
+      EXPECT_GT(reference.metrics.completed_jobs, 0);
+      for (const auto& [shards, threads] :
+           std::vector<std::pair<int, int>>{{2, 2}, {4, 8}}) {
+        ExpectBitwiseEqual(
+            RunPolicy(scenario, policy, engine, shards, threads), reference,
+            std::string(policy) + " " + SimEngineName(engine) + " shards=" +
+                std::to_string(shards) + " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(PolicyFamiliesEndToEndTest, GoodputWithPinnedBatchMatchesOptimus) {
+  // batch_min == batch_max pins the batch (disables adaptivity), so goodput
+  // must reproduce plain optimus bit for bit — the batch knob unset/pinned
+  // path is the pre-existing behavior.
+  ScenarioSpec scenario;
+  std::string error;
+  ASSERT_TRUE(LoadScenarioFile(ScenarioPath("batch_adaptive.json"), &scenario,
+                               &error))
+      << error;
+  scenario.workload.batch_min = 256;
+  scenario.workload.batch_max = 256;
+  for (const SimEngine engine : {SimEngine::kInterval, SimEngine::kEvents}) {
+    ExpectBitwiseEqual(RunPolicy(scenario, "goodput", engine, 1, 1),
+                       RunPolicy(scenario, "optimus", engine, 1, 1),
+                       std::string("pinned-batch ") + SimEngineName(engine));
+  }
+}
+
+TEST(PolicyFamiliesEndToEndTest, GoodputAdaptsBatchesAndBeatsOptimusHere) {
+  // The committed batch_adaptive scenario is the acceptance workload: batch
+  // co-adaptation must actually engage (overrides in the trace) and win.
+  ScenarioSpec scenario;
+  std::string error;
+  ASSERT_TRUE(LoadScenarioFile(ScenarioPath("batch_adaptive.json"), &scenario,
+                               &error))
+      << error;
+  const RunOutputs optimus =
+      RunPolicy(scenario, "optimus", SimEngine::kInterval, 1, 1);
+  const RunOutputs goodput =
+      RunPolicy(scenario, "goodput", SimEngine::kInterval, 1, 1);
+  ASSERT_EQ(optimus.metrics.completed_jobs, goodput.metrics.completed_jobs);
+  EXPECT_LT(goodput.metrics.avg_jct_s, optimus.metrics.avg_jct_s);
+}
+
+}  // namespace
+}  // namespace optimus

@@ -552,14 +552,14 @@ TEST(SchedulerRegistryTest, UnknownPolicyNamesTheRegisteredSet) {
 TEST(SchedulerRegistryTest, RegisterRejectsDuplicatesAndIncompleteInfos) {
   SchedulerPolicyInfo dup;
   dup.name = "optimus";
-  dup.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+  dup.SetFactory([](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
     return nullptr;
-  };
+  });
   EXPECT_FALSE(SchedulerRegistry::Global().Register(std::move(dup)));
   SchedulerPolicyInfo unnamed;
-  unnamed.factory = [](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
+  unnamed.SetFactory([](OptimusAllocRoundStats*) -> std::unique_ptr<Allocator> {
     return nullptr;
-  };
+  });
   EXPECT_FALSE(SchedulerRegistry::Global().Register(std::move(unnamed)));
   SchedulerPolicyInfo no_factory;
   no_factory.name = "no-factory";

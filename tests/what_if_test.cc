@@ -31,7 +31,7 @@ TEST(WhatIfTest, AdmitsIntoIdleCluster) {
   WhatIfResult r = EvaluateAdmission(allocator, {}, MakeJob(0, 10.0),
                                      Resources(100, 1000, 0, 100));
   EXPECT_TRUE(r.admitted);
-  EXPECT_TRUE(r.new_job_alloc.IsActive());
+  EXPECT_TRUE(ActiveAllocation(r.new_job_alloc, CommMode::kParameterServer));
   EXPECT_GT(r.new_job_completion_s, 0.0);
   EXPECT_TRUE(std::isfinite(r.new_job_completion_s));
   EXPECT_DOUBLE_EQ(r.total_slowdown_s, 0.0);

@@ -56,6 +56,29 @@ ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
   --allreduce_scenario="${repo_root}/scenarios/allreduce_mix.json" \
   --json=BENCH_net_smoke.json
 
+# Policy-catalog smoke: every registered policy (goodput / synergy / dl2
+# included) on the batch-adaptive scenario, plus a per-policy determinism
+# sweep over engines x shards x threads. Exits 3 if any cell diverges from
+# its (policy, engine) reference or if no non-Optimus-family policy beats
+# plain optimus on average JCT (docs/POLICIES.md).
+"${build_dir}/bench/bench_policies" --smoke \
+  --scenario="${repo_root}/scenarios/batch_adaptive.json" \
+  --json=BENCH_policies_smoke.json
+
+# The raw PS-shaped Allocation::IsActive() check mis-classifies all-reduce
+# allocations; every call site outside its definition must go through
+# ActiveAllocation(alloc, comm) (src/sched/scheduler.h).
+isactive_hits="$(grep -rn '\.IsActive()' \
+  "${repo_root}/src" "${repo_root}/tools" "${repo_root}/bench" \
+  "${repo_root}/tests" "${repo_root}/examples" \
+  --include='*.cc' --include='*.h' --include='*.cpp' \
+  | grep -v 'src/sched/scheduler.h' || true)"
+if [[ -n "${isactive_hits}" ]]; then
+  echo "raw Allocation::IsActive() call sites (use ActiveAllocation):" >&2
+  echo "${isactive_hits}" >&2
+  exit 1
+fi
+
 # Observability smoke: registry/flight recorder on vs off; exits nonzero
 # if observability perturbs the simulation or exports diverge across
 # thread counts.

@@ -49,7 +49,10 @@ std::string Usage() {
       "                                        scheduling policy from the\n"
       "                                        SchedulerRegistry (default optimus);\n"
       "                                        `list` prints the catalog\n"
-      "  --scheduler=NAME                      deprecated alias for --policy\n"
+      "  --format=table|json                   output format for `--policy list`\n"
+      "                                        (default table)\n"
+      "  --scheduler=NAME                      deprecated alias for --policy (warns\n"
+      "                                        on stderr; scheduled for removal)\n"
       "  --scenario=FILE                       run a scenario-v1 JSON experiment\n"
       "                                        (docs/SCENARIOS.md); --policy, --seed,\n"
       "                                        --repeats, --threads override the file\n"
@@ -99,11 +102,70 @@ std::string Usage() {
   return usage;
 }
 
-int PrintPolicyList() {
-  TablePrinter table({"policy", "display", "description"});
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Machine-readable policy catalog (`--policy list --format=json`): one object
+// per registered policy with its family, placement, and trait set, so
+// harnesses can discover capabilities without parsing the human table.
+int PrintPolicyListJson() {
+  std::cout << "[\n";
+  bool first = true;
+  for (const SchedulerPolicyInfo& info : SchedulerRegistry::Global().Policies()) {
+    if (!first) {
+      std::cout << ",\n";
+    }
+    first = false;
+    const PolicyTraits& t = info.traits;
+    std::cout << "  {\"name\": \"" << JsonEscape(info.name) << "\", "
+              << "\"display_name\": \"" << JsonEscape(info.display_name) << "\", "
+              << "\"description\": \"" << JsonEscape(info.description) << "\", "
+              << "\"family\": \"" << AllocatorPolicyName(info.allocator_family)
+              << "\", "
+              << "\"placement\": \"" << PlacementPolicyName(info.placement)
+              << "\", "
+              << "\"traits\": {"
+              << "\"use_paa\": " << (t.use_paa ? "true" : "false") << ", "
+              << "\"straggler_handling\": "
+              << (t.straggler_handling ? "true" : "false") << ", "
+              << "\"young_job_priority_factor\": " << t.young_job_priority_factor
+              << ", "
+              << "\"adapts_batch\": " << (t.adapts_batch ? "true" : "false")
+              << ", "
+              << "\"uses_sensitivity\": "
+              << (t.uses_sensitivity ? "true" : "false") << "}}";
+  }
+  std::cout << "\n]\n";
+  return 0;
+}
+
+int PrintPolicyList(const std::string& format) {
+  if (format == "json") {
+    return PrintPolicyListJson();
+  }
+  if (format != "table") {
+    std::cerr << "unknown --format '" << format << "' (expected table|json)\n";
+    return 2;
+  }
+  TablePrinter table({"policy", "display", "family", "description"});
   for (const std::string& name : SchedulerRegistry::Global().Names()) {
     const SchedulerPolicyInfo* info = SchedulerRegistry::Global().Find(name);
-    table.AddRow({info->name, info->display_name, info->description});
+    table.AddRow({info->name, info->display_name,
+                  AllocatorPolicyName(info->allocator_family),
+                  info->description});
   }
   table.Print(std::cout);
   return 0;
@@ -259,14 +321,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // --policy is canonical; --scheduler remains as a deprecated alias.
+  // --policy is canonical; --scheduler remains as a deprecated alias with the
+  // same semantics and exit codes (removal documented in docs/POLICIES.md).
+  const bool scheduler_alias_used = flags.Has("scheduler");
   std::string policy_flag = flags.GetString("policy", flags.GetString("scheduler", ""));
+  if (scheduler_alias_used && !flags.Has("policy")) {
+    std::cerr << "warning: --scheduler is deprecated; use --policy (same "
+                 "values). --scheduler will be removed in a future release.\n";
+  }
   if (policy_flag.empty() && !flags.positional().empty() &&
       flags.positional()[0] == "list") {
     policy_flag = "list";  // accept `--policy list` (space-separated form)
   }
   if (policy_flag == "list") {
-    return PrintPolicyList();
+    return PrintPolicyList(flags.GetString("format", "table"));
   }
   const std::string scenario_path = flags.GetString("scenario", "");
   const int num_jobs = static_cast<int>(flags.GetInt("jobs", 9));
